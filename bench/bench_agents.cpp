@@ -1,0 +1,88 @@
+// Experiment T2/L3/L4 + T5 (DESIGN.md): team sizes.
+//
+// Regenerates, for d = 2..20:
+//  * Algorithm CLEAN's team size, measured by the schedule generator,
+//    against Lemma 3/4's exact expression max_l [C(d,l+1)+C(d-1,l-1)]+1
+//    (Theorem 2), with the growth-rate columns showing the measured value
+//    sitting at Theta(n/sqrt(log n)) -- above the paper's stated
+//    O(n/log n), the erratum recorded in EXPERIMENTS.md;
+//  * Algorithm 2's team size n/2 (Theorem 5);
+//  * Lemma 3's per-level extras for one mid-size dimension.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/clean_sync.hpp"
+#include "core/clean_visibility.hpp"
+#include "core/formulas.hpp"
+
+namespace hcs {
+namespace {
+
+void print_tables() {
+  {
+    Table t({"d", "n", "CLEAN team (measured)", "formula (Thm 2)", "verdict",
+             "n/log n", "n/sqrt(log n)", "n/2 (Thm 5)"});
+    for (unsigned d = 2; d <= 20; ++d) {
+      const std::uint64_t n = std::uint64_t{1} << d;
+      const core::CleanSyncStats stats = core::measure_clean_sync(d);
+      t.add_row({std::to_string(d), with_commas(n),
+                 with_commas(stats.team_size),
+                 with_commas(core::clean_team_size(d)),
+                 bench::verdict(stats.team_size, core::clean_team_size(d)),
+                 with_commas(n / d),
+                 with_commas(static_cast<std::uint64_t>(
+                     static_cast<double>(n) / std::sqrt(d))),
+                 with_commas(core::visibility_team_size(d))});
+    }
+    std::printf("\nTeam sizes (Theorem 2 vs Theorem 5).\n%s",
+                t.render().c_str());
+    bench::maybe_write_csv("team_sizes", t);
+    std::printf(
+        "Note: the measured CLEAN team matches the paper's own Lemma 3/4\n"
+        "arithmetic exactly; its growth tracks n/sqrt(log n), not the\n"
+        "O(n/log n) stated in Theorem 2 (see EXPERIMENTS.md, erratum E2).\n");
+  }
+  {
+    const unsigned d = 10;
+    core::CleanSyncStats stats = core::measure_clean_sync(d);
+    Table t({"level l", "extras (measured)", "Lemma 3 formula", "verdict",
+             "active agents (Lemma 4)"});
+    for (unsigned l = 1; l < d; ++l) {
+      const std::uint64_t expected =
+          (l + 2 <= d) ? core::clean_extra_agents(d, l) : 0;
+      t.add_row({std::to_string(l), with_commas(stats.extras_per_level[l]),
+                 with_commas(expected),
+                 bench::verdict(stats.extras_per_level[l], expected),
+                 with_commas(core::clean_active_agents(d, l))});
+    }
+    std::printf("\nLemma 3 extras per level, d = %u.\n%s", d,
+                t.render().c_str());
+  }
+}
+
+void BM_MeasureCleanTeam(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::measure_clean_sync(d).team_size);
+  }
+  state.SetComplexityN(1 << d);
+}
+BENCHMARK(BM_MeasureCleanTeam)->DenseRange(6, 14, 2)->Complexity();
+
+void BM_TeamFormula(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::clean_team_size(d));
+  }
+}
+BENCHMARK(BM_TeamFormula)->DenseRange(8, 20, 4);
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(
+      argc, argv, "bench_agents: team sizes (Theorem 2, Lemma 3/4, Theorem 5)",
+      hcs::print_tables);
+}

@@ -1,0 +1,90 @@
+// Experiment B1 + B2 (DESIGN.md): what the paper's strategies are beating.
+//
+//  * B1, naive level sweep: keep a whole level guarded during each
+//    hand-over -- max_l [C(d,l) + C(d,l+1)] agents, vs CLEAN's staggered
+//    hand-over that only ever co-exists one level's guards with the extras.
+//  * B2, the tree-only cost: the broadcast tree alone (ignoring cross
+//    edges) is searchable with floor(d/2)+1 agents -- log-scale, not
+//    2^d-scale. The hypercube's cross edges, which Lemma 1 tames, are what
+//    make the problem expensive.
+
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/formulas.hpp"
+#include "graph/builders.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace hcs {
+namespace {
+
+void print_tables() {
+  {
+    Table t({"d", "naive team (measured)", "formula", "verdict",
+             "naive moves", "n log n", "CLEAN team", "naive/CLEAN"});
+    for (unsigned d = 2; d <= 16; ++d) {
+      core::NaiveSweepStats stats;
+      (void)core::plan_naive_level_sweep(d, &stats);
+      const std::uint64_t clean = core::clean_team_size(d);
+      t.add_row({std::to_string(d), with_commas(stats.team_size),
+                 with_commas(core::naive_sweep_team_size(d)),
+                 bench::verdict(stats.team_size,
+                                core::naive_sweep_team_size(d)),
+                 with_commas(stats.total_moves),
+                 with_commas(core::n_log_n(d)), with_commas(clean),
+                 ratio(static_cast<double>(stats.team_size),
+                       static_cast<double>(clean))});
+    }
+    std::printf("\nB1: naive level sweep vs Algorithm CLEAN.\n%s",
+                t.render().c_str());
+  }
+  {
+    Table t({"d", "tree-only agents (measured)", "floor(d/2)+1", "verdict",
+             "CLEAN team", "VIS team", "tree plan verifies"});
+    for (unsigned d = 2; d <= 12; ++d) {
+      const graph::Graph g = graph::make_broadcast_tree_graph(d);
+      const auto tree = graph::bfs_spanning_tree(g, 0);
+      const core::SearchPlan plan = core::plan_tree_search(g, tree);
+      core::VerifyOptions opts;
+      opts.check_contiguity_every = d <= 6 ? 1 : 0;
+      const auto v = core::verify_plan(g, plan, opts);
+      t.add_row({std::to_string(d), with_commas(plan.num_agents),
+                 with_commas(core::broadcast_tree_search_number(d)),
+                 bench::verdict(plan.num_agents,
+                                core::broadcast_tree_search_number(d)),
+                 with_commas(core::clean_team_size(d)),
+                 with_commas(core::visibility_team_size(d)),
+                 v.ok() ? "yes" : "NO"});
+    }
+    std::printf(
+        "\nB2: the broadcast tree alone needs only floor(d/2)+1 agents --\n"
+        "the hypercube's cross edges carry the whole agent cost.\n%s",
+        t.render().c_str());
+  }
+}
+
+void BM_NaivePlan(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_naive_level_sweep(d).total_moves());
+  }
+}
+BENCHMARK(BM_NaivePlan)->DenseRange(6, 14, 2);
+
+void BM_TreeSearchNumber(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  const graph::Graph g = graph::make_broadcast_tree_graph(d);
+  const auto tree = graph::bfs_spanning_tree(g, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::tree_search_number(tree));
+  }
+}
+BENCHMARK(BM_TreeSearchNumber)->DenseRange(8, 16, 4);
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(
+      argc, argv, "bench_baselines: naive sweep (B1) and tree-only cost (B2)",
+      hcs::print_tables);
+}

@@ -1,0 +1,65 @@
+// Shared scaffolding for the benchmark harness.
+//
+// Every bench binary does two things:
+//  1. prints the "paper vs measured" reproduction table(s) for its
+//     experiment (the rows EXPERIMENTS.md records), then
+//  2. runs its google-benchmark timings.
+//
+// run_bench_main() wires both together so each binary's main() is a single
+// call.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace hcs::bench {
+
+/// Prints a section header followed by the experiment tables, then hands
+/// control to google-benchmark.
+inline int run_bench_main(int argc, char** argv, const std::string& title,
+                          const std::function<void()>& print_tables) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+  print_tables();
+  std::fflush(stdout);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+/// "match" / "MISMATCH" cell for exact-reproduction tables.
+inline std::string verdict(std::uint64_t measured, std::uint64_t expected) {
+  return measured == expected ? "match" : "MISMATCH";
+}
+
+/// When the environment variable HCS_CSV_DIR is set, also writes the table
+/// as <dir>/<name>.csv so plots can be regenerated from the same rows the
+/// bench printed. Silently a no-op otherwise.
+inline void maybe_write_csv(const std::string& name, const Table& table) {
+  const char* dir = std::getenv("HCS_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (out) {
+    out << table_to_csv(table);
+    std::printf("(wrote %s)\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+  }
+}
+
+}  // namespace hcs::bench

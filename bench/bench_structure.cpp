@@ -1,0 +1,102 @@
+// Experiment P1-P2 / P5-P8 (DESIGN.md): the structural properties of
+// Section 3.1 and 4.1 -- counted by exhaustive enumeration against the
+// closed forms, including the Property 8 erratum.
+
+#include "bench_common.hpp"
+#include "core/formulas.hpp"
+#include "hypercube/properties.hpp"
+#include "util/binomial.hpp"
+
+namespace hcs {
+namespace {
+
+void print_tables() {
+  {
+    Table t({"d", "P1 types", "P2 leaves", "P5 classes", "P6 leaves=C_d",
+             "P7 neighbours", "P8 (corrected)", "Lemma 1", "heap queue"});
+    for (unsigned d = 1; d <= 14; ++d) {
+      const Hypercube cube(d);
+      const BroadcastTree tree(cube);
+      const auto yes = [](bool b) { return b ? std::string("holds") : std::string("FAILS"); };
+      t.add_row({std::to_string(d), yes(check_property1_type_counts(tree)),
+                 yes(check_property2_leaf_counts(tree)),
+                 yes(check_property5_class_sizes(cube)),
+                 yes(check_property6_leaves_in_Cd(tree)),
+                 yes(check_property7_neighbor_classes(cube)),
+                 yes(check_property8_descent_chain(cube)),
+                 yes(check_lemma1_cross_edges(tree)),
+                 yes(check_heap_queue_recursion(tree))});
+    }
+    std::printf("\nStructural properties, exhaustively enumerated.\n%s",
+                t.render().c_str());
+  }
+  {
+    Table t({"d", "P8 literal violations (counted)", "expected", "node"});
+    for (unsigned d = 2; d <= 12; ++d) {
+      const auto violations = property8_counterexamples(Hypercube(d));
+      t.add_row({std::to_string(d), std::to_string(violations.size()), "1",
+                 violations.empty()
+                     ? std::string("-")
+                     : to_binary_string(violations.front(), d)});
+    }
+    std::printf(
+        "\nErratum E1: the paper's literal Property 8 fails at exactly one "
+        "node,\n(0...011), in every dimension (its proof's Case 2 needs a "
+        "position j < i-1,\nwhich i = 2 does not offer). Theorem 7 is "
+        "unaffected -- see EXPERIMENTS.md.\n%s",
+        t.render().c_str());
+  }
+  {
+    Table t({"level l", "nodes C(d,l)", "leaves C(d-1,l-1)",
+             "T(k>=2) nodes", "extras (Lemma 3)"});
+    const unsigned d = 10;
+    const BroadcastTree tree(d);
+    for (unsigned l = 1; l <= d; ++l) {
+      std::uint64_t heavy = 0;
+      for (unsigned k = 2; k + l <= d; ++k) {
+        heavy += tree.type_count_at_level(k, l);
+      }
+      t.add_row({std::to_string(l), with_commas(binomial(d, l)),
+                 with_commas(tree.leaves_at_level(l)), with_commas(heavy),
+                 l < d ? with_commas(l + 2 <= d
+                                         ? core::clean_extra_agents(d, l)
+                                         : 0)
+                       : std::string("-")});
+    }
+    std::printf("\nLevel anatomy of T(%u) (Properties 1-2).\n%s", d,
+                t.render().c_str());
+  }
+}
+
+void BM_PropertyChecks(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  const Hypercube cube(d);
+  const BroadcastTree tree(cube);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_property7_neighbor_classes(cube));
+    benchmark::DoNotOptimize(check_lemma1_cross_edges(tree));
+  }
+  state.SetComplexityN(1 << d);
+}
+BENCHMARK(BM_PropertyChecks)->DenseRange(6, 12, 2)->Complexity();
+
+void BM_LevelEnumeration(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  const Hypercube cube(d);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (unsigned l = 0; l <= d; ++l) total += cube.level_nodes(l).size();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_LevelEnumeration)->DenseRange(10, 18, 4);
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(
+      argc, argv,
+      "bench_structure: structural properties (P1-P2, P5-P8, Lemma 1)",
+      hcs::print_tables);
+}

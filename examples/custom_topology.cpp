@@ -1,0 +1,91 @@
+// custom_topology: the substrate beyond the hypercube.
+//
+// The paper's strategies are hypercube-specific, but the model (agents,
+// whiteboards, worst-case contamination) and the analysis tools (plan
+// verifier, optimal searcher, tree strategy) are topology-generic. This
+// example demonstrates them on other networks:
+//
+//   * an optimal contiguous sweep of a tree (the Barriere et al. setting
+//     the paper builds on), generated and verified;
+//   * exact optimal search numbers for rings, grids, tori, and the
+//     cube-connected-cycles network;
+//   * a user-sized random tree, to show the planner adapting.
+//
+//   $ ./custom_topology
+//   $ ./custom_topology --tree-size 40 --seed 3
+
+#include <cstdio>
+
+#include "core/baselines.hpp"
+#include "core/optimal.hpp"
+#include "core/plan.hpp"
+#include "graph/builders.hpp"
+#include "graph/spanning_tree.hpp"
+#include "util/cli.hpp"
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcs;
+
+void sweep_tree(const std::string& name, const graph::Graph& g,
+                graph::Vertex root) {
+  const auto tree = graph::bfs_spanning_tree(g, root);
+  const core::SearchPlan plan = core::plan_tree_search(g, tree);
+  const auto v = core::verify_plan(g, plan);
+  std::printf("  %-28s %2u agents, %4llu moves, verified: %s\n", name.c_str(),
+              plan.num_agents,
+              static_cast<unsigned long long>(plan.total_moves()),
+              v.ok() ? "monotone+contiguous+complete" : v.error.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("custom_topology: contiguous search beyond the hypercube");
+  cli.add_flag("tree-size", "25", "size of the random tree demo");
+  cli.add_flag("seed", "1", "random seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  std::printf("optimal contiguous tree sweeps (the [1] baseline):\n");
+  sweep_tree("path P_12 (from one end)", graph::make_path(12), 0);
+  sweep_tree("star S_9 (from the centre)", graph::make_star(9), 0);
+  sweep_tree("binary tree, height 4",
+             graph::make_complete_kary_tree(2, 4), 0);
+  sweep_tree("ternary tree, height 3",
+             graph::make_complete_kary_tree(3, 3), 0);
+  sweep_tree("broadcast tree T(8)", graph::make_broadcast_tree_graph(8), 0);
+  {
+    Rng rng(cli.get_uint("seed"));
+    const auto n = static_cast<std::size_t>(cli.get_uint("tree-size"));
+    const graph::Graph g = graph::make_random_tree(n, rng);
+    sweep_tree(str_cat("random tree, n = ", n), g, 0);
+  }
+
+  std::printf("\nexact optimal connected search numbers (worst-case "
+              "intruder):\n");
+  Table t({"topology", "nodes", "edges", "optimal agents"});
+  const auto add = [&t](const std::string& name, const graph::Graph& g) {
+    const auto r = core::optimal_connected_search(g, 0);
+    t.add_row({name, std::to_string(g.num_nodes()),
+               std::to_string(g.num_edges()),
+               std::to_string(r.search_number)});
+  };
+  add("ring C_12", graph::make_ring(12));
+  add("grid 4x4", graph::make_grid(4, 4));
+  add("torus 3x4", graph::make_torus(3, 4));
+  add("hypercube H_4", graph::make_hypercube(4));
+  add("CCC(3)", graph::make_cube_connected_cycles(3));
+  add("butterfly BF(2)", graph::make_butterfly(2));
+  add("Petersen graph", graph::make_petersen());
+  add("complete K_7", graph::make_complete(7));
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\nTakeaway: bounded-degree topologies (rings, grids, CCC) are\n"
+      "searchable with small teams; the hypercube's logarithmic degree --\n"
+      "and at the extreme the complete graph -- is what forces large "
+      "teams.\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+// visualize_figures: ASCII reproductions of the paper's four figures.
+//
+//   Figure 1  the broadcast tree T(d) of H_d (heap-queue structure)
+//   Figure 2  the order in which Algorithm CLEAN cleans the nodes
+//   Figure 3  the classes C_i (grouping by most significant bit)
+//   Figure 4  the order/waves of Algorithm CLEAN WITH VISIBILITY
+//
+//   $ ./visualize_figures              # d = 4 (compact)
+//   $ ./visualize_figures --dim 6     # the paper's T(6) of Figure 1
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "graph/dot.hpp"
+#include "hypercube/broadcast_tree.hpp"
+#include "util/cli.hpp"
+#include "util/strfmt.hpp"
+
+namespace {
+
+using namespace hcs;
+
+void print_tree(const BroadcastTree& tree, NodeId x, const std::string& prefix,
+                bool last) {
+  const unsigned d = tree.dimension();
+  std::printf("%s%s%s T(%u)%s\n", prefix.c_str(),
+              x == 0 ? "" : (last ? "`-- " : "|-- "),
+              to_binary_string(x, d).c_str(), tree.type_of(x),
+              tree.is_leaf(x) ? "  (leaf)" : "");
+  const auto children = tree.children(x);
+  const std::string next_prefix =
+      x == 0 ? prefix : prefix + (last ? "    " : "|   ");
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    print_tree(tree, children[i], next_prefix, i + 1 == children.size());
+  }
+}
+
+void figure1(unsigned d) {
+  std::printf("--- Figure 1: the broadcast tree T(%u) of H_%u ---\n", d, d);
+  std::printf("(normal tree edges only; the node label is the paper's "
+              "binary string,\nmsb first, and T(k) is the heap-queue type)\n\n");
+  const BroadcastTree tree(d);
+  print_tree(tree, BroadcastTree::root(), "", true);
+  std::printf("\nper level: ");
+  for (unsigned l = 0; l <= d; ++l) {
+    std::printf("%llu%s",
+                static_cast<unsigned long long>(tree.cube().level_size(l)),
+                l == d ? " nodes\n\n" : " + ");
+  }
+}
+
+void print_cleaning_order(const sim::Trace& trace, unsigned d) {
+  const Hypercube cube(d);
+  const auto order = trace.cleaning_order();
+  std::vector<std::size_t> rank(cube.num_nodes());
+  for (std::size_t i = 0; i < order.size(); ++i) rank[order[i]] = i + 1;
+  for (unsigned l = 0; l <= d; ++l) {
+    std::printf("  level %u: ", l);
+    for (NodeId x : cube.level_nodes(l)) {
+      std::printf("%s(#%zu)  ", to_binary_string(x, d).c_str(), rank[x]);
+    }
+    std::printf("\n");
+  }
+}
+
+void figure2(unsigned d) {
+  std::printf("--- Figure 2: cleaning order of Algorithm CLEAN on H_%u ---\n",
+              d);
+  std::printf("(#k = k-th node reached by the team; the synchronizer sweeps "
+              "each level\nin lexicographic order)\n\n");
+  sim::Trace trace;
+  core::SimRunConfig cfg;
+  cfg.trace = true;
+  (void)core::run_strategy_sim(core::StrategyKind::kCleanSync, d, cfg, &trace);
+  print_cleaning_order(trace, d);
+  std::printf("\n");
+}
+
+void figure3(unsigned d) {
+  std::printf("--- Figure 3: the classes C_i of H_%u ---\n", d);
+  std::printf("(C_i = nodes whose most significant bit is in position i; "
+              "|C_i| = 2^(i-1))\n\n");
+  const Hypercube cube(d);
+  for (BitPos i = 0; i <= d; ++i) {
+    std::printf("  C_%u (%2llu nodes): ", i,
+                static_cast<unsigned long long>(cube.class_size(i)));
+    std::size_t shown = 0;
+    for (NodeId x : cube.class_nodes(i)) {
+      if (shown++ == 8) {
+        std::printf("...");
+        break;
+      }
+      std::printf("%s ", to_binary_string(x, d).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void figure4(unsigned d) {
+  std::printf(
+      "--- Figure 4: cleaning waves of CLEAN WITH VISIBILITY on H_%u ---\n",
+      d);
+  std::printf("(w=t: node released by wave t; all of class C_t moves at "
+              "time t, Theorem 7)\n\n");
+  sim::Trace trace;
+  core::SimRunConfig cfg;
+  cfg.trace = true;
+  (void)core::run_strategy_sim(core::StrategyKind::kVisibility, d, cfg,
+                               &trace);
+  const Hypercube cube(d);
+  // First-guarded time per node, from the trace.
+  std::vector<double> guarded_at(cube.num_nodes(), -1.0);
+  for (const auto& e : trace.events()) {
+    if (e.kind == sim::TraceKind::kStatusChange && e.detail == "guarded" &&
+        guarded_at[e.node] < 0) {
+      guarded_at[e.node] = e.time;
+    }
+  }
+  guarded_at[0] = 0.0;
+  for (unsigned l = 0; l <= d; ++l) {
+    std::printf("  level %u: ", l);
+    for (NodeId x : cube.level_nodes(l)) {
+      std::printf("%s(t=%.0f,C_%u)  ", to_binary_string(x, d).c_str(),
+                  guarded_at[x], cube.class_of(x));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+/// Writes GraphViz renderings: the hypercube with broadcast-tree edges
+/// bold (figure 1's structure) and with nodes coloured by visibility wave
+/// (figure 4). Render with `dot -Tsvg -O <file>`.
+void export_dot(unsigned d, const std::string& path_prefix) {
+  const graph::Graph g = graph::make_hypercube(d);
+  const BroadcastTree tree(d);
+
+  {
+    graph::DotOptions options;
+    options.graph_name = "broadcast_tree";
+    options.edge_attributes = [&tree](graph::Vertex u, graph::Vertex v) {
+      return tree.is_tree_edge(static_cast<NodeId>(u),
+                               static_cast<NodeId>(v))
+                 ? std::string("penwidth=2.5")
+                 : std::string("style=dotted, color=gray");
+    };
+    std::ofstream out(path_prefix + "_fig1_tree.dot");
+    out << graph::to_dot(g, options);
+    std::printf("wrote %s_fig1_tree.dot\n", path_prefix.c_str());
+  }
+  {
+    // Colour by wave time = class index (Theorem 7).
+    static const char* kPalette[] = {"#ffffff", "#dbeafe", "#bfdbfe",
+                                     "#93c5fd", "#60a5fa", "#3b82f6",
+                                     "#2563eb", "#1d4ed8", "#1e40af"};
+    const Hypercube cube(d);
+    graph::DotOptions options;
+    options.graph_name = "visibility_waves";
+    options.node_attributes = [&cube](graph::Vertex v) {
+      const unsigned wave = cube.class_of(static_cast<NodeId>(v));
+      const unsigned idx = wave < 9 ? wave : 8;
+      return str_cat("style=filled, fillcolor=\"", kPalette[idx], "\"");
+    };
+    std::ofstream out(path_prefix + "_fig4_waves.dot");
+    out << graph::to_dot(g, options);
+    std::printf("wrote %s_fig4_waves.dot\n", path_prefix.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("visualize_figures: ASCII versions of the paper's figures");
+  cli.add_flag("dim", "4", "dimension for figures 2-4 (figure 1 uses it too)");
+  cli.add_flag("dot", "",
+               "also write GraphViz files with this path prefix (optional)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto d = static_cast<unsigned>(cli.get_uint("dim"));
+
+  figure1(d);
+  figure2(d);
+  figure3(d);
+  figure4(d);
+  if (!cli.get("dot").empty()) export_dot(d, cli.get("dot"));
+  return 0;
+}

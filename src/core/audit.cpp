@@ -1,0 +1,80 @@
+#include "core/audit.hpp"
+
+#include "core/clean_sync.hpp"
+#include "core/formulas.hpp"
+#include "util/assert.hpp"
+
+namespace hcs::core {
+
+const char* to_string(AuditGoal goal) {
+  switch (goal) {
+    case AuditGoal::kAgents: return "agents";
+    case AuditGoal::kMoves: return "moves";
+    case AuditGoal::kTime: return "time";
+  }
+  return "?";
+}
+
+double AuditReport::traffic_per_host() const {
+  if (!recommended.has_value()) return 0.0;
+  const auto n = static_cast<double>(std::uint64_t{1} << dimension);
+  return static_cast<double>(candidates[*recommended].moves) / n;
+}
+
+AuditReport plan_audit(unsigned d, AuditGoal goal,
+                       const AuditCapabilities& caps,
+                       std::uint64_t move_budget) {
+  HCS_EXPECTS(d >= 1 && d <= 24);
+  AuditReport report;
+  report.dimension = d;
+
+  const CleanSyncStats clean = measure_clean_sync(d);
+  report.candidates.push_back(
+      {"CLEAN (coordinated)", clean.team_size,
+       clean.agent_moves + clean.sync_moves_total, clean.sync_moves_total,
+       true, "fewest agents; slow sequential sweep"});
+  report.candidates.push_back(
+      {"CLEAN WITH VISIBILITY", visibility_team_size(d), visibility_moves(d),
+       visibility_time(d), caps.visibility,
+       caps.visibility ? "fastest; needs neighbour-state visibility"
+                       : "excluded: requires visibility"});
+  report.candidates.push_back(
+      {"CLONING variant", cloning_agents(d), cloning_moves(d),
+       visibility_time(d), caps.visibility && caps.cloning,
+       caps.visibility && caps.cloning
+           ? "fewest moves; needs cloning capability"
+           : "excluded: requires visibility + cloning"});
+  report.candidates.push_back(
+      {"SYNCHRONOUS variant", visibility_team_size(d), visibility_moves(d),
+       visibility_time(d), caps.synchronous,
+       caps.synchronous ? "visibility-free; needs synchronous links"
+                        : "excluded: requires synchrony"});
+  report.candidates.push_back({"naive level sweep", naive_sweep_team_size(d),
+                               n_log_n(d), n_log_n(d), true,
+                               "baseline; no coordination tricks"});
+
+  const auto key = [goal](const AuditCandidate& c) {
+    switch (goal) {
+      case AuditGoal::kAgents: return c.agents;
+      case AuditGoal::kMoves: return c.moves;
+      case AuditGoal::kTime: return c.time;
+    }
+    return c.agents;
+  };
+
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    AuditCandidate& c = report.candidates[i];
+    if (move_budget != 0 && c.moves > move_budget) {
+      c.feasible = false;
+      c.notes += " [over move budget]";
+    }
+    if (!c.feasible) continue;
+    if (!report.recommended.has_value() ||
+        key(c) < key(report.candidates[*report.recommended])) {
+      report.recommended = i;
+    }
+  }
+  return report;
+}
+
+}  // namespace hcs::core

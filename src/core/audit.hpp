@@ -1,0 +1,63 @@
+// Periodic-cleaning capacity planning.
+//
+// The paper's introduction motivates contiguous search as a recurring
+// audit: "periodic cleaning strategies could be performed by teams of
+// agents... these techniques would have to use as few agents as possible
+// and these agents would have to perform as few moves as possible so that
+// the cleaning overhead would not be too important compared to the normal
+// load of the network." This module turns that into an API: enumerate the
+// implemented strategies with their exact per-sweep costs for a given
+// dimension, filter by capability/budget constraints, and pick the best
+// under an optimization goal. The network_audit example is a thin CLI over
+// it.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hcs::core {
+
+/// What to minimize when recommending a strategy.
+enum class AuditGoal : std::uint8_t { kAgents, kMoves, kTime };
+
+/// Capabilities the deployment can offer; strategies requiring a missing
+/// capability are excluded.
+struct AuditCapabilities {
+  bool visibility = true;   ///< agents can read neighbour states
+  bool cloning = true;      ///< agents can clone themselves
+  bool synchronous = true;  ///< links deliver in lock-step unit time
+};
+
+struct AuditCandidate {
+  std::string name;
+  std::uint64_t agents = 0;
+  std::uint64_t moves = 0;  ///< per sweep, all roles
+  std::uint64_t time = 0;   ///< ideal time units per sweep
+  bool feasible = true;     ///< capabilities + budget satisfied
+  std::string notes;
+};
+
+struct AuditReport {
+  unsigned dimension = 0;
+  std::vector<AuditCandidate> candidates;
+  /// Index into candidates, or nullopt if nothing is feasible.
+  std::optional<std::size_t> recommended;
+
+  /// Per-host traffic of the recommendation (moves / n), 0 if none.
+  [[nodiscard]] double traffic_per_host() const;
+};
+
+/// All five implemented strategies with exact costs for H_d, the
+/// infeasible ones marked, and the best feasible one under `goal`
+/// selected. `move_budget` (0 = unlimited) excludes strategies whose sweep
+/// exceeds it.
+[[nodiscard]] AuditReport plan_audit(unsigned d, AuditGoal goal,
+                                     const AuditCapabilities& caps = {},
+                                     std::uint64_t move_budget = 0);
+
+[[nodiscard]] const char* to_string(AuditGoal goal);
+
+}  // namespace hcs::core

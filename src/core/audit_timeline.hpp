@@ -1,0 +1,50 @@
+// Periodic-audit timeline simulation: detection latency.
+//
+// The paper's introduction frames contiguous search as *periodic cleaning*:
+// sweeps run every `period` time units so that any intruder that slips in
+// is caught by the next sweep. This module quantifies the security side of
+// that trade-off: given a sweep strategy and a period, an intruder arriving
+// at a uniformly random time is detected at the end of the sweep following
+// its arrival, so its *detection latency* is (time until the next sweep
+// starts) + (sweep duration). The simulation draws arrival times, runs the
+// sweep costs from the exact formulas, and reports the latency
+// distribution -- the quantity a deployment actually tunes `period`
+// against (alongside the per-sweep traffic from core/audit.hpp).
+//
+// The worst-case intruder is only caught when its sweep completes
+// (EXPERIMENTS.md V1 measures this on the simulator), so latency =
+// next_sweep_start - arrival + sweep_time exactly; no per-arrival
+// simulation is needed, which keeps parameter sweeps cheap.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace hcs::core {
+
+struct TimelineConfig {
+  unsigned dimension = 8;
+  /// Time between sweep *starts*; must be >= the sweep duration.
+  double period = 100.0;
+  /// Ideal sweep duration (e.g. visibility_time(d) or CLEAN's makespan).
+  double sweep_time = 8.0;
+  std::uint64_t arrivals = 10000;
+  std::uint64_t seed = 1;
+};
+
+struct TimelineReport {
+  StatAccumulator latency;       ///< detection latency per arrival
+  double worst_case = 0.0;       ///< period + sweep_time
+  double mean_predicted = 0.0;   ///< period/2 + sweep_time
+  /// Fraction of wall-clock time the network spends being swept.
+  double duty_cycle = 0.0;
+};
+
+/// Simulates `arrivals` uniformly random intruder arrival times over many
+/// periods and accumulates the detection latencies.
+[[nodiscard]] TimelineReport simulate_audit_timeline(
+    const TimelineConfig& config);
+
+}  // namespace hcs::core

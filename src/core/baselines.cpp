@@ -1,0 +1,217 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "core/formulas.hpp"
+#include "hypercube/broadcast_tree.hpp"
+#include "hypercube/hypercube.hpp"
+#include "util/assert.hpp"
+
+namespace hcs::core {
+
+SearchPlan plan_naive_level_sweep(unsigned d, NaiveSweepStats* stats) {
+  HCS_EXPECTS(d >= 1 && d <= 22);
+  const Hypercube cube(d);
+  const BroadcastTree tree(cube);
+
+  SearchPlan plan;
+  plan.homebase = 0;
+
+  // Agent pool bookkeeping (ids handed out lazily; reuse via LIFO pool).
+  std::vector<PlanAgent> pool;
+  PlanAgent next_id = 0;
+  std::uint64_t checked_out = 0;
+  std::uint64_t peak = 0;
+  const auto allocate = [&] {
+    ++checked_out;
+    peak = std::max(peak, checked_out);
+    if (!pool.empty()) {
+      const PlanAgent a = pool.back();
+      pool.pop_back();
+      return a;
+    }
+    return next_id++;
+  };
+
+  std::vector<PlanAgent> guard_of(cube.num_nodes(), 0);
+
+  // Walks an agent along the broadcast-tree path between the root and x
+  // (either direction), one singleton round per hop.
+  const auto walk = [&](PlanAgent a, NodeId x, bool outward) {
+    const auto path = tree.path_from_root(x);
+    if (outward) {
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        plan.push_move(a, static_cast<graph::Vertex>(path[i - 1]),
+                       static_cast<graph::Vertex>(path[i]));
+      }
+    } else {
+      for (std::size_t i = path.size(); i-- > 1;) {
+        plan.push_move(a, static_cast<graph::Vertex>(path[i]),
+                       static_cast<graph::Vertex>(path[i - 1]));
+      }
+    }
+  };
+
+  for (unsigned l = 0; l + 1 <= d; ++l) {
+    // Occupy level l+1 completely...
+    for (NodeId y : cube.level_nodes(l + 1)) {
+      const PlanAgent a = allocate();
+      guard_of[y] = a;
+      walk(a, y, /*outward=*/true);
+    }
+    // ...then recall the level-l guards (their neighbours are now all
+    // guarded or clean). The root (l == 0) has no dedicated guard.
+    if (l >= 1) {
+      for (NodeId x : cube.level_nodes(l)) {
+        walk(guard_of[x], x, /*outward=*/false);
+        pool.push_back(guard_of[x]);
+        HCS_ASSERT(checked_out > 0);
+        --checked_out;
+      }
+    }
+  }
+  // Recall the final level's guard (the all-ones node) for symmetric
+  // accounting.
+  walk(guard_of[all_ones(d)], all_ones(d), /*outward=*/false);
+  pool.push_back(guard_of[all_ones(d)]);
+  --checked_out;
+
+  plan.num_agents = next_id;
+  plan.roles.assign(next_id, "agent");
+
+  if (stats) {
+    stats->team_size = next_id;
+    stats->total_moves = plan.total_moves();
+  }
+  HCS_ENSURES(next_id == naive_sweep_team_size(d));
+  return plan;
+}
+
+std::uint64_t tree_search_number(const graph::SpanningTree& tree) {
+  // Bottom-up over a reverse preorder (children before parents).
+  const auto order = tree.preorder();
+  std::vector<std::uint64_t> cost(tree.size(), 1);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const graph::Vertex v = *it;
+    const auto& children = tree.children(v);
+    if (children.empty()) continue;
+    std::uint64_t c1 = 0, c2 = 0;  // two largest child costs
+    for (graph::Vertex c : children) {
+      if (cost[c] >= c1) {
+        c2 = c1;
+        c1 = cost[c];
+      } else {
+        c2 = std::max(c2, cost[c]);
+      }
+    }
+    cost[v] = children.size() == 1 ? c1 : std::max(c1, c2 + 1);
+  }
+  return cost[tree.root()];
+}
+
+namespace {
+
+/// Recursive plan emitter for the optimal tree strategy.
+class TreeSearchEmitter {
+ public:
+  TreeSearchEmitter(const graph::Graph& g, const graph::SpanningTree& tree)
+      : g_(&g), tree_(&tree) {
+    HCS_EXPECTS(g.num_nodes() == tree.size());
+    // Per-subtree costs, for choosing the cleaning order.
+    const auto order = tree.preorder();
+    cost_.assign(tree.size(), 1);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const graph::Vertex v = *it;
+      const auto& children = tree.children(v);
+      if (children.empty()) continue;
+      std::uint64_t c1 = 0, c2 = 0;
+      for (graph::Vertex c : children) {
+        if (cost_[c] >= c1) {
+          c2 = c1;
+          c1 = cost_[c];
+        } else {
+          c2 = std::max(c2, cost_[c]);
+        }
+      }
+      cost_[v] = children.size() == 1 ? c1 : std::max(c1, c2 + 1);
+    }
+  }
+
+  SearchPlan emit() {
+    plan_.homebase = tree_->root();
+    const PlanAgent first = allocate();  // the root's guard "arrives" free
+    clean_subtree(tree_->root(), first);
+    plan_.num_agents = next_id_;
+    plan_.roles.assign(next_id_, "agent");
+    HCS_ASSERT(next_id_ == tree_search_number(*tree_));
+    return std::move(plan_);
+  }
+
+ private:
+  PlanAgent allocate() {
+    ++checked_out_;
+    if (!pool_.empty()) {
+      const PlanAgent a = pool_.back();
+      pool_.pop_back();
+      return a;
+    }
+    return next_id_++;
+  }
+
+  void walk(PlanAgent a, const std::vector<graph::Vertex>& path) {
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      plan_.push_move(a, path[i - 1], path[i]);
+    }
+  }
+
+  /// Precondition: agent `guard` stands on v; v's parent side is clean.
+  /// Postcondition: the subtree of v is clean; all its agents are back in
+  /// the pool at the root.
+  void clean_subtree(graph::Vertex v, PlanAgent guard) {
+    auto children = tree_->children(v);
+    if (children.empty()) {
+      // Leaf: walk home and rejoin the pool.
+      auto path = tree_->path_to_root(v);  // v .. root
+      walk(guard, path);
+      pool_.push_back(guard);
+      HCS_ASSERT(checked_out_ > 0);
+      --checked_out_;
+      return;
+    }
+    // Clean the cheapest subtrees first while `guard` seals v; enter the
+    // costliest subtree last, taking `guard` along (atomic hand-over).
+    std::sort(children.begin(), children.end(),
+              [this](graph::Vertex a, graph::Vertex b) {
+                return cost_[a] < cost_[b];
+              });
+    for (std::size_t i = 0; i + 1 < children.size(); ++i) {
+      const graph::Vertex child = children[i];
+      const PlanAgent a = allocate();
+      // New agent walks from the root down to the child through the clean
+      // region (the path root..v is clean or guarded).
+      auto path = tree_->path_to_root(child);  // child .. root
+      std::reverse(path.begin(), path.end());
+      walk(a, path);
+      clean_subtree(child, a);
+    }
+    plan_.push_move(guard, v, children.back());
+    clean_subtree(children.back(), guard);
+  }
+
+  const graph::Graph* g_;
+  const graph::SpanningTree* tree_;
+  std::vector<std::uint64_t> cost_;
+  SearchPlan plan_;
+  std::vector<PlanAgent> pool_;
+  PlanAgent next_id_ = 0;
+  std::uint64_t checked_out_ = 0;
+};
+
+}  // namespace
+
+SearchPlan plan_tree_search(const graph::Graph& g,
+                            const graph::SpanningTree& tree) {
+  return TreeSearchEmitter(g, tree).emit();
+}
+
+}  // namespace hcs::core

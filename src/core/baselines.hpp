@@ -1,0 +1,49 @@
+// Comparison strategies.
+//
+//  * Naive level sweep: the strategy a first attempt would use -- keep
+//    level l fully guarded while occupying level l+1, then recall the
+//    level-l guards. Monotone and contiguous, but needs
+//    max_l [C(d,l) + C(d,l+1)] agents: the paper's Algorithm CLEAN beats it
+//    by reusing a single synchronizer to stagger the hand-over.
+//
+//  * Tree search (the Barriere-Flocchini-Fraigniaud-Santoro [1] setting):
+//    optimal contiguous monotone search of a *tree* from a fixed homebase.
+//    The minimal team obeys the Strahler-style recurrence
+//      cost(leaf) = 1,  cost(v) = c1            (one child)
+//      cost(v)   = max(c1, c2 + 1)              (children sorted c1 >= c2),
+//    achieved by cleaning the costliest subtree last. Applied to the
+//    broadcast tree T(d) this gives floor(d/2)+1 agents -- the "tree-only"
+//    cost showing that the hypercube's cross edges, not its tree skeleton,
+//    are what make the search expensive.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace hcs::core {
+
+struct NaiveSweepStats {
+  std::uint64_t team_size = 0;   ///< max_l [C(d,l) + C(d,l+1)]
+  std::uint64_t total_moves = 0; ///< sum_l 2 l C(d,l) = n log n
+};
+
+/// Full schedule of the naive level sweep on H_d.
+[[nodiscard]] SearchPlan plan_naive_level_sweep(unsigned d,
+                                                NaiveSweepStats* stats = nullptr);
+
+/// Minimal contiguous team for searching `tree` from its root, by the
+/// recurrence above.
+[[nodiscard]] std::uint64_t tree_search_number(const graph::SpanningTree& tree);
+
+/// A concrete optimal schedule realizing tree_search_number(tree) on the
+/// tree graph `g` (g must be the tree whose rooted structure `tree`
+/// describes). Relies on atomic-arrival hand-over for the final
+/// guard-into-last-subtree move, like Algorithm 2.
+[[nodiscard]] SearchPlan plan_tree_search(const graph::Graph& g,
+                                          const graph::SpanningTree& tree);
+
+}  // namespace hcs::core

@@ -1,0 +1,70 @@
+#include "core/clean_cloning.hpp"
+
+#include <memory>
+#include <optional>
+
+#include "hypercube/broadcast_tree.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace hcs::core {
+
+namespace {
+
+class CloningAgent final : public sim::Agent {
+ public:
+  /// A freshly cloned agent carries the child it was created for; the
+  /// initial agent has no pending destination.
+  explicit CloningAgent(unsigned d,
+                        std::optional<graph::Vertex> first_dest = {})
+      : d_(d), first_dest_(first_dest) {}
+
+  std::string role() const override { return "agent"; }
+
+  sim::Action step(sim::AgentContext& ctx) override {
+    if (first_dest_.has_value()) {
+      const graph::Vertex dest = *first_dest_;
+      first_dest_.reset();
+      return sim::Action::move_to(dest);
+    }
+
+    const auto x = static_cast<NodeId>(ctx.here());
+    const BitPos m = msb_position(x);
+    const unsigned k = d_ - m;
+    if (k == 0) return sim::Action::finished();
+
+    // Visibility condition, as in Algorithm 2.
+    for (BitPos j = 1; j <= m; ++j) {
+      const auto y = static_cast<graph::Vertex>(flip_bit(x, j));
+      if (ctx.status(y) == sim::NodeStatus::kContaminated) {
+        return sim::Action::wait();
+      }
+    }
+
+    // Clone one agent per child beyond the first; move there ourselves.
+    for (BitPos j = m + 2; j <= d_; ++j) {
+      ctx.clone(std::make_unique<CloningAgent>(
+          d_, static_cast<graph::Vertex>(set_bit(x, j))));
+    }
+    return sim::Action::move_to(
+        static_cast<graph::Vertex>(set_bit(x, m + 1)));
+  }
+
+ private:
+  unsigned d_;
+  std::optional<graph::Vertex> first_dest_;
+};
+
+}  // namespace
+
+std::uint64_t spawn_cloning_team(sim::Engine& engine, unsigned d) {
+  HCS_EXPECTS(engine.network().num_nodes() == (std::uint64_t{1} << d));
+  HCS_EXPECTS(engine.network().homebase() == 0);
+  HCS_EXPECTS(engine.config().visibility &&
+              "the cloning variant uses the visibility condition");
+  engine.spawn(std::make_unique<CloningAgent>(d),
+               engine.network().homebase());
+  return 1;
+}
+
+}  // namespace hcs::core

@@ -1,0 +1,25 @@
+// The Section 5 cloning variant of Algorithm 2.
+//
+// One agent starts at the homebase. On a node x of type T(k) whose smaller
+// neighbours are all clean or guarded, the agent clones k-1 copies; the k
+// agents then move to the k children, one each (clones are created where
+// they are needed instead of being carried). Every broadcast-tree edge is
+// crossed exactly once, so the variant performs n-1 moves (vs
+// (n/4)(log n + 1)) while still creating n/2 agents in total and finishing
+// in log n ideal time.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace hcs::core {
+
+/// Spawns the single initial cloning agent at the homebase. The engine
+/// must have visibility enabled; the network must be H_d with homebase 0.
+/// Returns 1 (the engine's Metrics::agents_spawned reports the final count,
+/// which Theorem-5-style accounting puts at n/2).
+std::uint64_t spawn_cloning_team(sim::Engine& engine, unsigned d);
+
+}  // namespace hcs::core

@@ -1,0 +1,501 @@
+#include "core/clean_sync.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/formulas.hpp"
+#include "hypercube/broadcast_tree.hpp"
+#include "hypercube/hypercube.hpp"
+#include "hypercube/routing.hpp"
+#include "util/assert.hpp"
+
+namespace hcs::core {
+
+namespace {
+
+// Whiteboard register names (shared by the synchronizer and the sweep
+// agents; every value fits in O(log n) bits).
+constexpr const char* kPresent = "present";
+constexpr const char* kCmdMove = "cmd_move";
+constexpr const char* kCmdDest = "cmd_dest";
+constexpr const char* kCmdReturn = "cmd_return";
+constexpr const char* kDispatchTarget = "dispatch_target";
+constexpr const char* kDispatchCount = "dispatch_count";
+constexpr const char* kPool = "pool";
+constexpr const char* kAllDone = "all_done";
+
+/// Theorem 3's synchronizer-move components.
+enum class SyncComponent { kCollect, kToLevel, kNavigation, kEscort };
+
+/// The protocol walk shared by the planner and the distributed tape
+/// builder: subclasses receive the orders and synchronizer movements in
+/// exact protocol order (Algorithm 1, steps 1-2.3, plus the final
+/// collection of the last guard).
+class CleanProtocolDriver {
+ public:
+  explicit CleanProtocolDriver(unsigned d) : cube_(d), tree_(cube_) {}
+  virtual ~CleanProtocolDriver() = default;
+
+  void generate() {
+    const unsigned d = cube_.dimension();
+
+    // Step 1: one agent from the root to each of its d children, escorted.
+    for (BitPos j = 1; j <= d; ++j) {
+      const NodeId child = bit_value(j);
+      order_move_from(BroadcastTree::root(), child);
+      escort_to(child);
+    }
+
+    // Step 2: sweep levels 1 .. d-1.
+    for (unsigned l = 1; l + 1 <= d; ++l) {
+      if (level_needs_extras(l)) {
+        if (sync_pos_ != BroadcastTree::root()) {
+          walk_sync(BroadcastTree::root(), SyncComponent::kCollect);
+        }
+        for (NodeId x : cube_.level_nodes(l)) {
+          const unsigned k = tree_.type_of(x);
+          if (k >= 2) order_dispatch(x, k - 1);
+        }
+      }
+      const auto level = cube_.level_nodes(l);
+      walk_sync(level.front(), SyncComponent::kToLevel);
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        const NodeId x = level[i];
+        const unsigned k = tree_.type_of(x);
+        sync_await_present(x, std::max<unsigned>(k, 1));
+        if (k == 0) {
+          order_return(x);
+        } else {
+          for (NodeId c : tree_.children(x)) {
+            order_move_from(x, c);
+            escort_to(c);
+          }
+        }
+        if (i + 1 < level.size()) {
+          walk_sync(level[i + 1], SyncComponent::kNavigation);
+        }
+      }
+    }
+
+    // Final phase: collect the guard of the all-ones node (the unique
+    // level-d leaf) so that every leaf's agent performs the root-leaf-root
+    // round trip of Theorem 3's accounting, then go home.
+    const NodeId last = all_ones(d);
+    walk_sync(last, SyncComponent::kCollect);
+    sync_await_present(last, 1);
+    order_return(last);
+    walk_sync(BroadcastTree::root(), SyncComponent::kCollect);
+    finish();
+  }
+
+ protected:
+  /// True iff some level-l node has type T(k >= 2); holds iff l <= d-2.
+  [[nodiscard]] bool level_needs_extras(unsigned l) const {
+    return l + 2 <= cube_.dimension();
+  }
+
+  /// Escort one agent from sync_pos_'s implied node down to `c` and come
+  /// back: sync hop to c, confirm arrival, hop back (2 escort moves).
+  void escort_to(NodeId c) {
+    const NodeId x = sync_pos_;
+    sync_goto(c, SyncComponent::kEscort);
+    sync_await_present(c, 1);
+    sync_goto(x, SyncComponent::kEscort);
+  }
+
+  /// Multi-hop synchronizer walk via the descend/ascend route (every
+  /// intermediate node is already clean).
+  void walk_sync(NodeId dest, SyncComponent component) {
+    const auto path = descend_ascend_path(cube_, sync_pos_, dest);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      sync_goto(path[i], component);
+    }
+  }
+
+  // Hooks, invoked in exact protocol order.
+  virtual void order_move_from(NodeId x, NodeId dest) = 0;
+  virtual void order_return(NodeId x) = 0;
+  virtual void order_dispatch(NodeId target, unsigned count) = 0;
+  virtual void sync_goto(NodeId dest, SyncComponent component) = 0;
+  virtual void sync_await_present(NodeId x, unsigned count) = 0;
+  virtual void finish() = 0;
+
+  Hypercube cube_;
+  BroadcastTree tree_;
+  NodeId sync_pos_ = BroadcastTree::root();
+};
+
+// ------------------------------------------------------------- Planner
+
+class CleanPlanner final : public CleanProtocolDriver {
+ public:
+  CleanPlanner(unsigned d, SearchPlan* plan, CleanSyncStats* stats)
+      : CleanProtocolDriver(d), plan_(plan), stats_(stats) {
+    occupants_.resize(cube_.num_nodes());
+    if (stats_) stats_->extras_per_level.assign(d, 0);
+  }
+
+  void run() {
+    generate();
+    const std::uint64_t team = next_id_;
+    HCS_ASSERT(team == clean_team_size(cube_.dimension()) &&
+               "planner team size must match Theorem 2's formula");
+    if (plan_) {
+      plan_->homebase = 0;
+      plan_->num_agents = static_cast<std::uint32_t>(team);
+      plan_->roles.assign(team, "agent");
+      plan_->roles[0] = "synchronizer";
+    }
+    if (stats_) stats_->team_size = team;
+  }
+
+ protected:
+  void order_move_from(NodeId x, NodeId dest) override {
+    const PlanAgent a = take_agent_at(x);
+    emit_agent_move(a, x, dest);
+    occupants_[dest].push_back(a);
+  }
+
+  void order_return(NodeId x) override {
+    PlanAgent a = take_agent_at(x);
+    // Walk home along tree parents (all strictly lower levels: clean).
+    NodeId cur = x;
+    while (cur != BroadcastTree::root()) {
+      const NodeId p = tree_.parent(cur);
+      emit_agent_move(a, cur, p);
+      cur = p;
+    }
+    pool_.push_back(a);
+    HCS_ASSERT(checked_out_ > 0);
+    --checked_out_;
+  }
+
+  void order_dispatch(NodeId target, unsigned count) override {
+    if (stats_) {
+      stats_->extras_per_level[cube_.level(target)] += count;
+    }
+    for (unsigned i = 0; i < count; ++i) {
+      const PlanAgent a = allocate();
+      // Tree path from the root: set bits lowest-position first.
+      NodeId cur = BroadcastTree::root();
+      for_each_set_bit(target, [&](BitPos pos) {
+        const NodeId next = set_bit(cur, pos);
+        emit_agent_move(a, cur, next);
+        cur = next;
+      });
+      occupants_[target].push_back(a);
+    }
+  }
+
+  void sync_goto(NodeId dest, SyncComponent component) override {
+    if (plan_) {
+      plan_->push_move(0, static_cast<graph::Vertex>(sync_pos_),
+                       static_cast<graph::Vertex>(dest));
+    }
+    if (stats_) {
+      ++stats_->sync_moves_total;
+      switch (component) {
+        case SyncComponent::kCollect: ++stats_->sync_collect_moves; break;
+        case SyncComponent::kToLevel: ++stats_->sync_to_level_moves; break;
+        case SyncComponent::kNavigation:
+          ++stats_->sync_navigation_moves;
+          break;
+        case SyncComponent::kEscort: ++stats_->sync_escort_moves; break;
+      }
+    }
+    sync_pos_ = dest;
+  }
+
+  void sync_await_present(NodeId x, unsigned count) override {
+    // In the sequential plan the agents are already there; check it.
+    HCS_ASSERT(occupants_[x].size() == count &&
+               "planner occupancy must match the protocol's expectation");
+  }
+
+  void finish() override {
+    HCS_ASSERT(checked_out_ == 0 && "all agents must be home at the end");
+    HCS_ASSERT(pool_.size() + 1 == next_id_);
+  }
+
+ private:
+  PlanAgent allocate() {
+    ++checked_out_;
+    if (stats_) {
+      stats_->peak_active = std::max<std::uint64_t>(
+          stats_->peak_active, checked_out_ + 1);  // +1: the synchronizer
+    }
+    if (!pool_.empty()) {
+      const PlanAgent a = pool_.back();
+      pool_.pop_back();
+      return a;
+    }
+    return next_id_++;
+  }
+
+  PlanAgent take_agent_at(NodeId x) {
+    if (x == BroadcastTree::root()) {
+      // Orders at the root consume pool agents (step 1).
+      return allocate();
+    }
+    HCS_ASSERT(!occupants_[x].empty());
+    const PlanAgent a = occupants_[x].back();
+    occupants_[x].pop_back();
+    return a;
+  }
+
+  void emit_agent_move(PlanAgent a, NodeId from, NodeId to) {
+    if (plan_) {
+      plan_->push_move(a, static_cast<graph::Vertex>(from),
+                       static_cast<graph::Vertex>(to));
+    }
+    if (stats_) ++stats_->agent_moves;
+  }
+
+  SearchPlan* plan_;
+  CleanSyncStats* stats_;
+  std::vector<std::vector<PlanAgent>> occupants_;
+  std::vector<PlanAgent> pool_;
+  PlanAgent next_id_ = 1;  // 0 is the synchronizer
+  std::uint64_t checked_out_ = 0;
+};
+
+// --------------------------------------------- Distributed: sweep agent
+
+/// The worker of the distributed protocol: waits for whiteboard orders.
+class SweepAgent final : public sim::Agent {
+ public:
+  std::string role() const override { return "agent"; }
+
+  sim::Action step(sim::AgentContext& ctx) override {
+    switch (state_) {
+      case State::kInPool:
+        return pool_step(ctx);
+      case State::kMovingToStation:
+        ctx.wb_add(kPresent, 1);
+        state_ = State::kStationed;
+        return stationed_step(ctx);
+      case State::kStationed:
+        return stationed_step(ctx);
+      case State::kDispatching:
+        return dispatch_step(ctx);
+      case State::kWalkingHome:
+        return walk_home_step(ctx);
+    }
+    return sim::Action::finished();
+  }
+
+ private:
+  enum class State {
+    kInPool,
+    kMovingToStation,
+    kStationed,
+    kDispatching,
+    kWalkingHome,
+  };
+
+  sim::Action pool_step(sim::AgentContext& ctx) {
+    if (ctx.wb_get(kAllDone) != 0) return sim::Action::finished();
+    if (ctx.wb_get(kDispatchCount) > 0) {
+      target_ = static_cast<graph::Vertex>(ctx.wb_get(kDispatchTarget));
+      ctx.wb_add(kDispatchCount, -1);
+      ctx.wb_add(kPool, -1);
+      state_ = State::kDispatching;
+      return dispatch_step(ctx);
+    }
+    if (ctx.wb_get(kCmdMove) > 0) {
+      const auto dest = static_cast<graph::Vertex>(ctx.wb_get(kCmdDest));
+      ctx.wb_add(kCmdMove, -1);
+      ctx.wb_add(kPool, -1);
+      state_ = State::kMovingToStation;
+      return sim::Action::move_to(dest);
+    }
+    return sim::Action::wait();
+  }
+
+  sim::Action stationed_step(sim::AgentContext& ctx) {
+    if (ctx.wb_get(kCmdMove) > 0) {
+      const auto dest = static_cast<graph::Vertex>(ctx.wb_get(kCmdDest));
+      ctx.wb_add(kCmdMove, -1);
+      ctx.wb_add(kPresent, -1);
+      state_ = State::kMovingToStation;
+      return sim::Action::move_to(dest);
+    }
+    if (ctx.wb_get(kCmdReturn) > 0) {
+      ctx.wb_add(kCmdReturn, -1);
+      ctx.wb_add(kPresent, -1);
+      state_ = State::kWalkingHome;
+      return walk_home_step(ctx);
+    }
+    return sim::Action::wait();
+  }
+
+  sim::Action dispatch_step(sim::AgentContext& ctx) {
+    const auto here = static_cast<NodeId>(ctx.here());
+    const auto target = static_cast<NodeId>(target_);
+    if (here == target) {
+      ctx.wb_add(kPresent, 1);
+      state_ = State::kStationed;
+      return stationed_step(ctx);
+    }
+    // Tree path from the root: add the lowest still-missing bit of the
+    // target (every prefix is an ancestor of the target).
+    const NodeId missing = target & ~here;
+    HCS_ASSERT(missing != 0);
+    const NodeId next = set_bit(here, lsb_position(missing));
+    return sim::Action::move_to(static_cast<graph::Vertex>(next));
+  }
+
+  sim::Action walk_home_step(sim::AgentContext& ctx) {
+    const auto here = static_cast<NodeId>(ctx.here());
+    if (here == 0) {
+      ctx.wb_add(kPool, 1);
+      state_ = State::kInPool;
+      return pool_step(ctx);
+    }
+    const NodeId parent = clear_bit(here, msb_position(here));
+    return sim::Action::move_to(static_cast<graph::Vertex>(parent));
+  }
+
+  State state_ = State::kInPool;
+  graph::Vertex target_ = 0;
+};
+
+// ------------------------------------------- Distributed: synchronizer
+
+struct SyncInstr {
+  enum class Op : std::uint8_t { kMove, kWrite, kAwaitGe, kAwaitEq };
+  Op op;
+  graph::Vertex node = 0;   // kMove destination
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+/// Builds the synchronizer's instruction tape with the shared driver.
+class TapeBuilder final : public CleanProtocolDriver {
+ public:
+  explicit TapeBuilder(unsigned d) : CleanProtocolDriver(d) {}
+
+  std::vector<SyncInstr> build() {
+    generate();
+    return std::move(tape_);
+  }
+
+ protected:
+  void order_move_from(NodeId /*x*/, NodeId dest) override {
+    // Order is written at the synchronizer's current node. Destination
+    // first, then the claimable flag; both land in one atomic step.
+    tape_.push_back({SyncInstr::Op::kWrite, 0, kCmdDest,
+                     static_cast<std::int64_t>(dest)});
+    tape_.push_back({SyncInstr::Op::kWrite, 0, kCmdMove, 1});
+  }
+
+  void order_return(NodeId /*x*/) override {
+    tape_.push_back({SyncInstr::Op::kWrite, 0, kCmdReturn, 1});
+  }
+
+  void order_dispatch(NodeId target, unsigned count) override {
+    tape_.push_back({SyncInstr::Op::kWrite, 0, kDispatchTarget,
+                     static_cast<std::int64_t>(target)});
+    tape_.push_back({SyncInstr::Op::kWrite, 0, kDispatchCount,
+                     static_cast<std::int64_t>(count)});
+    // Wait until every extra has claimed the order before issuing the next
+    // one (the register holds one order at a time: O(log n) bits).
+    tape_.push_back({SyncInstr::Op::kAwaitEq, 0, kDispatchCount, 0});
+  }
+
+  void sync_goto(NodeId dest, SyncComponent /*component*/) override {
+    tape_.push_back({SyncInstr::Op::kMove,
+                     static_cast<graph::Vertex>(dest), nullptr, 0});
+    sync_pos_ = dest;
+  }
+
+  void sync_await_present(NodeId /*x*/, unsigned count) override {
+    tape_.push_back({SyncInstr::Op::kAwaitGe, 0, kPresent,
+                     static_cast<std::int64_t>(count)});
+  }
+
+  void finish() override {
+    const std::int64_t workers =
+        static_cast<std::int64_t>(clean_team_size(cube_.dimension())) - 1;
+    tape_.push_back({SyncInstr::Op::kAwaitGe, 0, kPool, workers});
+    tape_.push_back({SyncInstr::Op::kWrite, 0, kAllDone, 1});
+  }
+
+ private:
+  std::vector<SyncInstr> tape_;
+};
+
+class SynchronizerAgent final : public sim::Agent {
+ public:
+  explicit SynchronizerAgent(unsigned d) : tape_(TapeBuilder(d).build()) {}
+
+  std::string role() const override { return "synchronizer"; }
+
+  sim::Action step(sim::AgentContext& ctx) override {
+    while (pc_ < tape_.size()) {
+      const SyncInstr& ins = tape_[pc_];
+      switch (ins.op) {
+        case SyncInstr::Op::kMove:
+          ++pc_;
+          return sim::Action::move_to(ins.node);
+        case SyncInstr::Op::kWrite:
+          ctx.wb_set(ins.key, ins.value);
+          ++pc_;
+          break;
+        case SyncInstr::Op::kAwaitGe:
+          if (ctx.wb_get(ins.key) >= ins.value) {
+            ++pc_;
+            break;
+          }
+          return sim::Action::wait();
+        case SyncInstr::Op::kAwaitEq:
+          if (ctx.wb_get(ins.key) == ins.value) {
+            ++pc_;
+            break;
+          }
+          return sim::Action::wait();
+      }
+    }
+    return sim::Action::finished();
+  }
+
+ private:
+  std::vector<SyncInstr> tape_;
+  std::size_t pc_ = 0;
+};
+
+}  // namespace
+
+SearchPlan plan_clean_sync(unsigned d, CleanSyncStats* stats) {
+  HCS_EXPECTS(d >= 1 && d <= 24);
+  SearchPlan plan;
+  CleanPlanner planner(d, &plan, stats);
+  planner.run();
+  return plan;
+}
+
+CleanSyncStats measure_clean_sync(unsigned d) {
+  HCS_EXPECTS(d >= 1 && d <= 24);
+  CleanSyncStats stats;
+  CleanPlanner planner(d, /*plan=*/nullptr, &stats);
+  planner.run();
+  return stats;
+}
+
+std::uint64_t spawn_clean_sync_team(sim::Engine& engine, unsigned d) {
+  HCS_EXPECTS(engine.network().num_nodes() == (std::uint64_t{1} << d));
+  HCS_EXPECTS(engine.network().homebase() == 0);
+  const std::uint64_t team = clean_team_size(d);
+  const graph::Vertex home = engine.network().homebase();
+  // Workers first so the pool register is populated before the
+  // synchronizer issues its first order.
+  engine.network().whiteboard(home).set(kPool,
+                                        static_cast<std::int64_t>(team - 1));
+  for (std::uint64_t i = 0; i + 1 < team; ++i) {
+    engine.spawn(std::make_unique<SweepAgent>(), home);
+  }
+  engine.spawn(std::make_unique<SynchronizerAgent>(d), home);
+  return team;
+}
+
+}  // namespace hcs::core

@@ -1,0 +1,70 @@
+// Algorithm 1 -- CLEAN (Section 3.2): the synchronizer-coordinated,
+// level-by-level cleaning of the hypercube.
+//
+// Provided in two faithful forms:
+//
+//  1. plan_clean_sync(d): a deterministic *planner* that emits the full
+//     move schedule (SearchPlan) the protocol performs, scales to d ~ 20,
+//     and whose counts reproduce the paper's Theorems 2 and 3 exactly:
+//       - team size  = max_l [C(d,l+1) + C(d-1,l-1)] + 1 (Lemmas 3-4),
+//       - agent moves = (n/2)(log n + 1)                    (Theorem 3),
+//       - synchronizer moves measured, with the component breakdown of
+//         Theorem 3 available via CleanSyncStats.
+//
+//  2. make_clean_sync_team(...): the *distributed protocol*: one
+//     SynchronizerAgent and team-1 SweepAgents communicating only through
+//     whiteboards (no visibility), runnable on the asynchronous event
+//     engine under any delay model. Move counts equal the planner's;
+//     Theorem 4's ideal time is the measured makespan under unit delays.
+//
+// Protocol whiteboard registers (all O(log n) bits):
+//   everywhere: "present"  stationed agents at this node
+//               "cmd_move" + "cmd_dest"   order: one agent moves to dest
+//               "cmd_return"              order: one agent walks home
+//   at the root: "pool"     idle agents available
+//                "dispatch_target" + "dispatch_count"  extras order
+//                "all_done" termination broadcast
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "sim/agent.hpp"
+#include "sim/engine.hpp"
+
+namespace hcs::core {
+
+/// Per-run statistics of the planner, mirroring Theorem 3's accounting.
+struct CleanSyncStats {
+  std::uint64_t team_size = 0;        ///< workers + synchronizer
+  std::uint64_t agent_moves = 0;      ///< Theorem 3: (n/2)(log n + 1)
+  std::uint64_t sync_moves_total = 0;
+  // Theorem 3's four synchronizer components:
+  std::uint64_t sync_collect_moves = 0;    ///< (1) go back to the root
+  std::uint64_t sync_to_level_moves = 0;   ///< (2) reach the first node
+  std::uint64_t sync_navigation_moves = 0; ///< (3) hop within a level
+  std::uint64_t sync_escort_moves = 0;     ///< (4) down-and-back per edge
+  /// Extras requested per level (Lemma 3), index l = 1..d-1.
+  std::vector<std::uint64_t> extras_per_level;
+  /// Peak simultaneously-deployed agents incl. synchronizer (Lemma 4).
+  std::uint64_t peak_active = 0;
+};
+
+/// Builds the full CLEAN schedule for H_d. `stats`, when non-null,
+/// receives the Theorem 2/3 accounting.
+[[nodiscard]] SearchPlan plan_clean_sync(unsigned d,
+                                         CleanSyncStats* stats = nullptr);
+
+/// Runs the schedule generator in counting mode (no plan materialized):
+/// same exact statistics at a fraction of the memory, usable to d ~ 24.
+[[nodiscard]] CleanSyncStats measure_clean_sync(unsigned d);
+
+/// Spawns the CLEAN team (1 synchronizer + team-1 workers, team ==
+/// clean_team_size(d)) at the homebase of `engine`, whose network must be
+/// the hypercube H_d with homebase 0. Returns the team size.
+std::uint64_t spawn_clean_sync_team(sim::Engine& engine, unsigned d);
+
+}  // namespace hcs::core

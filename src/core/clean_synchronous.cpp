@@ -1,0 +1,56 @@
+#include "core/clean_synchronous.hpp"
+
+#include <memory>
+
+#include "core/clean_visibility.hpp"
+#include "core/formulas.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace hcs::core {
+
+namespace {
+
+constexpr const char* kClaimed = "claimed";
+
+class SynchronousAgent final : public sim::Agent {
+ public:
+  explicit SynchronousAgent(unsigned d) : d_(d) {}
+
+  std::string role() const override { return "agent"; }
+
+  sim::Action step(sim::AgentContext& ctx) override {
+    const auto x = static_cast<NodeId>(ctx.here());
+    const BitPos m = msb_position(x);
+    if (d_ == m) return sim::Action::finished();  // leaf
+
+    // Release time of node x is t = m(x): with unit traversals and a
+    // simultaneous start, all smaller neighbours are clean or guarded by
+    // then -- no visibility needed.
+    const auto release = static_cast<sim::SimTime>(m);
+    if (ctx.now() < release) {
+      return sim::Action::idle(release - ctx.now());
+    }
+    const auto claim = static_cast<std::uint64_t>(ctx.wb_add(kClaimed, 1) - 1);
+    return sim::Action::move_to(static_cast<graph::Vertex>(
+        visibility_claim_destination(d_, x, claim)));
+  }
+
+ private:
+  unsigned d_;
+};
+
+}  // namespace
+
+std::uint64_t spawn_synchronous_team(sim::Engine& engine, unsigned d) {
+  HCS_EXPECTS(engine.network().num_nodes() == (std::uint64_t{1} << d));
+  HCS_EXPECTS(engine.network().homebase() == 0);
+  const std::uint64_t team = visibility_team_size(d);
+  for (std::uint64_t i = 0; i < team; ++i) {
+    engine.spawn(std::make_unique<SynchronousAgent>(d),
+                 engine.network().homebase());
+  }
+  return team;
+}
+
+}  // namespace hcs::core

@@ -1,0 +1,28 @@
+// The Section 5 synchronous variant: Algorithm 2's schedule without
+// visibility.
+//
+// When agents move synchronously (unit traversal time) and start together,
+// an agent on node x implicitly knows that by global time t = m(x) all
+// smaller neighbours of x are clean or guarded (the paper's closing
+// observation), so it needs no visibility: it simply waits for its node's
+// release time and then moves by the usual per-child allocation. The
+// schedule, team size, time, and move count are identical to Algorithm 2's.
+//
+// Only meaningful under the unit delay model -- with arbitrary delays the
+// implicit-clock argument is unsound, which test_clean_synchronous
+// demonstrates deliberately.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace hcs::core {
+
+/// Spawns the n/2 clock-driven agents at the homebase of `engine` (H_d,
+/// homebase 0). Works correctly only with DelayModel::unit(); visibility
+/// is NOT required.
+std::uint64_t spawn_synchronous_team(sim::Engine& engine, unsigned d);
+
+}  // namespace hcs::core

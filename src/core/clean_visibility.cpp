@@ -1,0 +1,203 @@
+#include "core/clean_visibility.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/formulas.hpp"
+#include "hypercube/broadcast_tree.hpp"
+#include "hypercube/hypercube.hpp"
+#include "util/assert.hpp"
+
+namespace hcs::core {
+
+namespace {
+
+constexpr const char* kReleased = "released";
+constexpr const char* kClaimed = "claimed";
+
+/// The decision an agent takes at its node.
+struct VisDecision {
+  enum class Kind : std::uint8_t { kWait, kMove, kTerminate };
+  Kind kind = Kind::kWait;
+  NodeId dest = 0;
+};
+
+/// One atomic evaluation of the Section 4.2 rule for an agent at node x.
+///
+/// Ctx requirements (satisfied by sim::AgentContext and by the LocalView
+/// adapter below): agents_here(), status(graph::Vertex),
+/// wb_get(key)/wb_set(key, v)/wb_add(key, delta) on the local whiteboard.
+template <typename Ctx>
+VisDecision visibility_decide(unsigned d, Ctx& ctx) {
+  const auto x = static_cast<NodeId>(ctx.here());
+  const BitPos m = msb_position(x);
+  const unsigned k = d - m;  // x is of type T(k)
+  if (k == 0) return {VisDecision::Kind::kTerminate, 0};
+
+  if (ctx.wb_get(kReleased) == 0) {
+    const auto need =
+        static_cast<std::int64_t>(visibility_required_agents(d, x));
+    if (static_cast<std::int64_t>(ctx.agents_here()) < need) {
+      return {VisDecision::Kind::kWait, 0};
+    }
+    // Visibility: every smaller neighbour must be clean or guarded.
+    for (BitPos j = 1; j <= m; ++j) {
+      const auto y = static_cast<graph::Vertex>(flip_bit(x, j));
+      if (ctx.status(y) == sim::NodeStatus::kContaminated) {
+        return {VisDecision::Kind::kWait, 0};
+      }
+    }
+    // Latch the decision: once the condition has been observed, agents may
+    // stream out even though departures shrink the local count again.
+    ctx.wb_set(kReleased, 1);
+  }
+
+  const auto claim = static_cast<std::uint64_t>(ctx.wb_add(kClaimed, 1) - 1);
+  return {VisDecision::Kind::kMove, visibility_claim_destination(d, x, claim)};
+}
+
+/// Engine-model agent: evaluates the rule on every wake-up.
+class VisibilityAgent final : public sim::Agent {
+ public:
+  explicit VisibilityAgent(unsigned d) : d_(d) {}
+
+  std::string role() const override { return "agent"; }
+
+  sim::Action step(sim::AgentContext& ctx) override {
+    const VisDecision decision = visibility_decide(d_, ctx);
+    switch (decision.kind) {
+      case VisDecision::Kind::kWait:
+        return sim::Action::wait();
+      case VisDecision::Kind::kMove:
+        return sim::Action::move_to(
+            static_cast<graph::Vertex>(decision.dest));
+      case VisDecision::Kind::kTerminate:
+        return sim::Action::finished();
+    }
+    return sim::Action::finished();
+  }
+
+ private:
+  unsigned d_;
+};
+
+/// Adapter giving sim::LocalView the context shape visibility_decide needs.
+struct LocalViewCtx {
+  const sim::LocalView* view;
+
+  [[nodiscard]] graph::Vertex here() const { return view->here; }
+  [[nodiscard]] std::size_t agents_here() const { return view->agents_here; }
+  [[nodiscard]] sim::NodeStatus status(graph::Vertex v) const {
+    return view->status(v);
+  }
+  [[nodiscard]] std::int64_t wb_get(const char* key) const {
+    return view->whiteboard->get(key);
+  }
+  void wb_set(const char* key, std::int64_t v) {
+    view->whiteboard->set(key, v);
+  }
+  std::int64_t wb_add(const char* key, std::int64_t delta) {
+    return view->whiteboard->add(key, delta);
+  }
+};
+
+}  // namespace
+
+NodeId visibility_claim_destination(unsigned d, NodeId x,
+                                    std::uint64_t claim) {
+  const BitPos m = msb_position(x);
+  HCS_EXPECTS(d > m && "leaves release no agents");
+  // Children j = m+1 .. d have types T(d-j); child j takes the next
+  // 2^(d-j-1) claims (1 for the leaf child j = d).
+  std::uint64_t offset = 0;
+  for (BitPos j = m + 1; j <= d; ++j) {
+    const unsigned child_type = d - j;
+    const std::uint64_t share = visibility_node_demand(child_type);
+    if (claim < offset + share) return set_bit(x, j);
+    offset += share;
+  }
+  HCS_EXPECTS(false && "claim exceeds the node's agent complement");
+  return x;
+}
+
+std::uint64_t visibility_required_agents(unsigned d, NodeId x) {
+  const BitPos m = msb_position(x);
+  HCS_EXPECTS(d >= m);
+  return visibility_node_demand(d - m);
+}
+
+SearchPlan plan_clean_visibility(unsigned d, VisibilityStats* stats) {
+  HCS_EXPECTS(d >= 1 && d <= 24);
+  const Hypercube cube(d);
+  const std::uint64_t team = visibility_team_size(d);
+
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = static_cast<std::uint32_t>(team);
+  plan.roles.assign(team, "agent");
+  plan.reserve(visibility_moves(d));
+
+  // Agents stacked per node; everyone starts at the root.
+  std::vector<std::vector<PlanAgent>> occupants(cube.num_nodes());
+  occupants[0].resize(team);
+  for (std::uint64_t a = 0; a < team; ++a) {
+    occupants[0][a] = static_cast<PlanAgent>(a);
+  }
+
+  // Wave t moves the agents off every node of class C_t (Theorem 7).
+  for (BitPos t = 0; t < d; ++t) {
+    plan.begin_round();
+    for (NodeId x : cube.class_nodes(t)) {
+      auto& here = occupants[x];
+      HCS_ASSERT(here.size() == visibility_required_agents(d, x));
+      std::uint64_t claim = 0;
+      while (!here.empty()) {
+        const PlanAgent a = here.back();
+        here.pop_back();
+        const NodeId dest = visibility_claim_destination(d, x, claim++);
+        plan.add_to_round(a, static_cast<graph::Vertex>(x),
+                          static_cast<graph::Vertex>(dest));
+        occupants[dest].push_back(a);
+      }
+    }
+  }
+
+  if (stats) {
+    stats->team_size = team;
+    stats->moves = plan.total_moves();
+    stats->rounds = plan.num_rounds();
+  }
+  return plan;
+}
+
+std::uint64_t spawn_visibility_team(sim::Engine& engine, unsigned d) {
+  HCS_EXPECTS(engine.network().num_nodes() == (std::uint64_t{1} << d));
+  HCS_EXPECTS(engine.network().homebase() == 0);
+  HCS_EXPECTS(engine.config().visibility &&
+              "Algorithm 2 requires the visibility model");
+  const std::uint64_t team = visibility_team_size(d);
+  for (std::uint64_t i = 0; i < team; ++i) {
+    engine.spawn(std::make_unique<VisibilityAgent>(d),
+                 engine.network().homebase());
+  }
+  return team;
+}
+
+sim::LocalRule make_visibility_rule(unsigned d) {
+  return [d](const sim::LocalView& view) -> sim::LocalDecision {
+    LocalViewCtx ctx{&view};
+    const VisDecision decision = visibility_decide(d, ctx);
+    switch (decision.kind) {
+      case VisDecision::Kind::kWait:
+        return sim::LocalDecision::wait();
+      case VisDecision::Kind::kMove:
+        return sim::LocalDecision::move(
+            static_cast<graph::Vertex>(decision.dest));
+      case VisDecision::Kind::kTerminate:
+        return sim::LocalDecision::terminate();
+    }
+    return sim::LocalDecision::terminate();
+  };
+}
+
+}  // namespace hcs::core

@@ -1,0 +1,124 @@
+#include "core/formulas.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/binomial.hpp"
+
+namespace hcs::core {
+
+std::uint64_t clean_extra_agents(unsigned d, unsigned l) {
+  HCS_EXPECTS(d >= 1 && l >= 1 && l < d);
+  // Lemma 3: C(d, l+1) - C(d, l) + C(d-1, l-1). The sum form
+  // Sum_{k=2}^{d-l} (k-1) C(d-k-1, l-1) is cross-checked in the tests.
+  const std::uint64_t gain = binomial(d, l + 1) + binomial(d - 1, l - 1);
+  const std::uint64_t loss = binomial(d, l);
+  HCS_ASSERT(gain >= loss && "Lemma 3 extras must be non-negative");
+  return gain - loss;
+}
+
+std::uint64_t clean_active_agents(unsigned d, unsigned l) {
+  HCS_EXPECTS(d >= 1 && l >= 1 && l < d);
+  return binomial(d, l + 1) + binomial(d - 1, l - 1) + 1;
+}
+
+std::uint64_t clean_team_size(unsigned d) {
+  HCS_EXPECTS(d >= 1);
+  // Step 1 alone needs d agents + the synchronizer.
+  std::uint64_t team = d + 1;
+  for (unsigned l = 1; l < d; ++l) {
+    team = std::max(team, clean_active_agents(d, l));
+  }
+  return team;
+}
+
+unsigned clean_peak_level(unsigned d) {
+  HCS_EXPECTS(d >= 2);
+  unsigned best_l = 1;
+  std::uint64_t best = 0;
+  for (unsigned l = 1; l < d; ++l) {
+    const std::uint64_t v = clean_active_agents(d, l);
+    if (v > best) {
+      best = v;
+      best_l = l;
+    }
+  }
+  return best_l;
+}
+
+std::uint64_t clean_agent_moves(unsigned d) {
+  HCS_EXPECTS(d >= 1);
+  // Sum_{l=1}^{d} 2 l C(d-1, l-1) = (d+1) * 2^(d-1), cf. Theorem 3.
+  return (static_cast<std::uint64_t>(d) + 1) << (d - 1);
+}
+
+std::uint64_t clean_sync_escort_moves(unsigned d) {
+  HCS_EXPECTS(d >= 1);
+  return 2 * ((std::uint64_t{1} << d) - 1);
+}
+
+std::uint64_t clean_sync_navigation_bound(unsigned d) {
+  HCS_EXPECTS(d >= 1);
+  // For each level l there are C(d, l) - 1 consecutive-pair hops, each of
+  // at most 2*min(l, d-l) edges (Theorem 3, component 3).
+  std::uint64_t total = 0;
+  for (unsigned l = 1; l < d; ++l) {
+    const std::uint64_t pairs = binomial(d, l) - 1;
+    total += pairs * 2 * std::min(l, d - l);
+  }
+  return total;
+}
+
+std::uint64_t n_log_n(unsigned d) {
+  return static_cast<std::uint64_t>(d) << d;
+}
+
+std::uint64_t visibility_team_size(unsigned d) {
+  HCS_EXPECTS(d >= 1);
+  return std::uint64_t{1} << (d - 1);
+}
+
+std::uint64_t visibility_node_demand(unsigned k) {
+  return k == 0 ? 1 : (std::uint64_t{1} << (k - 1));
+}
+
+std::uint64_t visibility_moves(unsigned d) {
+  HCS_EXPECTS(d >= 1);
+  // Sum_{l=1}^{d} l C(d-1, l-1) = (d+1) * 2^(d-2); for d = 1 the single
+  // move gives 1, which the closed form would halve, so special-case it.
+  if (d == 1) return 1;
+  return (static_cast<std::uint64_t>(d) + 1) << (d - 2);
+}
+
+std::uint64_t visibility_time(unsigned d) { return d; }
+
+std::uint64_t cloning_agents(unsigned d) {
+  HCS_EXPECTS(d >= 1);
+  return std::uint64_t{1} << (d - 1);
+}
+
+std::uint64_t cloning_moves(unsigned d) {
+  HCS_EXPECTS(d >= 1);
+  return (std::uint64_t{1} << d) - 1;
+}
+
+std::uint64_t naive_sweep_team_size(unsigned d) {
+  HCS_EXPECTS(d >= 1);
+  // Occupying level 1 needs d agents (the homebase is held by the idle
+  // pool, not a dedicated guard); every later hand-over keeps level l
+  // guarded while level l+1 fills: C(d,l) + C(d,l+1) concurrent agents.
+  std::uint64_t best = d;
+  for (unsigned l = 1; l < d; ++l) {
+    best = std::max(best, binomial(d, l) + binomial(d, l + 1));
+  }
+  return best;
+}
+
+std::uint64_t broadcast_tree_search_number(unsigned d) {
+  // Heap-queue recurrence: c(T(0)) = c(T(1)) = 1,
+  // c(T(k)) = max(c(T(k-1)), c(T(k-2)) + 1)  -> floor(k/2) + 1 for k >= 2.
+  if (d <= 1) return 1;
+  return d / 2 + 1;
+}
+
+}  // namespace hcs::core

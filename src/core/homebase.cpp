@@ -1,0 +1,45 @@
+#include "core/homebase.hpp"
+
+#include "core/clean_sync.hpp"
+#include "core/clean_visibility.hpp"
+#include "util/assert.hpp"
+
+namespace hcs::core {
+
+SearchPlan transform_plan(const SearchPlan& plan,
+                          const CubeAutomorphism& automorphism) {
+  SearchPlan out;
+  out.homebase = static_cast<graph::Vertex>(
+      automorphism.apply(static_cast<NodeId>(plan.homebase)));
+  out.num_agents = plan.num_agents;
+  out.roles = plan.roles;
+  out.reserve(plan.total_moves());
+  for (std::uint64_t r = 0; r < plan.num_rounds(); ++r) {
+    out.begin_round();
+    for (const PlanMove& m : plan.round(r)) {
+      out.add_to_round(
+          m.agent,
+          static_cast<graph::Vertex>(
+              automorphism.apply(static_cast<NodeId>(m.from))),
+          static_cast<graph::Vertex>(
+              automorphism.apply(static_cast<NodeId>(m.to))));
+    }
+  }
+  return out;
+}
+
+SearchPlan plan_clean_sync_from(unsigned d, NodeId homebase) {
+  HCS_EXPECTS(homebase < (std::uint64_t{1} << d));
+  const SearchPlan base = plan_clean_sync(d);
+  if (homebase == 0) return base;
+  return transform_plan(base, CubeAutomorphism::translation(d, homebase));
+}
+
+SearchPlan plan_clean_visibility_from(unsigned d, NodeId homebase) {
+  HCS_EXPECTS(homebase < (std::uint64_t{1} << d));
+  const SearchPlan base = plan_clean_visibility(d);
+  if (homebase == 0) return base;
+  return transform_plan(base, CubeAutomorphism::translation(d, homebase));
+}
+
+}  // namespace hcs::core

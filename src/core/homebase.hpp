@@ -1,0 +1,30 @@
+// Re-rooting schedules: strategies from an arbitrary homebase.
+//
+// The paper fixes the homebase at the source 00...0 of the broadcast tree.
+// Because H_d is vertex-transitive, this loses no generality: translating
+// every node of a schedule by XOR with the desired homebase (or applying
+// any hypercube automorphism) yields an equally valid sweep with identical
+// costs. These helpers package that, so a deployment whose trusted host is
+// not the all-zero label can still use the paper's strategies verbatim.
+
+#pragma once
+
+#include "core/plan.hpp"
+#include "hypercube/automorphism.hpp"
+
+namespace hcs::core {
+
+/// The image of `plan` under `automorphism`: every move (a, u -> v) becomes
+/// (a, f(u) -> f(v)) and the homebase moves to f(homebase). Costs, rounds,
+/// and safety are invariant (tests verify).
+[[nodiscard]] SearchPlan transform_plan(const SearchPlan& plan,
+                                        const CubeAutomorphism& automorphism);
+
+/// plan_clean_sync re-rooted at `homebase` by translation.
+[[nodiscard]] SearchPlan plan_clean_sync_from(unsigned d, NodeId homebase);
+
+/// plan_clean_visibility re-rooted at `homebase` by translation.
+[[nodiscard]] SearchPlan plan_clean_visibility_from(unsigned d,
+                                                    NodeId homebase);
+
+}  // namespace hcs::core

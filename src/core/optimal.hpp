@@ -1,0 +1,55 @@
+// Exact optimal contiguous monotone node search, by exhaustive minimax
+// search over clean-region growth orders.
+//
+// A monotone contiguous strategy from a fixed homebase is an ordering
+// v_1 = homebase, v_2, ... of the nodes in which every v_i is adjacent to
+// an earlier node (the clean region grows connectedly, one node per step).
+// At each prefix S the strategy must keep every *boundary* node of S --
+// a member with a contaminated neighbour -- guarded, or the worst-case
+// intruder floods back; |boundary(S)| is therefore the agent demand of the
+// prefix, and the search number is
+//
+//    cs(G, home) = min over orderings of  max over prefixes |boundary(S)|.
+//
+// This is the quantity the paper's open problem (Section 5) asks about;
+// computing it is NP-hard in general, so this module is exponential by
+// design: a minimax Dijkstra over the 2^n subsets, practical to n ~ 22.
+// Strategy team sizes are upper bounds on cs + O(1) (hand-over transients
+// may momentarily need an extra traveller); the benches report both.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hcs::core {
+
+struct OptimalResult {
+  /// min-max boundary guards over all connected growth orders.
+  std::uint32_t search_number = 0;
+  /// An ordering achieving it (order[0] == homebase).
+  std::vector<graph::Vertex> order;
+};
+
+/// Exact optimum; requires g connected and g.num_nodes() <= 24.
+[[nodiscard]] OptimalResult optimal_connected_search(const graph::Graph& g,
+                                                     graph::Vertex homebase);
+
+/// The classical (non-contiguous) counterpart: monotone node search where
+/// searchers may be *placed and removed arbitrarily* (Section 1.2's model
+/// from the graph-search literature), so the clean region may grow from any
+/// node and need not stay connected. Same minimax objective over arbitrary
+/// growth orders; optimal_unrestricted_search(g) <=
+/// optimal_connected_search(g, h) for every homebase h. The gap is the
+/// "price of connectivity" the paper's model pays for using agents that can
+/// only walk (bench_optimal reports it).
+[[nodiscard]] OptimalResult optimal_unrestricted_search(const graph::Graph& g);
+
+/// The boundary-guard demand of one clean set (helper, exposed for tests):
+/// number of members of `clean` having a neighbour outside it.
+[[nodiscard]] std::uint32_t boundary_guards(const graph::Graph& g,
+                                            std::uint64_t clean_mask);
+
+}  // namespace hcs::core

@@ -1,0 +1,96 @@
+// Search plans: explicit move schedules produced by the strategy planners.
+//
+// A SearchPlan is a sequence of *rounds*; the moves inside one round are
+// concurrent (they all take one time unit), and rounds execute in order.
+// Algorithm CLEAN is inherently sequential, so its planner mostly emits
+// singleton rounds; Algorithm CLEAN WITH VISIBILITY emits one round per
+// wave (Theorem 7's time steps).
+//
+// Storage is flat (one moves array + round offsets): a CLEAN schedule for
+// H_20 has ~25 million moves, so per-round allocations are unacceptable.
+//
+// verify_plan() replays a plan under the worst-case-intruder semantics
+// (atomic-arrival moves, contamination closure after every round) and
+// checks the four properties a correct contiguous monotone node-search
+// strategy must have:
+//   valid      agents move only along edges, from nodes they occupy;
+//   monotone   no clean node is ever recontaminated (Theorems 1/6);
+//   contiguous the clean region stays connected (the model's premise);
+//   complete   the run ends with every node clean.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hcs::core {
+
+/// Plan-level agent index (0-based; planners reserve 0 for the
+/// synchronizer when one exists).
+using PlanAgent = std::uint32_t;
+
+struct PlanMove {
+  PlanAgent agent = 0;
+  graph::Vertex from = 0;
+  graph::Vertex to = 0;
+};
+
+class SearchPlan {
+ public:
+  graph::Vertex homebase = 0;
+  /// Team size: all agents start at the homebase.
+  std::uint32_t num_agents = 0;
+  /// Role per agent (index = PlanAgent); used for per-role move counts.
+  std::vector<std::string> roles;
+
+  [[nodiscard]] std::uint64_t total_moves() const { return moves_.size(); }
+  [[nodiscard]] std::uint64_t num_rounds() const {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] std::span<const PlanMove> round(std::uint64_t i) const;
+  [[nodiscard]] std::uint64_t moves_of_role(const std::string& role) const;
+
+  /// Appends a singleton round.
+  void push_move(PlanAgent agent, graph::Vertex from, graph::Vertex to);
+  /// Opens a new round; subsequent add_to_round() calls extend it.
+  void begin_round();
+  void add_to_round(PlanAgent agent, graph::Vertex from, graph::Vertex to);
+
+  void reserve(std::uint64_t moves);
+
+ private:
+  std::vector<PlanMove> moves_;
+  std::vector<std::uint64_t> offsets_{0};  // size num_rounds()+1
+};
+
+struct PlanVerification {
+  bool valid = true;
+  bool monotone = true;
+  bool contiguous = true;
+  bool complete = true;
+  /// Peak number of distinct agents ever deployed (left the homebase).
+  std::uint64_t peak_deployed = 0;
+  /// Peak number of distinct guarded nodes at any round boundary.
+  std::uint64_t peak_guarded_nodes = 0;
+  std::string error;  ///< first failure, empty if ok()
+
+  [[nodiscard]] bool ok() const {
+    return valid && monotone && contiguous && complete;
+  }
+};
+
+struct VerifyOptions {
+  /// Contiguity is O(n) per check; verify it every k rounds (and always at
+  /// the final round). 1 = every round; 0 = only at the end.
+  std::uint64_t check_contiguity_every = 1;
+};
+
+[[nodiscard]] PlanVerification verify_plan(const graph::Graph& g,
+                                           const SearchPlan& plan,
+                                           const VerifyOptions& opts = {});
+
+}  // namespace hcs::core

@@ -1,0 +1,33 @@
+#include "core/replay.hpp"
+
+#include "util/assert.hpp"
+
+namespace hcs::core {
+
+std::vector<sim::Itinerary> plan_to_itineraries(const SearchPlan& plan) {
+  std::vector<sim::Itinerary> itineraries(plan.num_agents);
+  for (PlanAgent a = 0; a < plan.num_agents; ++a) {
+    if (a < plan.roles.size()) itineraries[a].role = plan.roles[a];
+  }
+  for (std::uint64_t r = 0; r < plan.num_rounds(); ++r) {
+    for (const PlanMove& m : plan.round(r)) {
+      HCS_EXPECTS(m.agent < plan.num_agents);
+      itineraries[m.agent].steps.push_back({r, m.from, m.to});
+    }
+  }
+  return itineraries;
+}
+
+sim::ReplayOutcome replay_plan(const graph::Graph& g, const SearchPlan& plan,
+                               const ReplayConfig& config) {
+  sim::Network net(g, plan.homebase);
+  sim::Engine::Config engine_config;
+  engine_config.delay = config.delay;
+  engine_config.policy = config.policy;
+  engine_config.seed = config.seed;
+  sim::Engine engine(net, engine_config);
+  return sim::replay_itineraries(engine, plan_to_itineraries(plan),
+                                 plan.num_rounds());
+}
+
+}  // namespace hcs::core

@@ -1,0 +1,87 @@
+#include "core/strategy.hpp"
+
+#include "core/clean_cloning.hpp"
+#include "core/clean_sync.hpp"
+#include "core/clean_synchronous.hpp"
+#include "core/clean_visibility.hpp"
+#include "graph/builders.hpp"
+#include "util/assert.hpp"
+
+namespace hcs::core {
+
+const char* strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kCleanSync: return "CLEAN";
+    case StrategyKind::kVisibility: return "CLEAN-WITH-VISIBILITY";
+    case StrategyKind::kCloning: return "CLONING";
+    case StrategyKind::kSynchronous: return "SYNCHRONOUS";
+  }
+  return "?";
+}
+
+bool strategy_needs_visibility(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kCleanSync:
+    case StrategyKind::kSynchronous:
+      return false;
+    case StrategyKind::kVisibility:
+    case StrategyKind::kCloning:
+      return true;
+  }
+  return false;
+}
+
+SimOutcome run_strategy_sim(StrategyKind kind, unsigned d,
+                            const SimRunConfig& config,
+                            sim::Trace* trace_out) {
+  HCS_EXPECTS(d >= 1);
+  const graph::Graph g = graph::make_hypercube(d);
+  sim::Network net(g, /*homebase=*/0);
+  net.set_move_semantics(config.semantics);
+  net.trace().enable(config.trace);
+
+  sim::Engine::Config engine_config;
+  engine_config.delay = config.delay;
+  engine_config.policy = config.policy;
+  engine_config.seed = config.seed;
+  engine_config.visibility = strategy_needs_visibility(kind);
+  sim::Engine engine(net, engine_config);
+
+  switch (kind) {
+    case StrategyKind::kCleanSync:
+      spawn_clean_sync_team(engine, d);
+      break;
+    case StrategyKind::kVisibility:
+      spawn_visibility_team(engine, d);
+      break;
+    case StrategyKind::kCloning:
+      spawn_cloning_team(engine, d);
+      break;
+    case StrategyKind::kSynchronous:
+      spawn_synchronous_team(engine, d);
+      break;
+  }
+
+  const sim::Engine::RunResult run = engine.run();
+  const sim::Metrics& m = net.metrics();
+
+  SimOutcome outcome;
+  outcome.strategy = strategy_name(kind);
+  outcome.dimension = d;
+  outcome.team_size = m.agents_spawned;
+  outcome.total_moves = m.total_moves;
+  outcome.agent_moves = m.moves_of("agent");
+  outcome.synchronizer_moves = m.moves_of("synchronizer");
+  outcome.makespan = m.makespan;
+  outcome.capture_time = run.capture_time;
+  outcome.recontaminations = m.recontamination_events;
+  outcome.all_clean = net.all_clean();
+  outcome.clean_region_connected = net.clean_region_connected();
+  outcome.all_agents_terminated = run.all_terminated;
+  outcome.peak_whiteboard_bits = m.peak_whiteboard_bits;
+
+  if (trace_out != nullptr) *trace_out = std::move(net.trace());
+  return outcome;
+}
+
+}  // namespace hcs::core

@@ -1,0 +1,63 @@
+// One-call run harness: execute a named strategy end-to-end on the
+// asynchronous simulator and collect the paper's three cost measures plus
+// the safety verdicts. Used by tests, benches, and the examples so that
+// "run Algorithm X on H_d and measure it" is a single line.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace hcs::core {
+
+enum class StrategyKind : std::uint8_t {
+  kCleanSync,      ///< Algorithm 1 (Section 3)
+  kVisibility,     ///< Algorithm 2 (Section 4)
+  kCloning,        ///< Section 5 cloning variant
+  kSynchronous,    ///< Section 5 synchronous variant
+};
+
+[[nodiscard]] const char* strategy_name(StrategyKind kind);
+
+/// Does the strategy need Engine visibility (neighbour status reads)?
+[[nodiscard]] bool strategy_needs_visibility(StrategyKind kind);
+
+struct SimOutcome {
+  std::string strategy;
+  unsigned dimension = 0;
+  std::uint64_t team_size = 0;        ///< agents spawned (incl. clones)
+  std::uint64_t total_moves = 0;
+  std::uint64_t agent_moves = 0;      ///< non-synchronizer moves
+  std::uint64_t synchronizer_moves = 0;
+  double makespan = 0.0;              ///< == ideal time under unit delays
+  double capture_time = -1.0;
+  std::uint64_t recontaminations = 0; ///< 0 for a monotone run
+  bool all_clean = false;
+  bool clean_region_connected = false;
+  bool all_agents_terminated = false;
+  std::uint64_t peak_whiteboard_bits = 0;
+
+  /// Theorems 1/6-style verdict for the run.
+  [[nodiscard]] bool correct() const {
+    return all_clean && recontaminations == 0 && all_agents_terminated;
+  }
+};
+
+struct SimRunConfig {
+  sim::DelayModel delay = sim::DelayModel::unit();
+  sim::Engine::WakePolicy policy = sim::Engine::WakePolicy::kFifo;
+  std::uint64_t seed = 1;
+  bool trace = false;
+  sim::MoveSemantics semantics = sim::MoveSemantics::kAtomicArrival;
+};
+
+/// Builds H_d (graph + network + engine), runs the strategy to quiescence,
+/// and reports. When `trace_out` is non-null the full event trace is moved
+/// into it.
+[[nodiscard]] SimOutcome run_strategy_sim(StrategyKind kind, unsigned d,
+                                          const SimRunConfig& config = {},
+                                          sim::Trace* trace_out = nullptr);
+
+}  // namespace hcs::core

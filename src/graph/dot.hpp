@@ -1,0 +1,35 @@
+// GraphViz DOT export.
+//
+// Renders graphs -- and, optionally, a node classification such as a
+// cleaning order, search statuses, or broadcast-tree membership -- as DOT
+// text for visual inspection with `dot -Tsvg`. Used by documentation and
+// available to example programs; nothing in the library depends on
+// GraphViz being installed.
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace hcs::graph {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Extra DOT attributes for a node ("color=red,style=filled"); empty =
+  /// none.
+  std::function<std::string(Vertex)> node_attributes;
+  /// Extra DOT attributes for an edge (called once per undirected edge,
+  /// with u < v).
+  std::function<std::string(Vertex, Vertex)> edge_attributes;
+  /// Label nodes with their names (when present) instead of indices.
+  bool use_node_names = true;
+  /// Emit the port label of each edge's endpoints as an edge label.
+  bool show_port_labels = false;
+};
+
+/// The graph as an undirected DOT document.
+[[nodiscard]] std::string to_dot(const Graph& g, const DotOptions& options = {});
+
+}  // namespace hcs::graph

@@ -1,0 +1,121 @@
+// Port-labelled undirected graphs.
+//
+// The paper's model (Section 2) is a network (G, lambda): at each node x
+// there is a distinct label lambda_x(x, z) on each incident edge (x, z), and
+// agents navigate by choosing a label, not a neighbour id. In the hypercube
+// the label at both endpoints is the dimension -- the position of the bit in
+// which the endpoints differ -- but the simulation substrate works for any
+// port-labelled graph, so baselines and tests can run on trees, rings,
+// grids, etc.
+//
+// Graph is immutable after construction (build with GraphBuilder): the
+// simulator shares one Graph across many agents/threads, and immutability is
+// what makes that sharing trivially safe (Core Guidelines CP.mess/CP.3:
+// minimize shared writable data).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hcs::graph {
+
+/// Dense node index in a Graph: 0 .. num_nodes()-1.
+using Vertex = std::uint32_t;
+
+/// Edge label as seen from one endpoint (the paper's lambda_x(x, z)).
+/// Labels must be distinct among the edges incident to a single node.
+using PortLabel = std::uint32_t;
+
+/// One incident edge as seen from a node: the label at this endpoint, the
+/// neighbour it leads to, and the label of the same edge at the neighbour's
+/// endpoint (what the agent sees after crossing).
+struct HalfEdge {
+  PortLabel label;
+  Vertex to;
+  PortLabel label_at_other_end;
+
+  friend bool operator==(const HalfEdge&, const HalfEdge&) = default;
+};
+
+class GraphBuilder;
+
+/// Immutable port-labelled undirected graph in compressed adjacency form.
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] std::size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  [[nodiscard]] std::size_t num_edges() const { return half_edges_.size() / 2; }
+
+  [[nodiscard]] std::size_t degree(Vertex v) const;
+
+  /// Incident edges of v, sorted by label.
+  [[nodiscard]] std::span<const HalfEdge> neighbors(Vertex v) const;
+
+  /// The half-edge at v with the given label, if any (binary search).
+  [[nodiscard]] std::optional<HalfEdge> edge_with_label(Vertex v,
+                                                        PortLabel label) const;
+
+  /// The neighbour reached from v via `label`; aborts if no such port.
+  [[nodiscard]] Vertex neighbor_via(Vertex v, PortLabel label) const;
+
+  /// True iff (u, v) is an edge (linear in degree(u)).
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  /// The label at u of edge (u, v); aborts if (u, v) is not an edge.
+  [[nodiscard]] PortLabel label_of_edge(Vertex u, Vertex v) const;
+
+  /// Optional human-readable node names (binary strings for hypercubes).
+  [[nodiscard]] const std::string& node_name(Vertex v) const;
+
+  /// Total degree summed over nodes (== 2 * num_edges()).
+  [[nodiscard]] std::size_t total_degree() const { return half_edges_.size(); }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;   // size num_nodes()+1
+  std::vector<HalfEdge> half_edges_;   // grouped by node, sorted by label
+  std::vector<std::string> names_;     // may be empty
+};
+
+/// Mutable edge accumulator; finalize() produces an immutable Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_nodes);
+
+  /// Adds undirected edge (u, v) with endpoint labels. Aborts on self-loop,
+  /// duplicate edge, or duplicate label at an endpoint (checked in
+  /// finalize()).
+  void add_edge(Vertex u, Vertex v, PortLabel label_at_u, PortLabel label_at_v);
+
+  /// Adds an edge labelled with the current degree at each endpoint -- the
+  /// conventional "ports are 0..deg-1" numbering.
+  void add_edge_auto_ports(Vertex u, Vertex v);
+
+  /// Optional display name for a node.
+  void set_node_name(Vertex v, std::string name);
+
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Validates labels and produces the immutable Graph. The builder is left
+  /// empty afterwards.
+  [[nodiscard]] Graph finalize();
+
+ private:
+  struct PendingEdge {
+    Vertex u, v;
+    PortLabel label_u, label_v;
+  };
+
+  std::size_t num_nodes_;
+  std::vector<PendingEdge> edges_;
+  std::vector<std::size_t> degrees_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace hcs::graph

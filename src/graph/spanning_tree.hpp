@@ -1,0 +1,54 @@
+// Rooted spanning trees over port-labelled graphs.
+//
+// Strategies and baselines reason about a rooted tree overlaying a graph:
+// the broadcast tree of the hypercube is the canonical example, but the
+// tree-search baseline works on any rooted tree. SpanningTree stores parent
+// pointers plus materialized child lists and subtree statistics.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hcs::graph {
+
+class SpanningTree {
+ public:
+  /// Builds from parent pointers: parent[root] == root, every other node's
+  /// parent must eventually reach the root. Edges (v, parent[v]) must exist
+  /// in g when g is provided for validation by the caller.
+  SpanningTree(Vertex root, std::vector<Vertex> parent);
+
+  [[nodiscard]] Vertex root() const { return root_; }
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+  [[nodiscard]] Vertex parent(Vertex v) const;
+  [[nodiscard]] const std::vector<Vertex>& children(Vertex v) const;
+  [[nodiscard]] bool is_leaf(Vertex v) const;
+  [[nodiscard]] std::uint32_t depth(Vertex v) const;
+  [[nodiscard]] std::size_t subtree_size(Vertex v) const;
+  [[nodiscard]] std::uint32_t height() const;
+
+  /// Nodes in preorder (root first, children in stored order).
+  [[nodiscard]] std::vector<Vertex> preorder() const;
+
+  /// Path from `v` up to the root, inclusive of both.
+  [[nodiscard]] std::vector<Vertex> path_to_root(Vertex v) const;
+
+  /// Total number of leaves.
+  [[nodiscard]] std::size_t leaf_count() const;
+
+ private:
+  Vertex root_;
+  std::vector<Vertex> parent_;
+  std::vector<std::vector<Vertex>> children_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::size_t> subtree_size_;
+};
+
+/// BFS spanning tree of g rooted at `root`; g must be connected.
+[[nodiscard]] SpanningTree bfs_spanning_tree(const Graph& g, Vertex root);
+
+}  // namespace hcs::graph

@@ -1,0 +1,60 @@
+// Graph traversal utilities: BFS layers/distances, connectivity, and the
+// blocked-reachability primitive underlying the worst-case intruder
+// (contamination closure).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hcs::graph {
+
+/// Sentinel for "unreachable" in distance vectors.
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+/// BFS distances from `source` (kUnreachable for disconnected nodes).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       Vertex source);
+
+/// Nodes in BFS visit order from `source` (only the reachable ones).
+[[nodiscard]] std::vector<Vertex> bfs_order(const Graph& g, Vertex source);
+
+/// True iff g is connected (vacuously true for the empty graph).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// True iff g is connected and acyclic.
+[[nodiscard]] bool is_tree(const Graph& g);
+
+/// Connected-component id per node (ids are 0-based, assigned in node
+/// order).
+[[nodiscard]] std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// Nodes reachable from any vertex in `sources` without entering a node
+/// v with blocked[v] == true. Blocked sources are themselves excluded.
+/// This is exactly how an arbitrarily fast intruder spreads: it can occupy
+/// everything reachable from its position without crossing a guarded node.
+[[nodiscard]] std::vector<bool> reachable_without(
+    const Graph& g, const std::vector<Vertex>& sources,
+    const std::vector<bool>& blocked);
+
+/// True iff the set `members` induces a connected subgraph (empty and
+/// singleton sets count as connected).
+[[nodiscard]] bool is_connected_subset(const Graph& g,
+                                       const std::vector<bool>& members);
+
+/// A shortest path from `from` to `to` as a node sequence (inclusive of the
+/// endpoints). Aborts if unreachable.
+[[nodiscard]] std::vector<Vertex> shortest_path(const Graph& g, Vertex from,
+                                                Vertex to);
+
+/// A shortest path from `from` to `to` that stays inside `allowed` nodes
+/// (both endpoints must be allowed). Empty result if none exists.
+[[nodiscard]] std::vector<Vertex> shortest_path_within(
+    const Graph& g, Vertex from, Vertex to, const std::vector<bool>& allowed);
+
+/// Graph eccentricity-based diameter; O(n * m), intended for small graphs.
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+}  // namespace hcs::graph

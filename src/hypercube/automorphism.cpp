@@ -1,0 +1,93 @@
+#include "hypercube/automorphism.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hcs {
+
+CubeAutomorphism::CubeAutomorphism(unsigned d) : d_(d), translation_(0) {
+  HCS_EXPECTS(d >= 1 && d <= kMaxDimension);
+  perm_.resize(d);
+  for (unsigned j = 0; j < d; ++j) perm_[j] = j + 1;
+}
+
+CubeAutomorphism::CubeAutomorphism(unsigned d, std::vector<BitPos> perm,
+                                   NodeId translation)
+    : d_(d), perm_(std::move(perm)), translation_(translation) {
+  HCS_EXPECTS(d >= 1 && d <= kMaxDimension);
+  HCS_EXPECTS(perm_.size() == d);
+  HCS_EXPECTS(translation_ <= all_ones(d));
+  // Validate that perm_ is a permutation of {1..d}.
+  std::vector<bool> seen(d + 1, false);
+  for (BitPos p : perm_) {
+    HCS_EXPECTS(p >= 1 && p <= d && !seen[p]);
+    seen[p] = true;
+  }
+}
+
+CubeAutomorphism CubeAutomorphism::translation(unsigned d, NodeId t) {
+  CubeAutomorphism a(d);
+  a.translation_ = t;
+  HCS_EXPECTS(t <= all_ones(d));
+  return a;
+}
+
+NodeId CubeAutomorphism::apply(NodeId x) const {
+  HCS_EXPECTS(x <= all_ones(d_));
+  NodeId permuted = 0;
+  for_each_set_bit(x, [&](BitPos j) {
+    permuted = set_bit(permuted, perm_[j - 1]);
+  });
+  return permuted ^ translation_;
+}
+
+BitPos CubeAutomorphism::apply_dimension(BitPos j) const {
+  HCS_EXPECTS(j >= 1 && j <= d_);
+  return perm_[j - 1];
+}
+
+CubeAutomorphism CubeAutomorphism::inverse() const {
+  std::vector<BitPos> inv(d_);
+  for (unsigned j = 0; j < d_; ++j) inv[perm_[j] - 1] = j + 1;
+  // apply(x) = pi(x) ^ t, so apply^-1(y) = pi^-1(y ^ t) = pi^-1(y) ^
+  // pi^-1(t).
+  CubeAutomorphism result(d_, std::move(inv), 0);
+  result.translation_ = result.apply(translation_);
+  return result;
+}
+
+CubeAutomorphism CubeAutomorphism::compose(
+    const CubeAutomorphism& other) const {
+  HCS_EXPECTS(d_ == other.d_);
+  // (this o other)(x) = pi1(pi2(x) ^ t2) ^ t1 = (pi1 o pi2)(x) ^ (pi1(t2)
+  // ^ t1).
+  std::vector<BitPos> perm(d_);
+  for (unsigned j = 0; j < d_; ++j) {
+    perm[j] = perm_[other.perm_[j] - 1];
+  }
+  NodeId t = translation_;
+  for_each_set_bit(other.translation_,
+                   [&](BitPos j) { t ^= bit_value(perm_[j - 1]); });
+  return CubeAutomorphism(d_, std::move(perm), t);
+}
+
+bool CubeAutomorphism::is_automorphism() const {
+  const NodeId n = std::uint64_t{1} << d_;
+  if (d_ > 16) return true;  // trust the constructor validation at scale
+  std::vector<bool> hit(n, false);
+  for (NodeId x = 0; x < n; ++x) {
+    const NodeId y = apply(x);
+    if (y >= n || hit[y]) return false;
+    hit[y] = true;
+    for (BitPos j = 1; j <= d_; ++j) {
+      // Edges map to edges across the permuted dimension.
+      if (apply(flip_bit(x, j)) != flip_bit(y, apply_dimension(j))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hcs

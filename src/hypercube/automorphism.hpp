@@ -1,0 +1,78 @@
+// Automorphisms of the hypercube, and what they buy the strategies.
+//
+// Aut(H_d) is the semidirect product of the translations x -> x XOR t
+// (2^d of them) and the dimension permutations (d! of them): every
+// automorphism is x -> pi(x) XOR t where pi permutes bit positions. Two
+// consequences matter here:
+//
+//  1. *Vertex-transitivity*: the paper fixes the homebase at 00...0, but a
+//     search team may start anywhere. Translating a schedule by
+//     t = homebase re-roots it: relabel every node u of a plan as
+//     u XOR homebase and the plan sweeps H_d from `homebase` with identical
+//     costs. core/homebase.hpp packages this.
+//
+//  2. *Schedule diversity*: composing with a dimension permutation yields
+//     d! * 2^d distinct but cost-identical sweeps -- useful for randomized
+//     auditing (don't always sweep in the same order) and as a property
+//     test (costs and safety must be invariant under relabeling).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitops.hpp"
+
+namespace hcs {
+
+/// An automorphism x -> permute_bits(x) XOR translation of H_d.
+class CubeAutomorphism {
+ public:
+  /// Identity on H_d.
+  explicit CubeAutomorphism(unsigned d);
+
+  /// perm[j-1] = image position of bit position j (1-based positions);
+  /// perm must be a permutation of {1..d}.
+  CubeAutomorphism(unsigned d, std::vector<BitPos> perm, NodeId translation);
+
+  /// Pure translation x -> x XOR t.
+  static CubeAutomorphism translation(unsigned d, NodeId t);
+
+  /// Uniformly random automorphism.
+  template <typename RngT>
+  static CubeAutomorphism random(unsigned d, RngT& rng) {
+    std::vector<BitPos> perm(d);
+    for (unsigned j = 0; j < d; ++j) perm[j] = j + 1;
+    rng.shuffle(perm);
+    return CubeAutomorphism(d, std::move(perm),
+                            rng.below(std::uint64_t{1} << d));
+  }
+
+  [[nodiscard]] unsigned dimension() const { return d_; }
+  [[nodiscard]] NodeId translation_part() const { return translation_; }
+
+  /// Image of node x.
+  [[nodiscard]] NodeId apply(NodeId x) const;
+
+  /// Image of a dimension label (the edge across dimension j maps to the
+  /// edge across perm(j)).
+  [[nodiscard]] BitPos apply_dimension(BitPos j) const;
+
+  /// The inverse automorphism.
+  [[nodiscard]] CubeAutomorphism inverse() const;
+
+  /// Composition: (this o other)(x) = this->apply(other.apply(x)).
+  [[nodiscard]] CubeAutomorphism compose(const CubeAutomorphism& other) const;
+
+  /// True iff apply preserves adjacency on all of H_d (sanity checker used
+  /// by the tests; always true for well-formed instances).
+  [[nodiscard]] bool is_automorphism() const;
+
+ private:
+  unsigned d_;
+  std::vector<BitPos> perm_;  // perm_[j-1] = image of position j
+  NodeId translation_;
+};
+
+}  // namespace hcs

@@ -1,0 +1,91 @@
+#include "hypercube/broadcast_tree.hpp"
+
+#include "util/assert.hpp"
+#include "util/binomial.hpp"
+
+namespace hcs {
+
+unsigned BroadcastTree::type_of(NodeId x) const {
+  HCS_EXPECTS(cube_.contains(x));
+  return dimension() - cube_.msb(x);
+}
+
+std::vector<NodeId> BroadcastTree::children(NodeId x) const {
+  return cube_.bigger_neighbors(x);
+}
+
+NodeId BroadcastTree::parent(NodeId x) const {
+  HCS_EXPECTS(cube_.contains(x));
+  HCS_EXPECTS(x != root());
+  return clear_bit(x, cube_.msb(x));
+}
+
+bool BroadcastTree::is_tree_edge(NodeId x, NodeId y) const {
+  if (!cube_.adjacent(x, y)) return false;
+  // A hypercube edge is a tree edge iff the differing bit is the msb of the
+  // larger endpoint (equivalently, the label exceeds the msb of the smaller
+  // endpoint).
+  const NodeId hi = x > y ? x : y;
+  const NodeId lo = x > y ? y : x;
+  return cube_.edge_label(lo, hi) > cube_.msb(lo) &&
+         cube_.edge_label(lo, hi) == cube_.msb(hi);
+}
+
+std::uint64_t BroadcastTree::subtree_size(NodeId x) const {
+  return std::uint64_t{1} << type_of(x);
+}
+
+std::uint64_t BroadcastTree::subtree_leaves(NodeId x) const {
+  const unsigned k = type_of(x);
+  return k == 0 ? 1 : (std::uint64_t{1} << (k - 1));
+}
+
+std::vector<NodeId> BroadcastTree::path_from_root(NodeId x) const {
+  HCS_EXPECTS(cube_.contains(x));
+  std::vector<NodeId> path{root()};
+  NodeId acc = 0;
+  for_each_set_bit(x, [&](BitPos pos) {
+    acc = set_bit(acc, pos);
+    path.push_back(acc);
+  });
+  HCS_ENSURES(path.back() == x);
+  return path;
+}
+
+std::vector<NodeId> BroadcastTree::leaves() const {
+  // Leaves are exactly class C_d (Property 6).
+  return cube_.class_nodes(dimension());
+}
+
+std::uint64_t BroadcastTree::leaves_at_level(unsigned l) const {
+  HCS_EXPECTS(l <= dimension());
+  if (l == 0) return dimension() == 0 ? 1 : 0;
+  return binomial(dimension() - 1, l - 1);
+}
+
+std::uint64_t BroadcastTree::type_count_at_level(unsigned k,
+                                                 unsigned l) const {
+  const unsigned d = dimension();
+  HCS_EXPECTS(k <= d && l <= d);
+  if (l == 0) return k == d ? 1 : 0;  // only the root at level 0
+  if (k == d) return 0;               // the root is the unique T(d)
+  // Type T(k) at level l > 0: msb fixed at position d-k, the remaining l-1
+  // set bits chosen among the d-k-1 lower positions (Property 1).
+  return binomial(d - k - 1, l - 1);
+}
+
+std::vector<NodeId> BroadcastTree::preorder() const {
+  std::vector<NodeId> order;
+  order.reserve(cube_.num_nodes());
+  std::vector<NodeId> stack{root()};
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    order.push_back(x);
+    const auto cs = children(x);
+    for (auto it = cs.rbegin(); it != cs.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+}  // namespace hcs

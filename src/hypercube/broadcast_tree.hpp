@@ -1,0 +1,82 @@
+// The broadcast spanning tree of H_d (the "heap queue" T(d), Definition 1).
+//
+// Rooted at the source 00...0, with an edge between x and every bigger
+// neighbour of x: children(x) = { x | 2^(j-1) : j > m(x) }. The subtree
+// rooted at x is a heap queue of *type* T(k) where k = d - m(x) (the root
+// has type T(d)); leaves are type T(0) and all lie in class C_d
+// (Property 6).
+//
+// Like Hypercube, this is a bit-arithmetic view: O(1) state, free to copy.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypercube/hypercube.hpp"
+
+namespace hcs {
+
+class BroadcastTree {
+ public:
+  explicit BroadcastTree(Hypercube cube) : cube_(cube) {}
+  explicit BroadcastTree(unsigned dimension) : cube_(dimension) {}
+
+  [[nodiscard]] const Hypercube& cube() const { return cube_; }
+  [[nodiscard]] unsigned dimension() const { return cube_.dimension(); }
+  [[nodiscard]] static constexpr NodeId root() { return 0; }
+
+  /// Heap-queue type index k of node x: the subtree at x is a T(k).
+  /// k = d - m(x); the root is T(d), leaves are T(0).
+  [[nodiscard]] unsigned type_of(NodeId x) const;
+
+  /// Children of x in the tree (== bigger neighbours), in increasing
+  /// dimension order. The child across dimension j has type T(d - j), so
+  /// dimensions m(x)+1, ..., d yield types T(k-1), ..., T(0): the same
+  /// decreasing-type order the paper uses in Algorithm CLEAN step 1.
+  [[nodiscard]] std::vector<NodeId> children(NodeId x) const;
+
+  /// Number of children without materializing them: d - m(x).
+  [[nodiscard]] unsigned child_count(NodeId x) const { return type_of(x); }
+
+  /// Parent of x (x != root): x with its most significant bit cleared.
+  [[nodiscard]] NodeId parent(NodeId x) const;
+
+  [[nodiscard]] bool is_leaf(NodeId x) const { return type_of(x) == 0; }
+
+  /// True iff (x, y) is a tree edge (either orientation).
+  [[nodiscard]] bool is_tree_edge(NodeId x, NodeId y) const;
+
+  /// Depth of x == level(x): the tree path from the root adds one set bit
+  /// per edge.
+  [[nodiscard]] unsigned depth(NodeId x) const { return cube_.level(x); }
+
+  /// Size of the subtree rooted at x: a heap queue T(k) has 2^k nodes.
+  [[nodiscard]] std::uint64_t subtree_size(NodeId x) const;
+
+  /// Number of leaves in the subtree rooted at x: 2^(k-1) for k >= 1, 1 for
+  /// a leaf. This equals the agent demand of Algorithm 2 (Theorem 5).
+  [[nodiscard]] std::uint64_t subtree_leaves(NodeId x) const;
+
+  /// The tree path from the root to x: set bits of x added lowest-position
+  /// first. Every prefix is an ancestor of x. Length = level(x) edges.
+  [[nodiscard]] std::vector<NodeId> path_from_root(NodeId x) const;
+
+  /// All leaves (class C_d), increasing numeric order: 2^(d-1) of them.
+  [[nodiscard]] std::vector<NodeId> leaves() const;
+
+  /// Leaves at level l: C(d-1, l-1) of them (Property 2).
+  [[nodiscard]] std::uint64_t leaves_at_level(unsigned l) const;
+
+  /// Nodes of type T(k) at level l > 0: C(d-k-1, l-1) (Property 1).
+  [[nodiscard]] std::uint64_t type_count_at_level(unsigned k,
+                                                  unsigned l) const;
+
+  /// Preorder traversal of the whole tree (children in dimension order).
+  [[nodiscard]] std::vector<NodeId> preorder() const;
+
+ private:
+  Hypercube cube_;
+};
+
+}  // namespace hcs

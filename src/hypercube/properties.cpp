@@ -1,0 +1,201 @@
+#include "hypercube/properties.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/binomial.hpp"
+
+namespace hcs {
+
+bool check_property1_type_counts(const BroadcastTree& tree) {
+  const unsigned d = tree.dimension();
+  const Hypercube& cube = tree.cube();
+  // Count nodes of each (level, type) pair by enumeration.
+  std::map<std::pair<unsigned, unsigned>, std::uint64_t> counted;
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+    ++counted[{cube.level(x), tree.type_of(x)}];
+  }
+  // Level 0: the unique T(d).
+  if (counted[{0, d}] != 1) return false;
+  for (unsigned l = 0; l <= d; ++l) {
+    for (unsigned k = 0; k <= d; ++k) {
+      const std::uint64_t expected =
+          (l == 0) ? (k == d ? 1 : 0) : tree.type_count_at_level(k, l);
+      const auto it = counted.find({l, k});
+      const std::uint64_t actual = it == counted.end() ? 0 : it->second;
+      if (actual != expected) return false;
+    }
+  }
+  return true;
+}
+
+bool check_property2_leaf_counts(const BroadcastTree& tree) {
+  const unsigned d = tree.dimension();
+  const Hypercube& cube = tree.cube();
+  std::vector<std::uint64_t> leaves_per_level(d + 1, 0);
+  std::uint64_t total_leaves = 0;
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+    if (tree.is_leaf(x)) {
+      ++leaves_per_level[cube.level(x)];
+      ++total_leaves;
+    }
+  }
+  if (total_leaves != cube.num_nodes() / 2) return false;
+  if (leaves_per_level[0] != 0) return false;
+  for (unsigned l = 1; l <= d; ++l) {
+    if (leaves_per_level[l] != tree.leaves_at_level(l)) return false;
+  }
+  return true;
+}
+
+bool check_property5_class_sizes(const Hypercube& cube) {
+  const unsigned d = cube.dimension();
+  std::vector<std::uint64_t> counted(d + 1, 0);
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) ++counted[cube.class_of(x)];
+  if (counted[0] != 1) return false;
+  for (unsigned i = 1; i <= d; ++i) {
+    if (counted[i] != (std::uint64_t{1} << (i - 1))) return false;
+    if (counted[i] != cube.class_size(i)) return false;
+  }
+  return true;
+}
+
+bool check_property6_leaves_in_Cd(const BroadcastTree& tree) {
+  const Hypercube& cube = tree.cube();
+  const unsigned d = tree.dimension();
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+    if (tree.is_leaf(x) != (cube.class_of(x) == d)) return false;
+  }
+  return true;
+}
+
+bool check_property7_neighbor_classes(const Hypercube& cube) {
+  const unsigned d = cube.dimension();
+  for (BitPos i = 1; i <= d; ++i) {
+    for (NodeId x : cube.class_nodes(i)) {
+      unsigned lower_class_count = 0;
+      for (NodeId y : cube.smaller_neighbors(x)) {
+        const BitPos cy = cube.class_of(y);
+        if (cy < i) {
+          ++lower_class_count;
+        } else if (cy != i) {
+          return false;  // a smaller neighbour above C_i would violate P7
+        }
+      }
+      if (lower_class_count != 1) return false;
+      for (NodeId y : cube.bigger_neighbors(x)) {
+        if (cube.class_of(y) <= i) return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Does x satisfy the descent-chain condition of Property 8?
+bool has_descent_chain(const Hypercube& cube, NodeId x) {
+  const BitPos i = cube.class_of(x);
+  for (NodeId y : cube.smaller_neighbors(x)) {
+    if (cube.class_of(y) != i) continue;
+    for (NodeId z : cube.smaller_neighbors(y)) {
+      if (cube.class_of(z) == i - 1) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool check_property8_descent_chain(const Hypercube& cube) {
+  const unsigned d = cube.dimension();
+  for (BitPos i = 2; i <= d; ++i) {
+    for (NodeId x : cube.class_nodes(i)) {
+      if (x == 0b11) continue;  // the documented erratum (see header)
+      if (!has_descent_chain(cube, x)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> property8_counterexamples(const Hypercube& cube) {
+  std::vector<NodeId> violations;
+  const unsigned d = cube.dimension();
+  for (BitPos i = 2; i <= d; ++i) {
+    for (NodeId x : cube.class_nodes(i)) {
+      if (!has_descent_chain(cube, x)) violations.push_back(x);
+    }
+  }
+  return violations;
+}
+
+bool check_lemma1_cross_edges(const BroadcastTree& tree) {
+  const Hypercube& cube = tree.cube();
+  const unsigned d = tree.dimension();
+  for (NodeId y = 0; y < cube.num_nodes(); ++y) {
+    const unsigned l = cube.level(y);
+    if (l == d) continue;
+    // Tree children of y for membership testing.
+    const auto nty = tree.children(y);
+    const std::set<NodeId> tree_children(nty.begin(), nty.end());
+    for (NodeId z : cube.neighbors(y)) {
+      if (cube.level(z) != l + 1) continue;
+      if (tree_children.contains(z)) continue;
+      // z in N(y) - NT(y): its tree parent x must be a lex-smaller level-l
+      // node with z among x's tree children.
+      const NodeId x = tree.parent(z);
+      if (cube.level(x) != l) return false;
+      if (!(x < y)) return false;
+      const auto ntx = tree.children(x);
+      if (std::find(ntx.begin(), ntx.end(), z) == ntx.end()) return false;
+    }
+  }
+  return true;
+}
+
+bool check_heap_queue_recursion(const BroadcastTree& tree) {
+  const Hypercube& cube = tree.cube();
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+    const unsigned k = tree.type_of(x);
+    const auto children = tree.children(x);
+    if (children.size() != k) return false;
+    // Children must realize each type T(0), ..., T(k-1) exactly once.
+    std::vector<bool> seen(k, false);
+    for (NodeId c : children) {
+      const unsigned ck = tree.type_of(c);
+      if (ck >= k || seen[ck]) return false;
+      seen[ck] = true;
+    }
+    if (tree.subtree_size(x) != (std::uint64_t{1} << k)) return false;
+    // Cross-check subtree size by summing children's subtree sizes.
+    std::uint64_t total = 1;
+    for (NodeId c : children) total += tree.subtree_size(c);
+    if (total != tree.subtree_size(x)) return false;
+  }
+  return true;
+}
+
+bool check_broadcast_tree_spanning(const BroadcastTree& tree) {
+  const Hypercube& cube = tree.cube();
+  const std::uint64_t n = cube.num_nodes();
+  // Every non-root node has exactly one tree parent, and following parents
+  // strictly decreases the node id, so the structure is acyclic and rooted.
+  std::uint64_t edges = 0;
+  for (NodeId x = 1; x < n; ++x) {
+    const NodeId p = tree.parent(x);
+    if (!cube.adjacent(p, x)) return false;
+    if (!tree.is_tree_edge(p, x)) return false;
+    if (!(p < x)) return false;
+    ++edges;
+  }
+  if (edges != n - 1) return false;
+  // Depth equals level: the path from the root has level(x) edges.
+  for (NodeId x = 0; x < n; ++x) {
+    if (tree.path_from_root(x).size() != cube.level(x) + 1) return false;
+  }
+  return true;
+}
+
+}  // namespace hcs

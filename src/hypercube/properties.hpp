@@ -1,0 +1,70 @@
+// Executable versions of the paper's structural properties and lemmas.
+//
+// Each function verifies one numbered statement of the paper *exhaustively*
+// over H_d and returns true iff it holds; the test suite runs them for a
+// sweep of dimensions, and bench_structure reports the counted quantities
+// next to the closed forms. Keeping these in the library (not just the
+// tests) lets examples and benches cite them directly.
+
+#pragma once
+
+#include <cstdint>
+
+#include "hypercube/broadcast_tree.hpp"
+#include "hypercube/hypercube.hpp"
+
+namespace hcs {
+
+/// Property 1: at level 0 there is a unique node, of type T(d); at level
+/// l > 0 there are C(d-k-1, l-1) nodes of type T(k).
+[[nodiscard]] bool check_property1_type_counts(const BroadcastTree& tree);
+
+/// Property 2 (as used in Theorem 3): there are C(d-1, l-1) leaves at level
+/// l >= 1, and the leaf levels partition the 2^(d-1) leaves.
+[[nodiscard]] bool check_property2_leaf_counts(const BroadcastTree& tree);
+
+/// Property 5: |C_0| = 1 and |C_i| = 2^(i-1) for 0 < i <= d.
+[[nodiscard]] bool check_property5_class_sizes(const Hypercube& cube);
+
+/// Property 6: all leaves of the broadcast tree are in C_d.
+[[nodiscard]] bool check_property6_leaves_in_Cd(const BroadcastTree& tree);
+
+/// Property 7: for x in C_i (i > 0), exactly one smaller neighbour is in
+/// some C_j with j < i, all other smaller neighbours are in C_i, and all
+/// bigger neighbours are in classes C_k with k > i.
+[[nodiscard]] bool check_property7_neighbor_classes(const Hypercube& cube);
+
+/// Property 8, as corrected: for x in C_i (i > 1), there exists a smaller
+/// neighbour y of x in C_i that itself has a smaller neighbour z in
+/// C_{i-1} -- EXCEPT for the single node x = (0...011).
+///
+/// Erratum reproduced by this library: the paper states Property 8 for
+/// every i > 1, but its proof's Case 2 (bit i-1 of x set) picks a position
+/// j < i-1, which does not exist when i = 2; and indeed x = (0...011) has
+/// exactly one smaller C_2 neighbour, (0...010), whose smaller neighbours
+/// are (0...011) in C_2 and (0...000) in C_0 -- never C_1. The exception is
+/// harmless for Theorem 7 (agents reach (0...011) only at time 2, so the
+/// time-0 induction step never consults the property there), which
+/// property8_counterexamples() lets the tests demonstrate precisely.
+[[nodiscard]] bool check_property8_descent_chain(const Hypercube& cube);
+
+/// All nodes violating the paper's literal Property 8 statement: exactly
+/// { (0...011) } for every d >= 2.
+[[nodiscard]] std::vector<NodeId> property8_counterexamples(
+    const Hypercube& cube);
+
+/// Lemma 1: if z is a level-(l+1) neighbour of y (at level l) that is NOT a
+/// broadcast-tree child of y, then z is a tree child of some level-l node x
+/// with x < y (numerically == lexicographically for fixed-width strings).
+[[nodiscard]] bool check_lemma1_cross_edges(const BroadcastTree& tree);
+
+/// The heap-queue recursion of Definition 1: the subtree at any node of
+/// type T(k) has exactly k children of types T(k-1), ..., T(0) (each type
+/// exactly once), and subtree sizes are 2^k.
+[[nodiscard]] bool check_heap_queue_recursion(const BroadcastTree& tree);
+
+/// The broadcast tree restricted to tree edges is a spanning tree of H_d:
+/// n-1 edges, connected, every non-root node has exactly one parent.
+[[nodiscard]] bool check_broadcast_tree_spanning(const BroadcastTree& tree);
+
+}  // namespace hcs

@@ -1,0 +1,61 @@
+#include "hypercube/routing.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hcs {
+
+std::vector<NodeId> ecube_path(const Hypercube& cube, NodeId x, NodeId y) {
+  HCS_EXPECTS(cube.contains(x) && cube.contains(y));
+  std::vector<NodeId> path{x};
+  NodeId cur = x;
+  for_each_set_bit(x ^ y, [&](BitPos pos) {
+    cur = flip_bit(cur, pos);
+    path.push_back(cur);
+  });
+  HCS_ENSURES(path.back() == y);
+  return path;
+}
+
+std::vector<NodeId> descend_ascend_path(const Hypercube& cube, NodeId x,
+                                        NodeId y) {
+  HCS_EXPECTS(cube.contains(x) && cube.contains(y));
+  std::vector<NodeId> path{x};
+  NodeId cur = x;
+
+  // Phase 1: clear the bits x has but y lacks, highest position first, so
+  // the walk descends monotonically in level.
+  const NodeId to_clear = x & ~y;
+  std::vector<BitPos> clear_positions;
+  for_each_set_bit(to_clear, [&](BitPos pos) { clear_positions.push_back(pos); });
+  for (auto it = clear_positions.rbegin(); it != clear_positions.rend(); ++it) {
+    cur = clear_bit(cur, *it);
+    path.push_back(cur);
+  }
+
+  // Phase 2: set the bits y has but x lacks, lowest position first, so the
+  // walk ascends monotonically in level.
+  for_each_set_bit(y & ~x, [&](BitPos pos) {
+    cur = set_bit(cur, pos);
+    path.push_back(cur);
+  });
+
+  HCS_ENSURES(path.back() == y);
+  HCS_ENSURES(path.size() == cube.distance(x, y) + 1);
+  return path;
+}
+
+unsigned intra_level_hop_bound(unsigned d, unsigned l) {
+  HCS_EXPECTS(l <= d);
+  return 2 * std::min(l, d - l);
+}
+
+bool is_valid_walk(const Hypercube& cube, const std::vector<NodeId>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!cube.adjacent(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace hcs

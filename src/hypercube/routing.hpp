@@ -1,0 +1,46 @@
+// Hypercube routing primitives used by the strategies.
+//
+// Two movement patterns appear in Algorithm CLEAN:
+//
+//  * dispatch: an extra agent travels from the root to a frontier node
+//    along the broadcast-tree path (set bits added lowest-position first),
+//    staying strictly inside already-clean levels;
+//
+//  * intra-level navigation: the synchronizer hops from one level-l node to
+//    the next in lexicographic order. A safe route first *clears* the bits
+//    the target lacks (descending into clean lower levels) and then *sets*
+//    the bits the target adds (ascending back to level l). Every
+//    intermediate node has level < l, hence is already clean; the length is
+//    the Hamming distance, bounded by 2*min(l, d-l) as used in Theorem 3.
+
+#pragma once
+
+#include <vector>
+
+#include "hypercube/hypercube.hpp"
+
+namespace hcs {
+
+/// Dimension-ordered (e-cube) shortest path from x to y: differing bits are
+/// fixed in increasing position order. Inclusive of both endpoints; length
+/// = distance(x, y) edges.
+[[nodiscard]] std::vector<NodeId> ecube_path(const Hypercube& cube, NodeId x,
+                                             NodeId y);
+
+/// The clean-region route between two same-level nodes described above:
+/// clear bits of x \ y (highest position first), then set bits of y \ x
+/// (lowest position first). Inclusive of endpoints; every intermediate node
+/// has level < level(x). Also accepts nodes of different levels (the
+/// descend/ascend structure still holds, with intermediate levels <=
+/// max(level(x), level(y))).
+[[nodiscard]] std::vector<NodeId> descend_ascend_path(const Hypercube& cube,
+                                                      NodeId x, NodeId y);
+
+/// Theorem 3's bound on the intra-level hop: 2*min(l, d-l).
+[[nodiscard]] unsigned intra_level_hop_bound(unsigned d, unsigned l);
+
+/// Verifies that every consecutive pair in `path` is a hypercube edge.
+[[nodiscard]] bool is_valid_walk(const Hypercube& cube,
+                                 const std::vector<NodeId>& path);
+
+}  // namespace hcs

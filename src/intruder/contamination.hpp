@@ -1,0 +1,49 @@
+// Worst-case contamination semantics as pure set computations.
+//
+// These operate on plain vectors (no simulator), and are the ground truth
+// the plan verifier (core/plan.hpp) and the brute-force optimal searcher
+// (core/optimal.hpp) are built on. The simulator's incremental bookkeeping
+// in sim::Network is tested for agreement against these.
+//
+// Model: the intruder moves arbitrarily fast and can occupy any node
+// reachable from a currently-possible position along a path that avoids
+// guarded nodes. The "contaminated" set is therefore closed under
+// unguarded reachability.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hcs::intruder {
+
+/// One-step update of the contaminated set: given the current guard
+/// placement and the previously contaminated set, returns the closure --
+/// every unguarded node reachable from a previously contaminated, unguarded
+/// node without crossing a guard. Previously contaminated nodes that are
+/// now guarded drop out (the agent standing there would detect the
+/// intruder).
+[[nodiscard]] std::vector<bool> contamination_closure(
+    const graph::Graph& g, const std::vector<bool>& guarded,
+    const std::vector<bool>& contaminated);
+
+/// The initial contaminated set for a search starting at `homebase`: every
+/// node except the homebase.
+[[nodiscard]] std::vector<bool> initial_contamination(const graph::Graph& g,
+                                                      graph::Vertex homebase);
+
+/// True iff no node is contaminated.
+[[nodiscard]] bool none_contaminated(const std::vector<bool>& contaminated);
+
+/// Number of contaminated nodes.
+[[nodiscard]] std::size_t contaminated_count(
+    const std::vector<bool>& contaminated);
+
+/// The guard set *required* to seal a clean region: every clean node with a
+/// contaminated neighbour. |result| is the minimum number of agents any
+/// monotone strategy must keep placed at this frontier.
+[[nodiscard]] std::vector<bool> required_frontier_guards(
+    const graph::Graph& g, const std::vector<bool>& contaminated);
+
+}  // namespace hcs::intruder

@@ -1,0 +1,110 @@
+// Concrete intruder models.
+//
+// The correctness proofs use the *worst-case* intruder, which is fully
+// captured by the contamination closure that sim::Network maintains. The
+// classes here model an intruder as an actual entity with a position, for
+// examples and benchmarks that want to observe a capture happening (and to
+// measure how much *earlier* weaker intruders are caught).
+//
+// An intruder attaches to a Network and reacts to status changes: when its
+// node is about to be sealed it flees through unguarded nodes -- instantly
+// and as far as it likes (it "moves arbitrarily fast"), or with a bounded
+// policy for the weaker models. It is captured when its node is guarded
+// and no unguarded neighbour exists.
+//
+// Note on recontamination: a *correct* monotone strategy never lets the
+// intruder reach a clean node, so under such strategies fleeing stays
+// inside the contaminated region. The models nevertheless allow escapes
+// through unguarded clean nodes -- exactly the breach that an unsafe
+// strategy would open (and sim::Network counts as recontamination).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace hcs::intruder {
+
+class Intruder {
+ public:
+  virtual ~Intruder() = default;
+
+  /// Attaches to the network: picks the starting node and registers the
+  /// status observer. Call exactly once, before the run.
+  void attach(sim::Network& net);
+
+  [[nodiscard]] bool captured() const { return captured_; }
+  [[nodiscard]] sim::SimTime capture_time() const { return capture_time_; }
+  [[nodiscard]] graph::Vertex position() const { return position_; }
+  [[nodiscard]] std::uint64_t moves() const { return moves_; }
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Chooses the starting node given the initial state (homebase guarded,
+  /// everything else contaminated). Default: a node as far from the
+  /// homebase as possible.
+  [[nodiscard]] virtual graph::Vertex choose_start(const sim::Network& net);
+
+  /// Reacts to a node status change. Default implementations of the
+  /// concrete models override this.
+  virtual void on_status(graph::Vertex v, sim::NodeStatus s,
+                         sim::SimTime t) = 0;
+
+  /// Moves to `v` (bookkeeping + trace note).
+  void relocate(graph::Vertex v, sim::SimTime t);
+
+  /// Marks the intruder captured at its current node.
+  void mark_captured(sim::SimTime t);
+
+  [[nodiscard]] sim::Network& net() { return *net_; }
+
+ private:
+  sim::Network* net_ = nullptr;
+  graph::Vertex position_ = 0;
+  bool captured_ = false;
+  sim::SimTime capture_time_ = -1.0;
+  std::uint64_t moves_ = 0;
+};
+
+/// The proof-level adversary: occupies the whole contaminated region; its
+/// "position" is an arbitrary contaminated node, re-chosen whenever the
+/// current one is cleared. Captured exactly when the region empties, so its
+/// capture time equals the strategy's completion time -- the worst case.
+class WorstCaseIntruder : public Intruder {
+ public:
+  [[nodiscard]] std::string name() const override { return "worst-case"; }
+
+ protected:
+  void on_status(graph::Vertex v, sim::NodeStatus s, sim::SimTime t) override;
+};
+
+/// Flees only when its own node is sealed, to a uniformly random unguarded
+/// neighbour (contaminated preferred). A weak adversary: it is typically
+/// caught well before the sweep completes.
+class RandomFleeIntruder : public Intruder {
+ public:
+  explicit RandomFleeIntruder(std::uint64_t seed) : rng_(seed) {}
+  [[nodiscard]] std::string name() const override { return "random-flee"; }
+
+ protected:
+  void on_status(graph::Vertex v, sim::NodeStatus s, sim::SimTime t) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Flees to the unguarded node (within its reachable unguarded region)
+/// that maximizes the BFS distance to the nearest guarded node; a strong
+/// heuristic adversary that survives until the region is sealed tight.
+class GreedyEscapeIntruder : public Intruder {
+ public:
+  [[nodiscard]] std::string name() const override { return "greedy-escape"; }
+
+ protected:
+  void on_status(graph::Vertex v, sim::NodeStatus s, sim::SimTime t) override;
+};
+
+}  // namespace hcs::intruder

@@ -1,0 +1,59 @@
+// Delay models: how long an edge traversal (or a deliberate pause) takes.
+//
+// The paper's agents are asynchronous -- "every action takes a finite but
+// otherwise unpredictable amount of time" -- while costs are measured in
+// *ideal time* (unit traversals). The engine therefore samples traversal
+// durations from a pluggable model:
+//
+//   unit()         every traversal takes exactly 1 (ideal-time measurement);
+//   uniform(a, b)  i.i.d. uniform durations (generic asynchrony);
+//   heavy_tailed() a spiky distribution (mostly fast hops with occasional
+//                  order-of-magnitude stalls) that, combined with the
+//                  engine's random wake policy, approximates an adversarial
+//                  scheduler in the safety property tests.
+
+#pragma once
+
+#include <functional>
+
+#include "sim/types.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace hcs::sim {
+
+class DelayModel {
+ public:
+  using Sampler = std::function<SimTime(Rng&)>;
+
+  /// Every action takes exactly 1 time unit.
+  static DelayModel unit() {
+    return DelayModel([](Rng&) { return SimTime{1}; });
+  }
+
+  /// Uniform in [lo, hi), lo > 0.
+  static DelayModel uniform(SimTime lo, SimTime hi) {
+    HCS_EXPECTS(lo > 0 && lo < hi);
+    return DelayModel([lo, hi](Rng& rng) { return rng.uniform(lo, hi); });
+  }
+
+  /// 90% of traversals in [0.1, 1), 10% in [5, 50): occasional long stalls
+  /// exercise arbitrarily skewed interleavings.
+  static DelayModel heavy_tailed() {
+    return DelayModel([](Rng& rng) {
+      return rng.chance(0.9) ? rng.uniform(0.1, 1.0) : rng.uniform(5.0, 50.0);
+    });
+  }
+
+  [[nodiscard]] SimTime sample(Rng& rng) const {
+    const SimTime t = sampler_(rng);
+    HCS_ENSURES(t > 0);
+    return t;
+  }
+
+ private:
+  explicit DelayModel(Sampler s) : sampler_(std::move(s)) {}
+  Sampler sampler_;
+};
+
+}  // namespace hcs::sim

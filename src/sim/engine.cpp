@@ -1,0 +1,295 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hcs::sim {
+
+// ---------------------------------------------------------------- Engine
+
+Engine::Engine(Network& net, Config cfg)
+    : net_(&net), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  waiting_at_.resize(net.num_nodes());
+  net_->add_status_callback([this](graph::Vertex v, NodeStatus s, SimTime t) {
+    on_status_change(v, s, t);
+  });
+}
+
+AgentId Engine::spawn(std::unique_ptr<Agent> agent, graph::Vertex at) {
+  HCS_EXPECTS(agent != nullptr);
+  HCS_EXPECTS(at < net_->num_nodes());
+  const auto id = static_cast<AgentId>(agents_.size());
+  AgentRecord rec;
+  rec.role = agent->role();
+  rec.logic = std::move(agent);
+  rec.at = at;
+  rec.state = AgentState::kRunnable;
+  agents_.push_back(std::move(rec));
+  runnable_.push_back(id);
+  net_->on_agent_placed(id, at, now_);
+  wake_node(at);
+  return id;
+}
+
+graph::Vertex Engine::agent_position(AgentId a) const {
+  HCS_EXPECTS(a < agents_.size());
+  return agents_[a].at;
+}
+
+Engine::RunResult Engine::run() {
+  while (true) {
+    if (!runnable_.empty()) {
+      step_agent(pick_runnable());
+      continue;
+    }
+    if (events_.empty()) break;
+    const Event e = events_.top();
+    events_.pop();
+    HCS_ASSERT(e.time >= now_);
+    now_ = e.time;
+    ++net_->metrics().events_processed;
+    handle_event(e);
+  }
+
+  net_->finalize_metrics();
+
+  RunResult result;
+  result.end_time = now_;
+  result.capture_time = capture_time_;
+  for (const AgentRecord& rec : agents_) {
+    if (rec.state == AgentState::kDone) {
+      ++result.terminated;
+    } else {
+      ++result.waiting;
+    }
+  }
+  result.all_terminated = result.waiting == 0;
+  return result;
+}
+
+AgentId Engine::pick_runnable() {
+  HCS_ASSERT(!runnable_.empty());
+  std::size_t idx = 0;
+  switch (cfg_.policy) {
+    case WakePolicy::kFifo:
+      idx = 0;
+      break;
+    case WakePolicy::kRandom:
+      idx = static_cast<std::size_t>(rng_.below(runnable_.size()));
+      break;
+  }
+  const AgentId a = runnable_[idx];
+  runnable_.erase(runnable_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return a;
+}
+
+void Engine::step_agent(AgentId a) {
+  AgentRecord& rec = agents_[a];
+  HCS_ASSERT(rec.state == AgentState::kRunnable);
+  HCS_ASSERT(++steps_taken_ <= cfg_.max_agent_steps &&
+             "agent step limit exceeded (livelocked protocol?)");
+  ++net_->metrics().agent_steps;
+
+  AgentContext ctx(*this, a, rec.at);
+  const Action action = rec.logic->step(ctx);
+
+  switch (action.kind) {
+    case Action::Kind::kMove: {
+      const graph::Vertex from = rec.at;
+      graph::Vertex to;
+      if (action.dest.has_value()) {
+        to = *action.dest;
+        HCS_ASSERT(net_->graph().has_edge(from, to) &&
+                   "move_to target is not a neighbour");
+      } else {
+        to = net_->graph().neighbor_via(from, action.port);
+      }
+      rec.state = AgentState::kInTransit;
+      rec.moving_to = to;
+      net_->on_agent_departed(a, from, to, now_, rec.role);
+      wake_node(from);
+      schedule(a, now_ + cfg_.delay.sample(rng_));
+      break;
+    }
+    case Action::Kind::kWait:
+      rec.state = AgentState::kWaiting;
+      waiting_at_[rec.at].push_back(a);
+      break;
+    case Action::Kind::kWaitGlobal:
+      rec.state = AgentState::kWaitingGlobal;
+      waiting_global_.push_back(a);
+      break;
+    case Action::Kind::kIdle:
+      HCS_ASSERT(action.duration >= 0);
+      rec.state = AgentState::kSleeping;
+      schedule(a, now_ + action.duration);
+      break;
+    case Action::Kind::kTerminate:
+      rec.state = AgentState::kDone;
+      net_->on_agent_terminated(a, rec.at, now_);
+      break;
+  }
+}
+
+void Engine::handle_event(const Event& e) {
+  AgentRecord& rec = agents_[e.agent];
+  switch (rec.state) {
+    case AgentState::kInTransit: {
+      const graph::Vertex from = rec.at;
+      rec.at = rec.moving_to;
+      rec.state = AgentState::kRunnable;
+      runnable_.push_back(e.agent);
+      net_->on_agent_arrived(e.agent, rec.at, from, now_);
+      wake_node(rec.at);
+      wake_node(from);
+      if (!captured_ && net_->all_clean()) {
+        captured_ = true;
+        capture_time_ = now_;
+        net_->trace().record({now_, TraceKind::kCustom, e.agent, rec.at,
+                              rec.at, "network clean: intruder captured"});
+      }
+      break;
+    }
+    case AgentState::kSleeping:
+      rec.state = AgentState::kRunnable;
+      runnable_.push_back(e.agent);
+      break;
+    case AgentState::kRunnable:
+    case AgentState::kWaiting:
+    case AgentState::kWaitingGlobal:
+    case AgentState::kDone:
+      // Spurious event for an agent whose state already changed (e.g. a
+      // waiting agent woken before its timer); ignore.
+      break;
+  }
+}
+
+void Engine::make_runnable(AgentId a) {
+  AgentRecord& rec = agents_[a];
+  if (rec.state != AgentState::kWaiting &&
+      rec.state != AgentState::kWaitingGlobal) {
+    return;
+  }
+  rec.state = AgentState::kRunnable;
+  runnable_.push_back(a);
+}
+
+void Engine::wake_node(graph::Vertex v) {
+  auto& waiters = waiting_at_[v];
+  if (waiters.empty()) return;
+  // Waiters re-register if their condition is still unmet, so detach the
+  // current list first (make_runnable may not re-enter wake_node, but a
+  // woken agent's step can).
+  std::vector<AgentId> to_wake;
+  to_wake.swap(waiters);
+  for (AgentId a : to_wake) make_runnable(a);
+}
+
+void Engine::wake_global() {
+  std::vector<AgentId> to_wake;
+  to_wake.swap(waiting_global_);
+  for (AgentId a : to_wake) make_runnable(a);
+}
+
+void Engine::on_status_change(graph::Vertex v, NodeStatus /*s*/,
+                              SimTime /*t*/) {
+  wake_node(v);
+  if (cfg_.visibility) {
+    for (const graph::HalfEdge& he : net_->graph().neighbors(v)) {
+      wake_node(he.to);
+    }
+  }
+}
+
+void Engine::schedule(AgentId a, SimTime at) {
+  events_.push(Event{at, next_seq_++, a});
+}
+
+// --------------------------------------------------------- AgentContext
+
+AgentContext::AgentContext(Engine& engine, AgentId self, graph::Vertex here)
+    : engine_(engine), self_(self), here_(here) {}
+
+SimTime AgentContext::now() const { return engine_.now(); }
+
+const graph::Graph& AgentContext::graph() const {
+  return engine_.network().graph();
+}
+
+std::size_t AgentContext::agents_here() const {
+  return engine_.network().agents_at(here_);
+}
+
+NodeStatus AgentContext::status(graph::Vertex v) const {
+  if (v != here_) {
+    HCS_EXPECTS(engine_.config().visibility &&
+                "neighbour status requires the visibility model");
+    HCS_EXPECTS(engine_.network().graph().has_edge(here_, v));
+  }
+  return engine_.network().status(v);
+}
+
+bool AgentContext::visibility() const { return engine_.config().visibility; }
+
+std::int64_t AgentContext::wb_get(const std::string& key,
+                                  std::int64_t fallback) const {
+  return engine_.network().whiteboard(here_).get(key, fallback);
+}
+
+void AgentContext::wb_set(const std::string& key, std::int64_t value) {
+  engine_.network().whiteboard(here_).set(key, value);
+  engine_.network().trace().record(
+      {now(), TraceKind::kWhiteboard, self_, here_, here_, key});
+  engine_.wake_node(here_);
+}
+
+std::int64_t AgentContext::wb_add(const std::string& key,
+                                  std::int64_t delta) {
+  const std::int64_t v = engine_.network().whiteboard(here_).add(key, delta);
+  engine_.network().trace().record(
+      {now(), TraceKind::kWhiteboard, self_, here_, here_, key});
+  engine_.wake_node(here_);
+  return v;
+}
+
+void AgentContext::wb_erase(const std::string& key) {
+  engine_.network().whiteboard(here_).erase(key);
+  engine_.wake_node(here_);
+}
+
+std::int64_t AgentContext::wb_get_at(graph::Vertex v, const std::string& key,
+                                     std::int64_t fallback) const {
+  if (v != here_) {
+    HCS_EXPECTS(engine_.config().visibility &&
+                "neighbour whiteboards require the visibility model");
+    HCS_EXPECTS(engine_.network().graph().has_edge(here_, v));
+  }
+  return engine_.network().whiteboard(v).get(key, fallback);
+}
+
+void AgentContext::wb_set_at(graph::Vertex v, const std::string& key,
+                             std::int64_t value) {
+  if (v != here_) {
+    HCS_EXPECTS(engine_.config().visibility &&
+                "neighbour whiteboards require the visibility model");
+    HCS_EXPECTS(engine_.network().graph().has_edge(here_, v));
+  }
+  engine_.network().whiteboard(v).set(key, value);
+  engine_.network().trace().record(
+      {now(), TraceKind::kWhiteboard, self_, v, v, key});
+  engine_.wake_node(v);
+}
+
+void AgentContext::note(const std::string& detail) {
+  engine_.network().trace().record(
+      {now(), TraceKind::kCustom, self_, here_, here_, detail});
+}
+
+AgentId AgentContext::clone(std::unique_ptr<Agent> copy) {
+  return engine_.spawn(std::move(copy), here_);
+}
+
+void AgentContext::broadcast_signal() { engine_.wake_global(); }
+
+}  // namespace hcs::sim

@@ -1,0 +1,137 @@
+// The discrete-event engine that executes agent protocols asynchronously.
+//
+// Model (Section 2 of the paper):
+//  * agents perform atomic steps; each step reads/writes the local
+//    whiteboard in mutual exclusion and returns one Action;
+//  * moving along an edge takes a finite but unpredictable time, sampled
+//    from the configured DelayModel;
+//  * a waiting agent is woken by any observable change at its node --
+//    whiteboard write, agent arrival or departure -- and, when the
+//    visibility model (Section 4) is enabled, by status changes at
+//    neighbouring nodes;
+//  * the wake policy chooses which runnable agent steps next: kFifo gives
+//    deterministic runs, kRandom explores adversarial interleavings.
+//
+// run() executes until quiescence: no runnable agents and no pending
+// events. Agents still blocked in wait() at quiescence are reported (a
+// correct protocol terminates everyone).
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/delay.hpp"
+#include "sim/network.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace hcs::sim {
+
+class Engine {
+ public:
+  enum class WakePolicy : std::uint8_t { kFifo, kRandom };
+
+  struct Config {
+    DelayModel delay = DelayModel::unit();
+    WakePolicy policy = WakePolicy::kFifo;
+    std::uint64_t seed = 1;
+    /// Enables the Section 4 model: neighbour status/whiteboard reads and
+    /// neighbour-change wake-ups.
+    bool visibility = false;
+    /// Abort guard against livelocked protocols.
+    std::uint64_t max_agent_steps = 200'000'000;
+  };
+
+  struct RunResult {
+    bool all_terminated = false;
+    std::size_t terminated = 0;
+    std::size_t waiting = 0;
+    SimTime end_time = kTimeZero;
+    /// Time at which the last contaminated node was cleared, or < 0 if the
+    /// network never became clean.
+    SimTime capture_time = -1.0;
+  };
+
+  Engine(Network& net, Config cfg);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Places an agent at a node (typically the homebase) at the current
+  /// time. May be called before run() or from outside between runs.
+  AgentId spawn(std::unique_ptr<Agent> agent, graph::Vertex at);
+
+  /// Runs to quiescence.
+  RunResult run();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Network& network() { return *net_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] std::size_t num_agents() const { return agents_.size(); }
+
+  /// Current node of an agent (its origin while in transit).
+  [[nodiscard]] graph::Vertex agent_position(AgentId a) const;
+
+ private:
+  friend class AgentContext;
+
+  enum class AgentState : std::uint8_t {
+    kRunnable,
+    kWaiting,
+    kWaitingGlobal,
+    kInTransit,
+    kSleeping,
+    kDone,
+  };
+
+  struct AgentRecord {
+    std::unique_ptr<Agent> logic;
+    graph::Vertex at = 0;
+    graph::Vertex moving_to = 0;
+    AgentState state = AgentState::kRunnable;
+    std::string role;
+  };
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    AgentId agent;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void step_agent(AgentId a);
+  void handle_event(const Event& e);
+  AgentId pick_runnable();
+  void make_runnable(AgentId a);
+  void wake_node(graph::Vertex v);
+  void wake_global();
+  void on_status_change(graph::Vertex v, NodeStatus s, SimTime t);
+  void schedule(AgentId a, SimTime at);
+
+  Network* net_;
+  Config cfg_;
+  Rng rng_;
+  SimTime now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t steps_taken_ = 0;
+  bool captured_ = false;
+  SimTime capture_time_ = -1.0;
+
+  // Deque, not vector: Agent::step may spawn clones mid-step, and push_back
+  // on a deque never invalidates references to existing records.
+  std::deque<AgentRecord> agents_;
+  std::vector<AgentId> runnable_;
+  std::vector<std::vector<AgentId>> waiting_at_;  // per node
+  std::vector<AgentId> waiting_global_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+};
+
+}  // namespace hcs::sim

@@ -1,0 +1,19 @@
+#include "sim/metrics.hpp"
+
+#include "util/strfmt.hpp"
+
+namespace hcs::sim {
+
+std::string Metrics::summary() const {
+  std::string roles;
+  for (const auto& [role, moves] : moves_by_role) {
+    roles += str_cat(" ", role, "=", moves);
+  }
+  return str_cat("agents=", agents_spawned, " moves=", total_moves, " (",
+                 roles.empty() ? " none" : roles, " ) makespan=",
+                 fixed(makespan, 2), " visited=", nodes_visited,
+                 " recontaminations=", recontamination_events,
+                 " wb_peak_bits=", peak_whiteboard_bits);
+}
+
+}  // namespace hcs::sim

@@ -1,0 +1,52 @@
+// Cost accounting for a simulation run: the three efficiency measures of
+// the paper (number of agents, number of moves, ideal time) plus
+// engineering counters.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace hcs::sim {
+
+struct Metrics {
+  /// Agents ever spawned (the paper's team size includes the synchronizer).
+  std::uint64_t agents_spawned = 0;
+
+  /// Total edge traversals by all agents.
+  std::uint64_t total_moves = 0;
+
+  /// Edge traversals broken down by agent role ("synchronizer", "agent",
+  /// "intruder", ...).
+  std::map<std::string, std::uint64_t> moves_by_role;
+
+  /// Time of the last processed event (== ideal completion time under the
+  /// unit delay model).
+  SimTime makespan = kTimeZero;
+
+  /// Peak whiteboard storage over all nodes, in bits.
+  std::uint64_t peak_whiteboard_bits = 0;
+
+  /// Number of nodes that were ever visited by an agent.
+  std::uint64_t nodes_visited = 0;
+
+  /// Times a clean node became contaminated again. A correct monotone
+  /// strategy keeps this at 0 (Theorems 1 and 6).
+  std::uint64_t recontamination_events = 0;
+
+  /// Engineering counters.
+  std::uint64_t events_processed = 0;
+  std::uint64_t agent_steps = 0;
+
+  [[nodiscard]] std::uint64_t moves_of(const std::string& role) const {
+    const auto it = moves_by_role.find(role);
+    return it == moves_by_role.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace hcs::sim

@@ -1,0 +1,166 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/traversal.hpp"
+#include "util/assert.hpp"
+
+namespace hcs::sim {
+
+Network::Network(const graph::Graph& g, graph::Vertex homebase)
+    : graph_(&g),
+      homebase_(homebase),
+      status_(g.num_nodes(), NodeStatus::kContaminated),
+      visited_(g.num_nodes(), false),
+      agent_count_(g.num_nodes(), 0),
+      whiteboards_(g.num_nodes()),
+      contaminated_count_(g.num_nodes()) {
+  HCS_EXPECTS(homebase < g.num_nodes());
+}
+
+NodeStatus Network::status(graph::Vertex v) const {
+  HCS_EXPECTS(v < num_nodes());
+  return status_[v];
+}
+
+bool Network::visited(graph::Vertex v) const {
+  HCS_EXPECTS(v < num_nodes());
+  return visited_[v];
+}
+
+std::size_t Network::agents_at(graph::Vertex v) const {
+  HCS_EXPECTS(v < num_nodes());
+  return agent_count_[v];
+}
+
+Whiteboard& Network::whiteboard(graph::Vertex v) {
+  HCS_EXPECTS(v < num_nodes());
+  return whiteboards_[v];
+}
+
+const Whiteboard& Network::whiteboard(graph::Vertex v) const {
+  HCS_EXPECTS(v < num_nodes());
+  return whiteboards_[v];
+}
+
+bool Network::clean_region_connected() const {
+  std::vector<bool> clean_or_guarded(num_nodes());
+  for (graph::Vertex v = 0; v < num_nodes(); ++v) {
+    clean_or_guarded[v] = status_[v] != NodeStatus::kContaminated;
+  }
+  return graph::is_connected_subset(*graph_, clean_or_guarded);
+}
+
+void Network::on_agent_placed(AgentId a, graph::Vertex v, SimTime t) {
+  HCS_EXPECTS(v < num_nodes());
+  ++agent_count_[v];
+  visited_[v] = true;
+  ++metrics_.agents_spawned;
+  trace_.record({t, TraceKind::kSpawn, a, v, v, {}});
+  if (status_[v] != NodeStatus::kGuarded) set_status(v, NodeStatus::kGuarded, t);
+}
+
+void Network::on_agent_departed(AgentId a, graph::Vertex from,
+                                graph::Vertex to, SimTime t,
+                                const std::string& role) {
+  HCS_EXPECTS(from < num_nodes() && to < num_nodes());
+  HCS_EXPECTS(agent_count_[from] > 0);
+  ++metrics_.total_moves;
+  ++metrics_.moves_by_role[role];
+  trace_.record({t, TraceKind::kMoveStart, a, from, to, {}});
+  if (semantics_ == MoveSemantics::kVacateOnDeparture) {
+    --agent_count_[from];
+    if (agent_count_[from] == 0) node_vacated(from, t);
+  }
+}
+
+void Network::on_agent_arrived(AgentId a, graph::Vertex to,
+                               graph::Vertex from, SimTime t) {
+  HCS_EXPECTS(to < num_nodes());
+  // Destination first: under kAtomicArrival the hand-over must never expose
+  // a state in which the agent guards neither endpoint.
+  ++agent_count_[to];
+  if (!visited_[to]) {
+    visited_[to] = true;
+    ++metrics_.nodes_visited;
+  }
+  trace_.record({t, TraceKind::kMoveEnd, a, to, from, {}});
+  if (status_[to] != NodeStatus::kGuarded) set_status(to, NodeStatus::kGuarded, t);
+  if (semantics_ == MoveSemantics::kAtomicArrival && from != to) {
+    HCS_ASSERT(agent_count_[from] > 0);
+    --agent_count_[from];
+    if (agent_count_[from] == 0) node_vacated(from, t);
+  }
+  metrics_.makespan = std::max(metrics_.makespan, t);
+}
+
+void Network::on_agent_terminated(AgentId a, graph::Vertex at, SimTime t) {
+  trace_.record({t, TraceKind::kTerminate, a, at, at, {}});
+  metrics_.makespan = std::max(metrics_.makespan, t);
+}
+
+void Network::finalize_metrics() {
+  std::uint64_t peak = 0;
+  for (const Whiteboard& wb : whiteboards_) {
+    peak = std::max<std::uint64_t>(peak, wb.peak_bits());
+  }
+  metrics_.peak_whiteboard_bits = peak;
+  // nodes_visited counts first arrivals; the homebase is visited by spawn.
+  std::uint64_t visited = 0;
+  for (bool v : visited_) visited += v ? 1 : 0;
+  metrics_.nodes_visited = visited;
+}
+
+void Network::set_status(graph::Vertex v, NodeStatus s, SimTime t) {
+  const NodeStatus old = status_[v];
+  if (old == s) return;
+  if (old == NodeStatus::kContaminated) {
+    HCS_ASSERT(contaminated_count_ > 0);
+    --contaminated_count_;
+  }
+  if (s == NodeStatus::kContaminated) ++contaminated_count_;
+  status_[v] = s;
+  trace_.record({t, TraceKind::kStatusChange, kNoAgent, v, v, to_string(s)});
+  for (const StatusCallback& cb : on_status_) cb(v, s, t);
+}
+
+void Network::recontaminate(graph::Vertex v, SimTime t) {
+  // Flood from v through every unguarded (clean) node: the worst-case
+  // intruder occupies the entire region it can reach.
+  std::deque<graph::Vertex> queue{v};
+  set_status(v, NodeStatus::kContaminated, t);
+  ++metrics_.recontamination_events;
+  while (!queue.empty()) {
+    const graph::Vertex u = queue.front();
+    queue.pop_front();
+    for (const graph::HalfEdge& he : graph_->neighbors(u)) {
+      if (status_[he.to] == NodeStatus::kClean) {
+        set_status(he.to, NodeStatus::kContaminated, t);
+        ++metrics_.recontamination_events;
+        queue.push_back(he.to);
+      }
+    }
+  }
+}
+
+void Network::node_vacated(graph::Vertex v, SimTime t) {
+  HCS_ASSERT(visited_[v]);
+  set_status(v, NodeStatus::kClean, t);
+  // Safety check: does a contaminated neighbour see the now-unguarded v?
+  bool exposed = false;
+  for (const graph::HalfEdge& he : graph_->neighbors(v)) {
+    if (status_[he.to] == NodeStatus::kContaminated) {
+      exposed = true;
+      break;
+    }
+  }
+  if (!exposed) return;
+  if (spread_) {
+    recontaminate(v, t);
+  } else {
+    ++metrics_.recontamination_events;
+  }
+}
+
+}  // namespace hcs::sim

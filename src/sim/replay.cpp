@@ -1,0 +1,99 @@
+#include "sim/replay.hpp"
+
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace hcs::sim {
+
+namespace {
+
+/// Shared round barrier: moves of round r may start only when every move
+/// of round r-1 has completed.
+struct Barrier {
+  std::vector<std::uint64_t> moves_per_round;
+  std::uint64_t current_round = 0;
+  std::uint64_t remaining = 0;
+
+  void advance_past_empty_rounds() {
+    while (current_round < moves_per_round.size() && remaining == 0) {
+      ++current_round;
+      if (current_round < moves_per_round.size()) {
+        remaining = moves_per_round[current_round];
+      }
+    }
+  }
+};
+
+class ReplayAgent final : public Agent {
+ public:
+  ReplayAgent(Itinerary itinerary, std::shared_ptr<Barrier> barrier)
+      : itinerary_(std::move(itinerary)), barrier_(std::move(barrier)) {}
+
+  std::string role() const override { return itinerary_.role; }
+
+  Action step(AgentContext& ctx) override {
+    if (completing_) {
+      // The previous move just landed: retire it from its round.
+      completing_ = false;
+      HCS_ASSERT(barrier_->remaining > 0);
+      if (--barrier_->remaining == 0) {
+        ++barrier_->current_round;
+        if (barrier_->current_round < barrier_->moves_per_round.size()) {
+          barrier_->remaining =
+              barrier_->moves_per_round[barrier_->current_round];
+        }
+        barrier_->advance_past_empty_rounds();
+        ctx.broadcast_signal();
+      }
+    }
+    if (next_ >= itinerary_.steps.size()) return Action::finished();
+    const Itinerary::Step& s = itinerary_.steps[next_];
+    if (s.round > barrier_->current_round) return Action::wait_global();
+    HCS_ASSERT(s.round == barrier_->current_round &&
+               "itinerary move missed its round");
+    HCS_ASSERT(ctx.here() == s.from && "itinerary position mismatch");
+    ++next_;
+    completing_ = true;
+    return Action::move_to(s.to);
+  }
+
+ private:
+  Itinerary itinerary_;
+  std::shared_ptr<Barrier> barrier_;
+  std::size_t next_ = 0;
+  bool completing_ = false;
+};
+
+}  // namespace
+
+ReplayOutcome replay_itineraries(Engine& engine,
+                                 std::vector<Itinerary> itineraries,
+                                 std::uint64_t num_rounds) {
+  auto barrier = std::make_shared<Barrier>();
+  barrier->moves_per_round.assign(num_rounds, 0);
+  for (const Itinerary& it : itineraries) {
+    for (const auto& s : it.steps) {
+      HCS_EXPECTS(s.round < num_rounds);
+      ++barrier->moves_per_round[s.round];
+    }
+  }
+  barrier->remaining = num_rounds == 0 ? 0 : barrier->moves_per_round[0];
+  barrier->advance_past_empty_rounds();
+
+  const graph::Vertex home = engine.network().homebase();
+  for (Itinerary& it : itineraries) {
+    engine.spawn(std::make_unique<ReplayAgent>(std::move(it), barrier), home);
+  }
+
+  const Engine::RunResult run = engine.run();
+  ReplayOutcome out;
+  out.all_terminated = run.all_terminated;
+  out.total_moves = engine.network().metrics().total_moves;
+  out.recontaminations = engine.network().metrics().recontamination_events;
+  out.all_clean = engine.network().all_clean();
+  out.makespan = engine.network().metrics().makespan;
+  return out;
+}
+
+}  // namespace hcs::sim

@@ -1,0 +1,58 @@
+// Replaying SearchPlan-style move schedules on the event engine.
+//
+// Planners emit schedules as (agent, from, to) moves grouped into rounds;
+// the plan verifier replays them synchronously. This module executes the
+// same schedule *asynchronously*: each scheduled agent becomes an engine
+// agent that performs its own move sequence, synchronizing on round
+// barriers through the homebase whiteboard (a round may begin only when
+// every move of the previous round has completed). This cross-validates
+// planner schedules against the simulator's independent contamination
+// bookkeeping, under any delay model, and lets plans that have no
+// distributed protocol of their own (the naive level sweep, the optimal
+// tree sweep) run on the engine.
+//
+// Round barriers make the replay slightly more conservative than a real
+// protocol (a real protocol may overlap independent rounds), so replay
+// makespan is an upper bound on the protocol's ideal time; move counts and
+// safety are exact.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+
+namespace hcs::sim {
+
+/// One agent's itinerary: for each round it participates in, the move it
+/// performs.
+struct Itinerary {
+  struct Step {
+    std::uint64_t round;
+    graph::Vertex from;
+    graph::Vertex to;
+  };
+  std::vector<Step> steps;
+  std::string role = "agent";
+};
+
+struct ReplayOutcome {
+  bool all_terminated = false;
+  std::uint64_t total_moves = 0;
+  std::uint64_t recontaminations = 0;
+  bool all_clean = false;
+  SimTime makespan = 0;
+};
+
+/// Spawns one engine agent per itinerary at `homebase` and runs the engine
+/// to quiescence. The caller provides itineraries already split per agent
+/// (see plan_to_itineraries in core/replay_bridge.hpp for SearchPlan
+/// conversion). `num_rounds` is the barrier count.
+ReplayOutcome replay_itineraries(Engine& engine,
+                                 std::vector<Itinerary> itineraries,
+                                 std::uint64_t num_rounds);
+
+}  // namespace hcs::sim

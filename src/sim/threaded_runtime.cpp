@@ -1,0 +1,164 @@
+#include "sim/threaded_runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace hcs::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shared coordination state for one run.
+struct Shared {
+  std::mutex mutex;                 // guards the Network and all counters
+  std::condition_variable changed;  // notified on every observable change
+  Network* net = nullptr;
+  Clock::time_point start;
+  std::atomic<std::uint64_t> change_epoch{0};
+  std::size_t waiting = 0;
+  std::size_t alive = 0;
+  bool aborted = false;
+
+  SimTime now() const {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  }
+
+  void bump() {
+    change_epoch.fetch_add(1, std::memory_order_relaxed);
+    changed.notify_all();
+  }
+};
+
+void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
+                const ThreadedRuntime::Config& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::Vertex here = shared.net->homebase();
+
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  while (!shared.aborted) {
+    LocalView view;
+    view.here = here;
+    view.agents_here = shared.net->agents_at(here);
+    view.whiteboard = &shared.net->whiteboard(here);
+    view.graph = &shared.net->graph();
+    Network* net = shared.net;
+    view.status = [net, here](graph::Vertex v) {
+      HCS_EXPECTS(v == here || net->graph().has_edge(here, v));
+      return net->status(v);
+    };
+
+    const LocalDecision decision = rule(view);
+    if (decision.kind == LocalDecision::Kind::kTerminate) {
+      shared.net->on_agent_terminated(id, here, shared.now());
+      shared.bump();
+      break;
+    }
+    if (decision.kind == LocalDecision::Kind::kWait) {
+      ++shared.waiting;
+      shared.changed.wait(lock);
+      --shared.waiting;
+      continue;
+    }
+
+    // Move. Departure bookkeeping under the lock, the traversal itself
+    // outside it, arrival bookkeeping under the lock again. The Network's
+    // kAtomicArrival semantics keep the origin guarded during the
+    // traversal.
+    const graph::Vertex dest = decision.dest;
+    HCS_ASSERT(shared.net->graph().has_edge(here, dest));
+    shared.net->on_agent_departed(id, here, dest, shared.now(), "agent");
+    shared.bump();
+    lock.unlock();
+
+    if (cfg.max_traversal_sleep_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          rng.below(cfg.max_traversal_sleep_us + 1)));
+    } else {
+      std::this_thread::yield();
+    }
+
+    lock.lock();
+    shared.net->on_agent_arrived(id, dest, here, shared.now());
+    here = dest;
+    shared.bump();
+  }
+  --shared.alive;
+  shared.bump();
+}
+
+}  // namespace
+
+ThreadedRuntime::ThreadedRuntime(Network& net, Config cfg)
+    : net_(&net), cfg_(cfg) {}
+
+ThreadedRunReport ThreadedRuntime::run(std::size_t num_agents,
+                                       const LocalRule& rule) {
+  HCS_EXPECTS(num_agents >= 1);
+  Shared shared;
+  shared.net = net_;
+  shared.start = Clock::now();
+  shared.alive = num_agents;
+
+  Rng seeder(cfg_.seed);
+  {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    for (std::size_t i = 0; i < num_agents; ++i) {
+      net_->on_agent_placed(static_cast<AgentId>(i), net_->homebase(),
+                            shared.now());
+    }
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_agents);
+  for (std::size_t i = 0; i < num_agents; ++i) {
+    threads.emplace_back(agent_main, std::ref(shared), std::cref(rule),
+                         static_cast<AgentId>(i), cfg_, seeder.next());
+  }
+
+  // Watchdog: declare deadlock if the change epoch stalls while agents are
+  // still alive.
+  bool deadlocked = false;
+  {
+    std::uint64_t last_epoch = ~std::uint64_t{0};
+    auto last_progress = Clock::now();
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      std::unique_lock<std::mutex> lock(shared.mutex);
+      if (shared.alive == 0) break;
+      const std::uint64_t epoch =
+          shared.change_epoch.load(std::memory_order_relaxed);
+      if (epoch != last_epoch) {
+        last_epoch = epoch;
+        last_progress = Clock::now();
+      } else if (Clock::now() - last_progress >
+                 std::chrono::milliseconds(cfg_.watchdog_ms)) {
+        deadlocked = true;
+        shared.aborted = true;
+        shared.changed.notify_all();
+        break;
+      }
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+
+  std::lock_guard<std::mutex> lock(shared.mutex);
+  net_->finalize_metrics();
+  ThreadedRunReport report;
+  report.deadlocked = deadlocked;
+  report.all_terminated = !deadlocked;
+  report.total_moves = net_->metrics().total_moves;
+  report.recontamination_events = net_->metrics().recontamination_events;
+  report.all_clean = net_->all_clean();
+  return report;
+}
+
+}  // namespace hcs::sim

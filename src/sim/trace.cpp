@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <set>
+
+#include "util/strfmt.hpp"
+
+namespace hcs::sim {
+
+namespace {
+
+const char* kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSpawn: return "spawn";
+    case TraceKind::kMoveStart: return "move-start";
+    case TraceKind::kMoveEnd: return "move-end";
+    case TraceKind::kStatusChange: return "status";
+    case TraceKind::kWhiteboard: return "whiteboard";
+    case TraceKind::kTerminate: return "terminate";
+    case TraceKind::kCustom: return "note";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Trace::record(TraceEvent event) {
+  if (!enabled_) return;
+  events_.push_back(std::move(event));
+}
+
+std::vector<graph::Vertex> Trace::cleaning_order() const {
+  std::vector<graph::Vertex> order;
+  std::set<graph::Vertex> seen;
+  for (const TraceEvent& e : events_) {
+    const bool visits =
+        e.kind == TraceKind::kSpawn ||
+        (e.kind == TraceKind::kStatusChange && e.detail != "contaminated");
+    if (visits && !seen.contains(e.node)) {
+      seen.insert(e.node);
+      order.push_back(e.node);
+    }
+  }
+  return order;
+}
+
+std::string Trace::render() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += str_cat("t=", pad_left(fixed(e.time, 2), 8), "  ",
+                   pad_right(kind_name(e.kind), 11));
+    if (e.agent != kNoAgent) out += str_cat(" agent#", e.agent);
+    out += str_cat(" node=", e.node);
+    if (e.kind == TraceKind::kMoveStart || e.kind == TraceKind::kMoveEnd) {
+      out += str_cat(" other=", e.other);
+    }
+    if (!e.detail.empty()) out += str_cat(" [", e.detail, "]");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hcs::sim

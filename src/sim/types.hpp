@@ -1,0 +1,40 @@
+// Shared simulator vocabulary.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "graph/graph.hpp"
+
+namespace hcs::sim {
+
+/// Simulated time. The paper measures *ideal time*: one unit per edge
+/// traversal (footnote 1). Random/adversarial delay models produce
+/// fractional times, so time is a double.
+using SimTime = double;
+
+inline constexpr SimTime kTimeZero = 0.0;
+
+/// Dense agent identifier assigned by the engine at spawn.
+using AgentId = std::uint32_t;
+
+inline constexpr AgentId kNoAgent = std::numeric_limits<AgentId>::max();
+
+/// Node status in the node-search sense (Section 2 of the paper).
+enum class NodeStatus : std::uint8_t {
+  kContaminated,  ///< the intruder may be here
+  kClean,         ///< an agent passed by; no agent currently present
+  kGuarded,       ///< at least one agent is currently on the node
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeStatus s) {
+  switch (s) {
+    case NodeStatus::kContaminated: return "contaminated";
+    case NodeStatus::kClean: return "clean";
+    case NodeStatus::kGuarded: return "guarded";
+  }
+  return "?";
+}
+
+}  // namespace hcs::sim

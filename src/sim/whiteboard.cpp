@@ -1,0 +1,30 @@
+#include "sim/whiteboard.hpp"
+
+namespace hcs::sim {
+
+std::int64_t Whiteboard::get(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Whiteboard::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+void Whiteboard::set(const std::string& key, std::int64_t value) {
+  values_[key] = value;
+  if (values_.size() > peak_) peak_ = values_.size();
+}
+
+std::int64_t Whiteboard::add(const std::string& key, std::int64_t delta) {
+  const std::int64_t next = get(key) + delta;
+  set(key, next);
+  return next;
+}
+
+void Whiteboard::erase(const std::string& key) { values_.erase(key); }
+
+void Whiteboard::clear() { values_.clear(); }
+
+}  // namespace hcs::sim

@@ -1,0 +1,55 @@
+// Per-node whiteboards (Section 2 of the paper).
+//
+// Each node has a local storage area that agents read and write in fair
+// mutual exclusion. In the discrete-event engine every agent step is
+// atomic, so exclusion is structural; in the threaded runtime each
+// whiteboard carries its own mutex (see threaded_runtime.hpp).
+//
+// The paper's strategies need only O(log n) bits of whiteboard per node; to
+// make that claim *checkable*, the whiteboard tracks the peak number of
+// live 64-bit registers it ever held, and Metrics reports the max over all
+// nodes. Keys are short fixed strings ("agents", "status", "order_target",
+// ...): the key set is a constant of the algorithm, so peak_registers * 64
+// bits is the honest measure of the state the algorithm keeps per node.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hcs::sim {
+
+class Whiteboard {
+ public:
+  /// Value of `key`, or `fallback` if never written.
+  [[nodiscard]] std::int64_t get(const std::string& key,
+                                 std::int64_t fallback = 0) const;
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Writes `key` = `value`.
+  void set(const std::string& key, std::int64_t value);
+
+  /// Adds `delta` to `key` (missing keys start at 0); returns the new value.
+  std::int64_t add(const std::string& key, std::int64_t delta);
+
+  /// Removes `key` if present (algorithms erase finished fields to respect
+  /// the O(log n)-bit budget).
+  void erase(const std::string& key);
+
+  /// Number of live registers now / at peak.
+  [[nodiscard]] std::size_t live_registers() const { return values_.size(); }
+  [[nodiscard]] std::size_t peak_registers() const { return peak_; }
+
+  /// Peak storage in bits (64 bits per register).
+  [[nodiscard]] std::size_t peak_bits() const { return peak_ * 64; }
+
+  void clear();
+
+ private:
+  std::map<std::string, std::int64_t> values_;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace hcs::sim

@@ -1,0 +1,40 @@
+// Contract-checking macros used across hcsearch.
+//
+// Following the C++ Core Guidelines (I.6/I.8: prefer Expects()/Ensures()
+// style contracts), we provide three macros:
+//
+//   HCS_EXPECTS(cond)  - precondition on a public API entry point
+//   HCS_ENSURES(cond)  - postcondition before returning
+//   HCS_ASSERT(cond)   - internal invariant
+//
+// All three are active in every build type: this library's correctness
+// claims (monotonicity, contiguity, exact agent counts) are the whole point
+// of the reproduction, so we never silently skip a check. Violations print
+// the failing expression and location and abort.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hcs::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "hcsearch %s violated: %s\n  at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace hcs::detail
+
+#define HCS_CONTRACT_CHECK(kind, cond)                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::hcs::detail::contract_failure(kind, #cond, __FILE__, __LINE__);  \
+    }                                                                    \
+  } while (false)
+
+#define HCS_EXPECTS(cond) HCS_CONTRACT_CHECK("precondition", cond)
+#define HCS_ENSURES(cond) HCS_CONTRACT_CHECK("postcondition", cond)
+#define HCS_ASSERT(cond) HCS_CONTRACT_CHECK("invariant", cond)

@@ -1,0 +1,93 @@
+#include "util/binomial.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace hcs {
+
+namespace {
+
+/// a * b with overflow abort.
+std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0) {
+    HCS_ASSERT(b <= std::numeric_limits<std::uint64_t>::max() / a);
+  }
+  return a * b;
+}
+
+/// a + b with overflow abort.
+std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  HCS_ASSERT(b <= std::numeric_limits<std::uint64_t>::max() - a);
+  return a + b;
+}
+
+}  // namespace
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;  // the paper's convention for C(a, b), a < b
+  if (k > n - k) k = n - k;
+  // Multiplicative formula with interleaved division: each prefix
+  // C(n - k + i, i) is an exact integer. A 128-bit intermediate lets the
+  // result use the full uint64 range (the one multiply before the divide
+  // can exceed 64 bits even when the final value fits).
+  __uint128_t result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    result *= n - k + i;
+    result /= i;
+    HCS_ASSERT(result <= std::numeric_limits<std::uint64_t>::max() &&
+               "binomial coefficient exceeds 64 bits");
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+std::vector<std::uint64_t> pascal_row(unsigned n) {
+  std::vector<std::uint64_t> row(n + 1, 1);
+  for (unsigned k = 1; k <= n; ++k) {
+    row[k] = binomial(n, k);
+  }
+  return row;
+}
+
+std::uint64_t sum_binomials(unsigned n) {
+  std::uint64_t total = 0;
+  for (unsigned l = 0; l <= n; ++l) {
+    total = checked_add(total, binomial(n, l));
+  }
+  return total;
+}
+
+std::uint64_t sum_weighted_binomials(unsigned n) {
+  std::uint64_t total = 0;
+  for (unsigned l = 0; l <= n; ++l) {
+    total = checked_add(total, checked_mul(l, binomial(n, l)));
+  }
+  return total;
+}
+
+std::uint64_t vandermonde_hockey_stick(unsigned n, unsigned a, unsigned b) {
+  std::uint64_t total = 0;
+  for (unsigned i = 0; i <= n; ++i) {
+    total = checked_add(total, checked_mul(binomial(i, a), binomial(n - i, b)));
+  }
+  return total;
+}
+
+std::uint64_t central_binomial(unsigned n) { return binomial(n, n / 2); }
+
+unsigned argmax_active_agents(unsigned d) {
+  HCS_EXPECTS(d >= 2);
+  unsigned best_l = 1;
+  std::uint64_t best = 0;
+  for (unsigned l = 1; l + 1 <= d; ++l) {
+    const std::uint64_t v =
+        checked_add(binomial(d, l + 1), binomial(d - 1, l - 1));
+    if (v > best) {
+      best = v;
+      best_l = l;
+    }
+  }
+  return best_l;
+}
+
+}  // namespace hcs

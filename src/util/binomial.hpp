@@ -1,0 +1,45 @@
+// Exact binomial coefficients and the combinatorial identities used by the
+// paper's counting arguments (Lemma 3/4, Theorem 3, Property 1/2).
+//
+// All values are exact 64-bit integers; computations that could overflow
+// abort via contract checks instead of wrapping. For the dimensions this
+// library targets (d <= 63, and in practice d <= ~40 for the sums) every
+// quantity fits comfortably in uint64.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hcs {
+
+/// Exact C(n, k). Returns 0 when k > n (the convention the paper uses:
+/// "C(a, b) = 0 for a < b"). Aborts on 64-bit overflow.
+[[nodiscard]] std::uint64_t binomial(unsigned n, unsigned k);
+
+/// Row n of Pascal's triangle: {C(n,0), ..., C(n,n)}.
+[[nodiscard]] std::vector<std::uint64_t> pascal_row(unsigned n);
+
+/// Sum_{l=0..n} C(n, l) == 2^n.
+[[nodiscard]] std::uint64_t sum_binomials(unsigned n);
+
+/// Sum_{l=0..n} l * C(n, l) == n * 2^(n-1).
+[[nodiscard]] std::uint64_t sum_weighted_binomials(unsigned n);
+
+/// The Vandermonde convolution Sum_{i} C(i, a) * C(n - i, b) == C(n+1, a+b+1)
+/// evaluated directly (used to cross-check Lemma 3's derivation in tests).
+[[nodiscard]] std::uint64_t vandermonde_hockey_stick(unsigned n, unsigned a,
+                                                     unsigned b);
+
+/// C(n, floor(n/2)): the central (or near-central) binomial coefficient --
+/// the maximum of row n. This is the dominant term of the paper's agent
+/// bound and is Theta(2^n / sqrt(n)).
+[[nodiscard]] std::uint64_t central_binomial(unsigned n);
+
+/// Index l maximizing C(d, l+1) + C(d-1, l-1) over 1 <= l <= d-1 -- the
+/// active-agent count of CLEAN's sweep of level l (Lemma 4). The maximum
+/// sits at l = d/2 or d/2 - 1 for even d; computed by scan so odd d is
+/// handled exactly as well.
+[[nodiscard]] unsigned argmax_active_agents(unsigned d);
+
+}  // namespace hcs

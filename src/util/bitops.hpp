@@ -1,0 +1,127 @@
+// Bit-level primitives for hypercube node identifiers.
+//
+// A node of the d-dimensional hypercube H_d is a d-bit binary string,
+// represented here as a std::uint64_t mask. Bit *positions* follow the
+// paper's 1-based convention: position j (1 <= j <= d) carries value
+// 2^(j-1). The paper's m(x) -- the position of the most significant set bit
+// -- is msb_position(); m(0) == 0 by convention (the root of the broadcast
+// tree has no set bit).
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace hcs {
+
+/// Hypercube node identifier: a d-bit mask. Supports d up to 63.
+using NodeId = std::uint64_t;
+
+/// 1-based bit position; 0 is reserved for "no bit" (the all-zero node).
+using BitPos = unsigned;
+
+/// Maximum supported hypercube dimension.
+inline constexpr unsigned kMaxDimension = 63;
+
+/// Value of the bit at 1-based position `pos` (pos >= 1).
+[[nodiscard]] constexpr NodeId bit_value(BitPos pos) {
+  return NodeId{1} << (pos - 1);
+}
+
+/// Number of set bits; the paper's "level" of a node.
+[[nodiscard]] constexpr unsigned popcount(NodeId x) {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+/// The paper's m(x): 1-based position of the most significant set bit of x,
+/// with m(0) == 0.
+[[nodiscard]] constexpr BitPos msb_position(NodeId x) {
+  return x == 0 ? 0u : static_cast<BitPos>(std::bit_width(x));
+}
+
+/// 1-based position of the least significant set bit; 0 for x == 0.
+[[nodiscard]] constexpr BitPos lsb_position(NodeId x) {
+  return x == 0 ? 0u : static_cast<BitPos>(std::countr_zero(x)) + 1u;
+}
+
+/// True iff the bit at 1-based position `pos` is set in x.
+[[nodiscard]] constexpr bool test_bit(NodeId x, BitPos pos) {
+  return pos >= 1 && (x >> (pos - 1)) & 1u;
+}
+
+/// x with the bit at 1-based position `pos` flipped (the hypercube neighbour
+/// across dimension `pos`).
+[[nodiscard]] constexpr NodeId flip_bit(NodeId x, BitPos pos) {
+  return x ^ bit_value(pos);
+}
+
+/// x with the bit at 1-based position `pos` set.
+[[nodiscard]] constexpr NodeId set_bit(NodeId x, BitPos pos) {
+  return x | bit_value(pos);
+}
+
+/// x with the bit at 1-based position `pos` cleared.
+[[nodiscard]] constexpr NodeId clear_bit(NodeId x, BitPos pos) {
+  return x & ~bit_value(pos);
+}
+
+/// Mask with the lowest `d` bits set: the id of the "all ones" node of H_d.
+[[nodiscard]] constexpr NodeId all_ones(unsigned d) {
+  return d == 0 ? 0 : (~NodeId{0} >> (64 - d));
+}
+
+/// Iterates the 1-based positions of the set bits of `x`, lowest first,
+/// invoking `f(pos)` for each. Usable in constexpr contexts.
+template <typename F>
+constexpr void for_each_set_bit(NodeId x, F&& f) {
+  while (x != 0) {
+    const BitPos pos = lsb_position(x);
+    f(pos);
+    x &= x - 1;  // clear lowest set bit
+  }
+}
+
+/// Binary-string rendering of a node id, msb first, exactly `d` characters.
+/// Matches the paper's "(00...01)" notation (position d printed leftmost).
+[[nodiscard]] inline std::string to_binary_string(NodeId x, unsigned d) {
+  HCS_EXPECTS(d >= 1 && d <= kMaxDimension);
+  HCS_EXPECTS(x <= all_ones(d));
+  std::string s(d, '0');
+  for (unsigned j = 1; j <= d; ++j) {
+    if (test_bit(x, j)) s[d - j] = '1';
+  }
+  return s;
+}
+
+/// Parse a binary string (msb first) into a node id. Inverse of
+/// to_binary_string for strings of '0'/'1'.
+[[nodiscard]] inline NodeId from_binary_string(const std::string& s) {
+  HCS_EXPECTS(!s.empty() && s.size() <= kMaxDimension);
+  NodeId x = 0;
+  for (char c : s) {
+    HCS_EXPECTS(c == '0' || c == '1');
+    x = (x << 1) | static_cast<NodeId>(c - '0');
+  }
+  return x;
+}
+
+/// Grey-code of rank i: standard reflected binary Gray code. Consecutive
+/// ranks differ in exactly one bit, so this enumerates a Hamiltonian cycle
+/// of the hypercube.
+[[nodiscard]] constexpr NodeId gray_code(std::uint64_t rank) {
+  return rank ^ (rank >> 1);
+}
+
+/// Inverse Gray code: the rank whose gray_code() is g.
+[[nodiscard]] constexpr std::uint64_t gray_rank(NodeId g) {
+  std::uint64_t r = g;
+  for (unsigned shift = 1; shift < 64; shift <<= 1) {
+    r ^= r >> shift;
+  }
+  return r;
+}
+
+}  // namespace hcs

@@ -1,0 +1,105 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+#include "util/strfmt.hpp"
+
+namespace hcs {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  HCS_EXPECTS(!flags_.contains(name));
+  flags_[name] = Flag{default_value, help, /*is_bool=*/false};
+}
+
+void CliParser::add_bool_flag(const std::string& name,
+                              const std::string& help) {
+  HCS_EXPECTS(!flags_.contains(name));
+  flags_[name] = Flag{"false", help, /*is_bool=*/true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  program_name_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (it->second.is_bool) {
+      values_[name] = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto flag = flags_.find(name);
+  HCS_EXPECTS(flag != flags_.end());
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : flag->second.default_value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+std::uint64_t CliParser::get_uint(const std::string& name) const {
+  return std::strtoull(get(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string CliParser::usage() const {
+  std::string out = description_ + "\n\nUsage: " + program_name_ +
+                    " [flags]\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  " + pad_right("--" + name, 22) + flag.help;
+    if (!flag.is_bool) out += " (default: " + flag.default_value + ")";
+    out += "\n";
+  }
+  out += "  " + pad_right("--help", 22) + "show this message\n";
+  return out;
+}
+
+}  // namespace hcs

@@ -1,0 +1,58 @@
+// Minimal command-line flag parsing for the example programs.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` flags, with
+// typed accessors and an auto-generated --help listing. Deliberately tiny:
+// examples should read like demonstrations of the library, not of an
+// argument parser.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hcs {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Registers a flag with a default value and a help string. Call before
+  /// parse(). Booleans default to false and are set by bare `--name`.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+  void add_bool_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or on a
+  /// malformed/unknown flag.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    bool is_bool = false;
+  };
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Flag> flags_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hcs

@@ -1,0 +1,63 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace hcs {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string csv_line(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+std::string table_to_csv(const Table& table) {
+  std::string out = csv_line(table.headers()) + "\n";
+  for (const auto& row : table.rows()) {
+    if (row.empty()) continue;  // separator
+    out += csv_line(row) + "\n";
+  }
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HCS_EXPECTS(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  HCS_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::render() const {
+  std::string out = csv_line(header_) + "\n";
+  for (const auto& row : rows_) out += csv_line(row) + "\n";
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << render();
+  return static_cast<bool>(file);
+}
+
+}  // namespace hcs

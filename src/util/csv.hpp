@@ -1,0 +1,49 @@
+// CSV serialization of result tables.
+//
+// Every bench prints human-readable tables; pipelines that plot the
+// reproduction curves want the same rows machine-readable. CsvWriter
+// mirrors Table's add-row interface and handles quoting; Table::to_csv()
+// converts directly.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace hcs {
+
+/// Escapes one CSV field per RFC 4180 (quotes when the value contains a
+/// comma, quote, or newline).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// One row of fields -> one CSV line (no trailing newline).
+[[nodiscard]] std::string csv_line(const std::vector<std::string>& fields);
+
+/// A Table's header + rows as a CSV document (separator rows are skipped).
+[[nodiscard]] std::string table_to_csv(const Table& table);
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  template <typename... Args>
+  void add(const Args&... args) {
+    add_row({detail::table_cell(args)...});
+  }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+  /// Writes render() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hcs

@@ -1,0 +1,60 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hcs {
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  HCS_EXPECTS(x.size() == y.size());
+  HCS_EXPECTS(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  HCS_EXPECTS(denom != 0.0 && "x values must not be constant");
+
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0.0) {
+    fit.r_squared = 1.0;  // constant y: a flat line explains everything
+  } else {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+LinearFit fit_power_law(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  HCS_EXPECTS(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    HCS_EXPECTS(x[i] > 0 && y[i] > 0);
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+double empirical_exponent(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  return fit_power_law(x, y).slope;
+}
+
+}  // namespace hcs

@@ -1,0 +1,37 @@
+// Least-squares fitting for empirical growth rates.
+//
+// The benches report measured cost curves next to the paper's asymptotic
+// claims; a log-log linear fit turns "looks like n^1.0 / sqrt(log n)" into
+// a number. Plain OLS on transformed coordinates -- nothing fancy, but
+// tested and shared rather than re-derived in every bench.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hcs {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in the fitted space.
+  double r_squared = 1.0;
+};
+
+/// OLS fit y = slope * x + intercept. Requires >= 2 points and non-constant
+/// x.
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+/// Fits y = C * x^p by OLS on (log x, log y); returns p as slope and log C
+/// as intercept. All samples must be positive.
+[[nodiscard]] LinearFit fit_power_law(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+/// The empirical exponent p of y ~ x^p (shorthand for
+/// fit_power_law(...).slope).
+[[nodiscard]] double empirical_exponent(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+}  // namespace hcs

@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/strfmt.hpp"
+
+namespace hcs {
+
+void StatAccumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::min() const {
+  HCS_EXPECTS(count_ > 0);
+  return min_;
+}
+
+double StatAccumulator::max() const {
+  HCS_EXPECTS(count_ > 0);
+  return max_;
+}
+
+double StatAccumulator::mean() const {
+  HCS_EXPECTS(count_ > 0);
+  return mean_;
+}
+
+double StatAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string StatAccumulator::summary(int precision) const {
+  if (count_ == 0) return "(empty)";
+  return str_cat("mean=", fixed(mean(), precision), " min=",
+                 fixed(min(), precision), " max=", fixed(max(), precision),
+                 " sd=", fixed(stddev(), precision), " (n=", count_, ")");
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+QuantileSketch::QuantileSketch(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_state_(seed | 1) {
+  HCS_EXPECTS(capacity >= 1);
+  reservoir_.reserve(capacity);
+}
+
+void QuantileSketch::add(double x) {
+  ++count_;
+  sorted_ = false;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(x);
+    return;
+  }
+  // Algorithm R: replace a uniformly random slot with probability
+  // capacity/count. splitmix-style inline generator keeps the class
+  // self-contained.
+  std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const std::uint64_t slot = z % count_;
+  if (slot < capacity_) {
+    reservoir_[static_cast<std::size_t>(slot)] = x;
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  HCS_EXPECTS(q >= 0.0 && q <= 1.0);
+  HCS_EXPECTS(!reservoir_.empty());
+  if (!sorted_) {
+    sorted_cache_ = reservoir_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    sorted_ = true;
+  }
+  const auto last = sorted_cache_.size() - 1;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(last));
+  return sorted_cache_[idx];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  HCS_EXPECTS(lo < hi);
+  HCS_EXPECTS(buckets >= 1);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double a = lo_ + width * static_cast<double>(i);
+    const double b = a + width;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_bar_width));
+    out += pad_left("[" + fixed(a, 1) + ", " + fixed(b, 1) + ")", 18);
+    out += " " + pad_left(std::to_string(counts_[i]), 8) + " ";
+    out += std::string(bar, '#');
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hcs

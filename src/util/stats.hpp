@@ -1,0 +1,92 @@
+// Streaming statistics accumulators for experiment measurements.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcs {
+
+/// Welford-style streaming accumulator: min / max / mean / variance without
+/// storing samples.
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (0 when count < 2).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// "mean=.. min=.. max=.. sd=.. (n=..)"
+  [[nodiscard]] std::string summary(int precision = 2) const;
+
+  /// Merges another accumulator into this one (parallel-reduction support).
+  void merge(const StatAccumulator& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Reservoir-sampled quantile estimator: keeps a uniform sample of up to
+/// `capacity` observations (Vitter's Algorithm R) and answers arbitrary
+/// quantiles from it. Exact while the stream fits in the reservoir;
+/// unbiased sampling beyond. Used for latency/capture-time tails where the
+/// streaming accumulator's mean/sd is not enough.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(std::size_t capacity = 4096,
+                          std::uint64_t seed = 0x5eed);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Empirical q-quantile of the sampled values, q in [0, 1]; requires at
+  /// least one observation.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t count_ = 0;
+  std::uint64_t rng_state_;
+  std::vector<double> reservoir_;
+  mutable bool sorted_ = false;
+  mutable std::vector<double> sorted_cache_;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets. Used to characterize delay and capture-time distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// ASCII bar rendering, one line per bucket.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hcs

@@ -1,0 +1,40 @@
+// Small string-formatting helpers.
+//
+// GCC 12 does not ship std::format, so benches and examples use these
+// minimal, allocation-friendly helpers instead of iostream manipulators
+// scattered through the code.
+
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace hcs {
+
+/// Concatenates the stream renderings of all arguments.
+template <typename... Args>
+[[nodiscard]] std::string str_cat(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+/// Renders an integer with thousands separators: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Fixed-precision rendering of a double (no trailing-zero trimming).
+[[nodiscard]] std::string fixed(double value, int precision);
+
+/// Left/right padding to a given width (no truncation).
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+/// Human-readable ratio such as "3.17x".
+[[nodiscard]] std::string ratio(double numerator, double denominator);
+
+}  // namespace hcs

@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/strfmt.hpp"
+
+namespace hcs {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> alignments)
+    : headers_(std::move(headers)), alignments_(std::move(alignments)) {
+  HCS_EXPECTS(!headers_.empty());
+  if (alignments_.empty()) {
+    // Default: first column left (usually a label), the rest right (numbers).
+    alignments_.assign(headers_.size(), Align::kRight);
+    alignments_[0] = Align::kLeft;
+  }
+  HCS_EXPECTS(alignments_.size() == headers_.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HCS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::render() const {
+  const std::size_t cols = headers_.size();
+  std::vector<std::size_t> widths(cols);
+  for (std::size_t c = 0; c < cols; ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < cols; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < cols; ++c) {
+      s += std::string(widths[c] + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = alignments_[c] == Align::kLeft
+                                   ? pad_right(row[c], widths[c])
+                                   : pad_left(row[c], widths[c]);
+      s += " " + cell + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = rule + render_row(headers_) + rule;
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule : render_row(row);
+  }
+  out += rule;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+}  // namespace hcs

@@ -1,0 +1,78 @@
+// ASCII table rendering for the benchmark harness and examples.
+//
+// Every bench binary regenerates one of the paper's quantitative claims as
+// a "paper vs measured" table; this utility keeps that output uniform and
+// copy-pasteable into EXPERIMENTS.md.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hcs {
+
+/// Column alignment within a Table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, append rows, render.
+///
+/// Example:
+///   Table t({"d", "n", "agents (measured)", "agents (formula)"});
+///   t.add_row({"4", "16", "10", "10"});
+///   std::cout << t;
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> alignments = {});
+
+  /// Appends a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: appends a row of heterogeneous printable values.
+  template <typename... Args>
+  void add(const Args&... args);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  /// Raw rows; an empty vector marks a separator.
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Renders with aligned columns, a header rule, and outer borders.
+  [[nodiscard]] std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+namespace detail {
+template <typename T>
+std::string table_cell(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(v);
+  } else {
+    return std::to_string(v);
+  }
+}
+}  // namespace detail
+
+template <typename... Args>
+void Table::add(const Args&... args) {
+  add_row({detail::table_cell(args)...});
+}
+
+}  // namespace hcs

@@ -1,0 +1,77 @@
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/formulas.hpp"
+
+namespace hcs::core {
+namespace {
+
+TEST(Audit, ListsAllFiveStrategiesWithExactCosts) {
+  const AuditReport r = plan_audit(8, AuditGoal::kAgents);
+  ASSERT_EQ(r.candidates.size(), 5u);
+  EXPECT_EQ(r.candidates[0].agents, clean_team_size(8));
+  EXPECT_EQ(r.candidates[1].agents, visibility_team_size(8));
+  EXPECT_EQ(r.candidates[1].moves, visibility_moves(8));
+  EXPECT_EQ(r.candidates[2].moves, cloning_moves(8));
+  EXPECT_EQ(r.candidates[3].time, visibility_time(8));
+  EXPECT_EQ(r.candidates[4].agents, naive_sweep_team_size(8));
+  for (const auto& c : r.candidates) EXPECT_TRUE(c.feasible);
+}
+
+TEST(Audit, GoalSelectsTheRightWinner) {
+  const auto agents = plan_audit(10, AuditGoal::kAgents);
+  ASSERT_TRUE(agents.recommended.has_value());
+  EXPECT_EQ(agents.candidates[*agents.recommended].name,
+            "CLEAN (coordinated)");
+
+  const auto moves = plan_audit(10, AuditGoal::kMoves);
+  ASSERT_TRUE(moves.recommended.has_value());
+  EXPECT_EQ(moves.candidates[*moves.recommended].name, "CLONING variant");
+
+  const auto time = plan_audit(10, AuditGoal::kTime);
+  ASSERT_TRUE(time.recommended.has_value());
+  // Three strategies tie at log n; the first feasible one wins.
+  EXPECT_EQ(time.candidates[*time.recommended].time, visibility_time(10));
+}
+
+TEST(Audit, CapabilitiesExcludeStrategies) {
+  AuditCapabilities caps;
+  caps.visibility = false;
+  caps.cloning = false;
+  const auto r = plan_audit(8, AuditGoal::kTime, caps);
+  EXPECT_FALSE(r.candidates[1].feasible);  // visibility
+  EXPECT_FALSE(r.candidates[2].feasible);  // cloning
+  EXPECT_TRUE(r.candidates[3].feasible);   // synchronous still allowed
+  ASSERT_TRUE(r.recommended.has_value());
+  EXPECT_EQ(r.candidates[*r.recommended].name, "SYNCHRONOUS variant");
+
+  caps.synchronous = false;
+  const auto r2 = plan_audit(8, AuditGoal::kTime, caps);
+  ASSERT_TRUE(r2.recommended.has_value());
+  // Only CLEAN and the naive sweep survive; CLEAN is faster.
+  EXPECT_EQ(r2.candidates[*r2.recommended].name, "CLEAN (coordinated)");
+}
+
+TEST(Audit, MoveBudgetFilters) {
+  // A budget below every strategy's sweep leaves nothing.
+  const auto r = plan_audit(8, AuditGoal::kAgents, {}, 10);
+  EXPECT_FALSE(r.recommended.has_value());
+  for (const auto& c : r.candidates) EXPECT_FALSE(c.feasible);
+
+  // A budget that only the cloning variant fits (n-1 = 255 moves at d=8).
+  const auto r2 = plan_audit(8, AuditGoal::kAgents, {}, 300);
+  ASSERT_TRUE(r2.recommended.has_value());
+  EXPECT_EQ(r2.candidates[*r2.recommended].name, "CLONING variant");
+}
+
+TEST(Audit, TrafficPerHost) {
+  const auto r = plan_audit(10, AuditGoal::kMoves);
+  ASSERT_TRUE(r.recommended.has_value());
+  // Cloning: (n-1)/n traversals per host.
+  EXPECT_NEAR(r.traffic_per_host(), 1023.0 / 1024.0, 1e-9);
+  EXPECT_EQ(plan_audit(4, AuditGoal::kAgents, {}, 1).traffic_per_host(), 0.0);
+}
+
+}  // namespace
+}  // namespace hcs::core

@@ -1,0 +1,140 @@
+// Hypercube automorphisms and arbitrary-homebase re-rooting.
+
+#include "hypercube/automorphism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/formulas.hpp"
+#include "core/clean_visibility.hpp"
+#include "core/homebase.hpp"
+#include "core/replay.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(Automorphism, IdentityFixesEverything) {
+  const CubeAutomorphism id(5);
+  for (NodeId x = 0; x < 32; ++x) EXPECT_EQ(id.apply(x), x);
+  for (BitPos j = 1; j <= 5; ++j) EXPECT_EQ(id.apply_dimension(j), j);
+  EXPECT_TRUE(id.is_automorphism());
+}
+
+TEST(Automorphism, TranslationIsXor) {
+  const auto t = CubeAutomorphism::translation(4, 0b1010);
+  EXPECT_EQ(t.apply(0b0000), 0b1010u);
+  EXPECT_EQ(t.apply(0b1010), 0b0000u);
+  EXPECT_EQ(t.apply(0b1111), 0b0101u);
+  EXPECT_TRUE(t.is_automorphism());
+}
+
+TEST(Automorphism, BitPermutationMovesDimensions) {
+  // Swap positions 1 and 3 in H_3.
+  const CubeAutomorphism a(3, {3, 2, 1}, 0);
+  EXPECT_EQ(a.apply(0b001), 0b100u);
+  EXPECT_EQ(a.apply(0b100), 0b001u);
+  EXPECT_EQ(a.apply(0b010), 0b010u);
+  EXPECT_EQ(a.apply_dimension(1), 3u);
+  EXPECT_TRUE(a.is_automorphism());
+}
+
+TEST(Automorphism, InverseUndoesApply) {
+  Rng rng(12);
+  for (int round = 0; round < 20; ++round) {
+    const auto a = CubeAutomorphism::random(6, rng);
+    const auto inv = a.inverse();
+    for (NodeId x = 0; x < 64; ++x) {
+      EXPECT_EQ(inv.apply(a.apply(x)), x);
+      EXPECT_EQ(a.apply(inv.apply(x)), x);
+    }
+  }
+}
+
+TEST(Automorphism, ComposeMatchesSequentialApplication) {
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const auto a = CubeAutomorphism::random(5, rng);
+    const auto b = CubeAutomorphism::random(5, rng);
+    const auto ab = a.compose(b);
+    for (NodeId x = 0; x < 32; ++x) {
+      EXPECT_EQ(ab.apply(x), a.apply(b.apply(x)));
+    }
+    EXPECT_TRUE(ab.is_automorphism());
+  }
+}
+
+TEST(Automorphism, RandomInstancesPreserveAdjacency) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(CubeAutomorphism::random(7, rng).is_automorphism());
+  }
+}
+
+TEST(AutomorphismDeath, RejectsMalformedPermutations) {
+  EXPECT_DEATH(CubeAutomorphism(3, {1, 1, 2}, 0), "precondition");
+  EXPECT_DEATH(CubeAutomorphism(3, {1, 2, 4}, 0), "precondition");
+  EXPECT_DEATH(CubeAutomorphism::translation(3, 0b1000), "precondition");
+}
+
+// ------------------------------------------------------ homebase re-root
+
+class HomebaseSweep : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(HomebaseSweep, VisibilityPlanFromAnyHomebaseVerifies) {
+  const unsigned d = 4;
+  const NodeId home = GetParam();
+  const core::SearchPlan plan = core::plan_clean_visibility_from(d, home);
+  EXPECT_EQ(plan.homebase, home);
+  EXPECT_EQ(plan.num_agents, core::visibility_team_size(d));
+  EXPECT_EQ(plan.total_moves(), core::visibility_moves(d));
+  const graph::Graph g = graph::make_hypercube(d);
+  const auto v = core::verify_plan(g, plan);
+  EXPECT_TRUE(v.ok()) << "home=" << home << ": " << v.error;
+}
+
+TEST_P(HomebaseSweep, CleanSyncPlanFromAnyHomebaseVerifies) {
+  const unsigned d = 4;
+  const NodeId home = GetParam();
+  const core::SearchPlan plan = core::plan_clean_sync_from(d, home);
+  EXPECT_EQ(plan.homebase, home);
+  EXPECT_EQ(plan.num_agents, core::clean_team_size(d));
+  const graph::Graph g = graph::make_hypercube(d);
+  const auto v = core::verify_plan(g, plan);
+  EXPECT_TRUE(v.ok()) << "home=" << home << ": " << v.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteenHomebases, HomebaseSweep,
+                         ::testing::Range<NodeId>(0, 16),
+                         [](const ::testing::TestParamInfo<NodeId>& param_info) {
+                           return "home" + std::to_string(param_info.param);
+                         });
+
+TEST(Homebase, RandomAutomorphismPreservesPlanValidity) {
+  // Costs and safety are invariant under the full automorphism group, not
+  // just translations.
+  Rng rng(7);
+  const unsigned d = 5;
+  const core::SearchPlan base = core::plan_clean_visibility(d);
+  const graph::Graph g = graph::make_hypercube(d);
+  for (int round = 0; round < 8; ++round) {
+    const auto f = CubeAutomorphism::random(d, rng);
+    const core::SearchPlan moved = core::transform_plan(base, f);
+    EXPECT_EQ(moved.total_moves(), base.total_moves());
+    EXPECT_EQ(moved.num_rounds(), base.num_rounds());
+    const auto v = core::verify_plan(g, moved);
+    EXPECT_TRUE(v.ok()) << v.error;
+  }
+}
+
+TEST(Homebase, ReRootedPlanReplaysOnEngine) {
+  const unsigned d = 4;
+  const graph::Graph g = graph::make_hypercube(d);
+  const core::SearchPlan plan = core::plan_clean_visibility_from(d, 0b1011);
+  const auto out = core::replay_plan(g, plan);
+  EXPECT_TRUE(out.all_clean);
+  EXPECT_EQ(out.recontaminations, 0u);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,89 @@
+#include "util/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcs {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 5), 252u);
+  EXPECT_EQ(binomial(20, 10), 184756u);
+}
+
+TEST(Binomial, PaperConventionZeroWhenKExceedsN) {
+  // The proofs use "C(a, b) = 0 for a < b".
+  EXPECT_EQ(binomial(3, 4), 0u);
+  EXPECT_EQ(binomial(0, 1), 0u);
+}
+
+TEST(Binomial, LargeValuesExact) {
+  EXPECT_EQ(binomial(40, 20), 137846528820ull);
+  EXPECT_EQ(binomial(60, 30), 118264581564861424ull);
+  EXPECT_EQ(binomial(63, 31), 916312070471295267ull);
+}
+
+TEST(Binomial, PascalRecurrence) {
+  for (unsigned n = 1; n <= 30; ++n) {
+    for (unsigned k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, PascalRowMatches) {
+  const auto row = pascal_row(8);
+  ASSERT_EQ(row.size(), 9u);
+  for (unsigned k = 0; k <= 8; ++k) EXPECT_EQ(row[k], binomial(8, k));
+}
+
+TEST(Binomial, RowSumIsPowerOfTwo) {
+  // Used in Theorem 3: sum_l C(d, l) = 2^d = n.
+  for (unsigned n = 0; n <= 40; ++n) {
+    EXPECT_EQ(sum_binomials(n), std::uint64_t{1} << n);
+  }
+}
+
+TEST(Binomial, WeightedRowSum) {
+  // Used in Theorem 3: sum_l l C(d, l) = d 2^(d-1).
+  for (unsigned n = 1; n <= 40; ++n) {
+    EXPECT_EQ(sum_weighted_binomials(n),
+              static_cast<std::uint64_t>(n) << (n - 1));
+  }
+}
+
+TEST(Binomial, VandermondeHockeyStick) {
+  // Sum_i C(i, a) C(n-i, b) = C(n+1, a+b+1), the identity behind Lemma 3.
+  for (unsigned n = 0; n <= 24; ++n) {
+    for (unsigned a = 0; a <= 4; ++a) {
+      for (unsigned b = 0; b <= 4; ++b) {
+        EXPECT_EQ(vandermonde_hockey_stick(n, a, b),
+                  binomial(n + 1, a + b + 1))
+            << "n=" << n << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Binomial, CentralBinomialIsRowMaximum) {
+  for (unsigned n = 1; n <= 40; ++n) {
+    const std::uint64_t central = central_binomial(n);
+    for (unsigned k = 0; k <= n; ++k) {
+      EXPECT_GE(central, binomial(n, k));
+    }
+  }
+}
+
+TEST(Binomial, ArgmaxActiveAgentsIsCentral) {
+  // Lemma 4: the CLEAN peak sits at l = d/2 or d/2 - 1 for even d.
+  for (unsigned d = 4; d <= 20; d += 2) {
+    const unsigned l = argmax_active_agents(d);
+    EXPECT_TRUE(l == d / 2 || l == d / 2 - 1) << "d=" << d << " l=" << l;
+  }
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,88 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hcs {
+namespace {
+
+TEST(Bitops, MsbPositionMatchesPaperConvention) {
+  EXPECT_EQ(msb_position(0), 0u);  // m(00...0) = 0
+  EXPECT_EQ(msb_position(0b1), 1u);
+  EXPECT_EQ(msb_position(0b10), 2u);
+  EXPECT_EQ(msb_position(0b11), 2u);
+  EXPECT_EQ(msb_position(0b100101), 6u);
+  EXPECT_EQ(msb_position(NodeId{1} << 62), 63u);
+}
+
+TEST(Bitops, LsbPosition) {
+  EXPECT_EQ(lsb_position(0), 0u);
+  EXPECT_EQ(lsb_position(0b1), 1u);
+  EXPECT_EQ(lsb_position(0b1000), 4u);
+  EXPECT_EQ(lsb_position(0b101100), 3u);
+}
+
+TEST(Bitops, BitManipulationRoundTrips) {
+  for (BitPos j = 1; j <= 16; ++j) {
+    NodeId x = 0;
+    EXPECT_FALSE(test_bit(x, j));
+    x = set_bit(x, j);
+    EXPECT_TRUE(test_bit(x, j));
+    EXPECT_EQ(x, bit_value(j));
+    EXPECT_EQ(flip_bit(x, j), 0u);
+    EXPECT_EQ(clear_bit(x, j), 0u);
+  }
+}
+
+TEST(Bitops, PopcountEqualsLevel) {
+  EXPECT_EQ(popcount(0), 0u);
+  EXPECT_EQ(popcount(0b1011), 3u);
+  EXPECT_EQ(popcount(all_ones(8)), 8u);
+}
+
+TEST(Bitops, AllOnesMask) {
+  EXPECT_EQ(all_ones(1), 0b1u);
+  EXPECT_EQ(all_ones(4), 0b1111u);
+  EXPECT_EQ(all_ones(63), (NodeId{1} << 63) - 1);
+}
+
+TEST(Bitops, ForEachSetBitVisitsAscending) {
+  std::vector<BitPos> seen;
+  for_each_set_bit(0b1010110, [&](BitPos p) { seen.push_back(p); });
+  EXPECT_EQ(seen, (std::vector<BitPos>{2, 3, 5, 7}));
+  seen.clear();
+  for_each_set_bit(0, [&](BitPos p) { seen.push_back(p); });
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(Bitops, BinaryStringsMatchPaperNotation) {
+  // The paper writes node ids msb-first: (0001) is the node with bit 1 set.
+  EXPECT_EQ(to_binary_string(0b0001, 4), "0001");
+  EXPECT_EQ(to_binary_string(0b1000, 4), "1000");
+  EXPECT_EQ(to_binary_string(0, 6), "000000");
+  EXPECT_EQ(to_binary_string(all_ones(6), 6), "111111");
+  for (NodeId x = 0; x < 64; ++x) {
+    EXPECT_EQ(from_binary_string(to_binary_string(x, 6)), x);
+  }
+}
+
+TEST(Bitops, GrayCodeAdjacentRanksDifferInOneBit) {
+  for (std::uint64_t r = 0; r + 1 < 1024; ++r) {
+    EXPECT_EQ(popcount(gray_code(r) ^ gray_code(r + 1)), 1u);
+  }
+}
+
+TEST(Bitops, GrayRankInvertsGrayCode) {
+  for (std::uint64_t r = 0; r < 4096; ++r) {
+    EXPECT_EQ(gray_rank(gray_code(r)), r);
+  }
+}
+
+TEST(BitopsDeath, BinaryStringContractViolations) {
+  EXPECT_DEATH((void)to_binary_string(0b10000, 4), "precondition");
+  EXPECT_DEATH((void)from_binary_string("01x1"), "precondition");
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,127 @@
+#include "hypercube/broadcast_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/binomial.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(BroadcastTree, RootIsTd) {
+  for (unsigned d = 1; d <= 10; ++d) {
+    const BroadcastTree tree(d);
+    EXPECT_EQ(tree.type_of(BroadcastTree::root()), d);
+    EXPECT_EQ(tree.child_count(0), d);
+    EXPECT_EQ(tree.subtree_size(0), std::uint64_t{1} << d);
+  }
+}
+
+TEST(BroadcastTree, TypeIsDMinusMsb) {
+  const BroadcastTree tree(6);
+  EXPECT_EQ(tree.type_of(0b000001), 5u);
+  EXPECT_EQ(tree.type_of(0b100000), 0u);
+  EXPECT_EQ(tree.type_of(0b001010), 2u);
+}
+
+TEST(BroadcastTree, ChildrenAreBiggerNeighborsWithDescendingTypes) {
+  const BroadcastTree tree(6);
+  for (NodeId x = 0; x < 64; ++x) {
+    const auto children = tree.children(x);
+    const unsigned k = tree.type_of(x);
+    ASSERT_EQ(children.size(), k);
+    // Paper's order: types T(k-1), ..., T(0).
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      EXPECT_EQ(tree.type_of(children[i]), k - 1 - i);
+      EXPECT_EQ(tree.parent(children[i]), x);
+    }
+  }
+}
+
+TEST(BroadcastTree, ParentClearsMsb) {
+  const BroadcastTree tree(5);
+  EXPECT_EQ(tree.parent(0b10110), 0b00110u);
+  EXPECT_EQ(tree.parent(0b00001), 0b00000u);
+}
+
+TEST(BroadcastTree, TreeEdgeDetection) {
+  const BroadcastTree tree(4);
+  EXPECT_TRUE(tree.is_tree_edge(0b0000, 0b0100));
+  EXPECT_TRUE(tree.is_tree_edge(0b0100, 0b0000));  // symmetric
+  EXPECT_TRUE(tree.is_tree_edge(0b0011, 0b1011));
+  // (0001, 0011) differs in bit 2 > msb(0001): tree edge.
+  EXPECT_TRUE(tree.is_tree_edge(0b0001, 0b0011));
+  // (0010, 0011) differs in bit 1 <= msb(0010)=2: a cross edge.
+  EXPECT_FALSE(tree.is_tree_edge(0b0010, 0b0011));
+  EXPECT_FALSE(tree.is_tree_edge(0b0000, 0b0011));  // not even adjacent
+}
+
+TEST(BroadcastTree, SubtreeSizesAndLeaves) {
+  const BroadcastTree tree(8);
+  for (NodeId x = 0; x < 256; ++x) {
+    const unsigned k = tree.type_of(x);
+    EXPECT_EQ(tree.subtree_size(x), std::uint64_t{1} << k);
+    EXPECT_EQ(tree.subtree_leaves(x),
+              k == 0 ? 1 : std::uint64_t{1} << (k - 1));
+    EXPECT_EQ(tree.is_leaf(x), k == 0);
+  }
+  EXPECT_EQ(tree.leaves().size(), 128u);
+}
+
+TEST(BroadcastTree, PathFromRootAddsBitsAscending) {
+  const BroadcastTree tree(6);
+  const auto path = tree.path_from_root(0b101100);
+  ASSERT_EQ(path.size(), 4u);  // level 3 -> 3 edges
+  EXPECT_EQ(path[0], 0b000000u);
+  EXPECT_EQ(path[1], 0b000100u);
+  EXPECT_EQ(path[2], 0b001100u);
+  EXPECT_EQ(path[3], 0b101100u);
+  // Every consecutive pair is a tree edge.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(tree.is_tree_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(BroadcastTree, LeafAndTypeCountFormulas) {
+  for (unsigned d = 1; d <= 10; ++d) {
+    const BroadcastTree tree(d);
+    std::uint64_t leaves = 0;
+    for (unsigned l = 1; l <= d; ++l) {
+      EXPECT_EQ(tree.leaves_at_level(l), binomial(d - 1, l - 1));
+      leaves += tree.leaves_at_level(l);
+    }
+    EXPECT_EQ(leaves, std::uint64_t{1} << (d - 1));
+  }
+}
+
+TEST(BroadcastTree, TypeCountAtLevelMatchesEnumeration) {
+  const BroadcastTree tree(7);
+  std::map<std::pair<unsigned, unsigned>, std::uint64_t> counted;
+  for (NodeId x = 0; x < 128; ++x) {
+    ++counted[{tree.cube().level(x), tree.type_of(x)}];
+  }
+  for (unsigned l = 1; l <= 7; ++l) {
+    for (unsigned k = 0; k < 7; ++k) {
+      const auto it = counted.find({l, k});
+      EXPECT_EQ(it == counted.end() ? 0 : it->second,
+                tree.type_count_at_level(k, l))
+          << "l=" << l << " k=" << k;
+    }
+  }
+}
+
+TEST(BroadcastTree, PreorderCoversAllNodesParentFirst) {
+  const BroadcastTree tree(6);
+  const auto order = tree.preorder();
+  EXPECT_EQ(order.size(), 64u);
+  std::vector<std::size_t> pos(64);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId x = 1; x < 64; ++x) {
+    EXPECT_LT(pos[tree.parent(x)], pos[x]);
+  }
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,130 @@
+// Algorithm 2 (CLEAN WITH VISIBILITY): claim allocation, the wave planner,
+// and the asynchronous distributed protocol, including the move-semantics
+// ablation showing why the atomic hand-over matters.
+
+#include "core/clean_visibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/formulas.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "hypercube/broadcast_tree.hpp"
+
+namespace hcs::core {
+namespace {
+
+TEST(VisibilityClaims, RequiredAgentsMatchTypeDemand) {
+  const unsigned d = 6;
+  const BroadcastTree tree(d);
+  for (NodeId x = 0; x < 64; ++x) {
+    EXPECT_EQ(visibility_required_agents(d, x),
+              visibility_node_demand(tree.type_of(x)));
+  }
+  EXPECT_EQ(visibility_required_agents(d, 0), 32u);  // the root: n/2
+}
+
+TEST(VisibilityClaims, DestinationsCoverChildrenWithExactShares) {
+  const unsigned d = 6;
+  const BroadcastTree tree(d);
+  for (NodeId x = 0; x < 64; ++x) {
+    const unsigned k = tree.type_of(x);
+    if (k == 0) continue;
+    const std::uint64_t total = visibility_required_agents(d, x);
+    std::map<NodeId, std::uint64_t> shares;
+    for (std::uint64_t c = 0; c < total; ++c) {
+      shares[visibility_claim_destination(d, x, c)]++;
+    }
+    // Every child receives exactly its own demand.
+    EXPECT_EQ(shares.size(), k);
+    for (NodeId child : tree.children(x)) {
+      EXPECT_EQ(shares[child],
+                visibility_node_demand(tree.type_of(child)))
+          << "x=" << x << " child=" << child;
+    }
+  }
+}
+
+TEST(VisibilityClaims, OverClaimAborts) {
+  EXPECT_DEATH(
+      (void)visibility_claim_destination(4, 0b0001, 4),  // T(3): 4 agents
+      "claim exceeds");
+}
+
+class VisibilityPlanSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VisibilityPlanSweep, PlanVerifiesWithExactCosts) {
+  const unsigned d = GetParam();
+  VisibilityStats stats;
+  const SearchPlan plan = plan_clean_visibility(d, &stats);
+  const graph::Graph g = graph::make_hypercube(d);
+  const PlanVerification v = verify_plan(g, plan);
+  EXPECT_TRUE(v.ok()) << v.error;
+  EXPECT_EQ(stats.team_size, visibility_team_size(d));   // Theorem 5
+  EXPECT_EQ(stats.moves, visibility_moves(d));           // Theorem 8
+  EXPECT_EQ(stats.rounds, visibility_time(d));           // Theorem 7
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, VisibilityPlanSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           10u, 12u, 14u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(VisibilityDistributed, UnitDelaysAchieveLogNTime) {
+  for (unsigned d = 1; d <= 9; ++d) {
+    const SimOutcome out = run_strategy_sim(StrategyKind::kVisibility, d);
+    EXPECT_TRUE(out.correct()) << "d=" << d;
+    EXPECT_EQ(out.team_size, visibility_team_size(d));
+    EXPECT_EQ(out.total_moves, visibility_moves(d));
+    EXPECT_DOUBLE_EQ(out.makespan, static_cast<double>(d));  // Theorem 7
+  }
+}
+
+TEST(VisibilityDistributed, AsynchronousSchedulesStaySafe) {
+  // Theorem 6 under adversarial asynchrony: any delay distribution and any
+  // wake order keeps the run monotone and complete; only the wall-clock
+  // changes. Move counts are schedule-independent.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SimRunConfig config;
+    config.delay = seed % 2 ? sim::DelayModel::uniform(0.1, 5.0)
+                            : sim::DelayModel::heavy_tailed();
+    config.policy = sim::Engine::WakePolicy::kRandom;
+    config.seed = seed;
+    const unsigned d = 3 + static_cast<unsigned>(seed % 4);
+    const SimOutcome out =
+        run_strategy_sim(StrategyKind::kVisibility, d, config);
+    EXPECT_TRUE(out.correct()) << "seed=" << seed << " d=" << d;
+    EXPECT_EQ(out.total_moves, visibility_moves(d));
+    EXPECT_EQ(out.team_size, visibility_team_size(d));
+  }
+}
+
+TEST(VisibilityDistributed, WhiteboardStaysLogarithmic) {
+  const SimOutcome out = run_strategy_sim(StrategyKind::kVisibility, 8);
+  // Two registers ("released", "claimed") of 64 bits each.
+  EXPECT_LE(out.peak_whiteboard_bits, 2u * 64u);
+}
+
+TEST(VisibilityAblation, VacateOnDepartureBreaksMonotonicity) {
+  // The ablation documented in sim/network.hpp: Lemma 5 constrains only the
+  // *smaller* neighbours, so when a node's agents are in flight toward its
+  // (still contaminated) children, only the atomic hand-over keeps the
+  // worst-case intruder out of the vacated node. Without it the sweep
+  // recontaminates.
+  SimRunConfig config;
+  config.semantics = sim::MoveSemantics::kVacateOnDeparture;
+  bool any_violation = false;
+  for (unsigned d = 2; d <= 5; ++d) {
+    const SimOutcome out =
+        run_strategy_sim(StrategyKind::kVisibility, d, config);
+    any_violation = any_violation || out.recontaminations > 0;
+  }
+  EXPECT_TRUE(any_violation);
+}
+
+}  // namespace
+}  // namespace hcs::core

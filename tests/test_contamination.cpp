@@ -1,0 +1,80 @@
+#include "intruder/contamination.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+
+namespace hcs::intruder {
+namespace {
+
+TEST(Contamination, InitialStateExcludesHomebase) {
+  const graph::Graph g = graph::make_hypercube(3);
+  const auto c = initial_contamination(g, 0);
+  EXPECT_FALSE(c[0]);
+  for (graph::Vertex v = 1; v < 8; ++v) EXPECT_TRUE(c[v]);
+  EXPECT_EQ(contaminated_count(c), 7u);
+  EXPECT_FALSE(none_contaminated(c));
+}
+
+TEST(Contamination, ClosureStopsAtGuards) {
+  // Path 0-1-2-3-4, guard at 2, contamination at 4: closure = {3, 4}.
+  const graph::Graph g = graph::make_path(5);
+  std::vector<bool> guarded(5, false);
+  guarded[2] = true;
+  std::vector<bool> contaminated(5, false);
+  contaminated[4] = true;
+  const auto closure = contamination_closure(g, guarded, contaminated);
+  EXPECT_EQ(closure, (std::vector<bool>{false, false, false, true, true}));
+}
+
+TEST(Contamination, GuardedContaminatedNodeIsCleared) {
+  // A guard standing on a contaminated node detects the intruder there: the
+  // node leaves the contaminated set and spreads nothing.
+  const graph::Graph g = graph::make_path(3);
+  std::vector<bool> guarded{false, true, false};
+  std::vector<bool> contaminated{false, true, false};
+  const auto closure = contamination_closure(g, guarded, contaminated);
+  EXPECT_TRUE(none_contaminated(closure));
+}
+
+TEST(Contamination, ClosureFloodsUnguardedRegions) {
+  const graph::Graph g = graph::make_ring(6);
+  std::vector<bool> guarded(6, false);
+  guarded[0] = true;
+  std::vector<bool> contaminated(6, false);
+  contaminated[3] = true;
+  const auto closure = contamination_closure(g, guarded, contaminated);
+  // Everything except the guard is reachable around the ring.
+  for (graph::Vertex v = 1; v < 6; ++v) EXPECT_TRUE(closure[v]);
+  EXPECT_FALSE(closure[0]);
+}
+
+TEST(Contamination, ClosureIsIdempotent) {
+  const graph::Graph g = graph::make_hypercube(4);
+  std::vector<bool> guarded(16, false);
+  guarded[0] = guarded[1] = guarded[2] = true;
+  std::vector<bool> contaminated(16, false);
+  contaminated[15] = true;
+  const auto once = contamination_closure(g, guarded, contaminated);
+  const auto twice = contamination_closure(g, guarded, once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Contamination, FrontierGuardsAreCleanNodesTouchingContamination) {
+  // Path 0-1-2-3-4 with contamination {3,4}: the frontier is {2}.
+  const graph::Graph g = graph::make_path(5);
+  std::vector<bool> contaminated{false, false, false, true, true};
+  const auto frontier = required_frontier_guards(g, contaminated);
+  EXPECT_EQ(frontier,
+            (std::vector<bool>{false, false, true, false, false}));
+}
+
+TEST(Contamination, FrontierEmptyWhenAllClean) {
+  const graph::Graph g = graph::make_hypercube(3);
+  const std::vector<bool> contaminated(8, false);
+  const auto frontier = required_frontier_guards(g, contaminated);
+  for (bool f : frontier) EXPECT_FALSE(f);
+}
+
+}  // namespace
+}  // namespace hcs::intruder

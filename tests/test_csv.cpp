@@ -1,0 +1,61 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hcs {
+namespace {
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(Csv, LineJoining) {
+  EXPECT_EQ(csv_line({"a", "b,c", "d"}), "a,\"b,c\",d");
+  EXPECT_EQ(csv_line({}), "");
+}
+
+TEST(Csv, TableConversionSkipsSeparators) {
+  Table t({"x", "y"});
+  t.add(1, 2);
+  t.add_separator();
+  t.add(3, 4);
+  EXPECT_EQ(table_to_csv(t), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Csv, WriterRendersAndValidates) {
+  CsvWriter w({"d", "value"});
+  w.add(4, "a,b");
+  w.add(5, 10);
+  EXPECT_EQ(w.row_count(), 2u);
+  EXPECT_EQ(w.render(), "d,value\n4,\"a,b\"\n5,10\n");
+}
+
+TEST(CsvDeath, RowWidthMismatchAborts) {
+  CsvWriter w({"a", "b"});
+  EXPECT_DEATH(w.add_row({"only"}), "precondition");
+}
+
+TEST(Csv, WriteFileRoundTrips) {
+  CsvWriter w({"k"});
+  w.add(42);
+  const std::string path = "/tmp/hcs_csv_test.csv";
+  ASSERT_TRUE(w.write_file(path));
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "k");
+  EXPECT_EQ(line2, "42");
+  std::remove(path.c_str());
+  EXPECT_FALSE(w.write_file("/nonexistent-dir/x.csv"));
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,80 @@
+#include "util/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/formulas.hpp"
+#include "util/rng.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(Fit, ExactLine) {
+  const auto fit = fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Fit, NoisyLineRecoversSlope) {
+  Rng rng(4);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 200; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + 10 + rng.uniform(-0.5, 0.5));
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 10.0, 1.0);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Fit, ConstantYIsAFlatPerfectFit) {
+  const auto fit = fit_linear({1, 2, 3}, {7, 7, 7});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(Fit, PowerLawExactExponent) {
+  std::vector<double> x, y;
+  for (double v : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v * std::sqrt(v));  // 3 x^2.5
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+  EXPECT_NEAR(empirical_exponent(x, y), 2.5, 1e-9);
+}
+
+TEST(Fit, TheoremCurvesHaveTheRightExponents) {
+  // The fits the benches report, pinned here: costs as powers of n.
+  std::vector<double> n, vis_moves, clean_team, vis_time;
+  for (unsigned d = 6; d <= 20; ++d) {
+    n.push_back(static_cast<double>(std::uint64_t{1} << d));
+    vis_moves.push_back(static_cast<double>(core::visibility_moves(d)));
+    clean_team.push_back(static_cast<double>(core::clean_team_size(d)));
+    vis_time.push_back(static_cast<double>(core::visibility_time(d)));
+  }
+  // (n/4)(log n + 1): exponent slightly above 1.
+  const double moves_exp = empirical_exponent(n, vis_moves);
+  EXPECT_GT(moves_exp, 1.0);
+  EXPECT_LT(moves_exp, 1.2);
+  // Theta(n / sqrt(log n)): just below 1.
+  const double team_exp = empirical_exponent(n, clean_team);
+  EXPECT_GT(team_exp, 0.9);
+  EXPECT_LT(team_exp, 1.0);
+  // log n: exponent near 0.
+  EXPECT_LT(empirical_exponent(n, vis_time), 0.15);
+}
+
+TEST(FitDeath, ContractViolations) {
+  EXPECT_DEATH((void)fit_linear({1}, {1}), "precondition");
+  EXPECT_DEATH((void)fit_linear({2, 2}, {1, 3}), "constant");
+  EXPECT_DEATH((void)fit_power_law({1, -2}, {1, 1}), "precondition");
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,178 @@
+// The closed forms of core/formulas.hpp against direct combinatorial
+// enumeration: each theorem's expression is recomputed the "long way"
+// (sums over node types, levels, or leaves) and must agree exactly.
+
+#include "core/formulas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hypercube/broadcast_tree.hpp"
+#include "util/binomial.hpp"
+
+namespace hcs::core {
+namespace {
+
+TEST(Formulas, Lemma3ExtrasMatchTypeSum) {
+  // Lemma 3's closed form vs the defining sum: extras for level l are
+  // sum_{k >= 2} (k-1) * #T(k)-nodes-at-level-l.
+  for (unsigned d = 2; d <= 16; ++d) {
+    const BroadcastTree tree(d);
+    for (unsigned l = 1; l < d; ++l) {
+      std::uint64_t direct = 0;
+      for (unsigned k = 2; k <= d - l; ++k) {
+        direct += (k - 1) * tree.type_count_at_level(k, l);
+      }
+      EXPECT_EQ(clean_extra_agents(d, l), direct) << "d=" << d << " l=" << l;
+    }
+  }
+}
+
+TEST(Formulas, Lemma3ExtrasByNodeEnumeration) {
+  for (unsigned d = 2; d <= 10; ++d) {
+    const BroadcastTree tree(d);
+    const Hypercube& cube = tree.cube();
+    std::vector<std::uint64_t> extras(d, 0);
+    for (NodeId x = 1; x < cube.num_nodes(); ++x) {
+      const unsigned k = tree.type_of(x);
+      const unsigned l = cube.level(x);
+      if (k >= 2 && l < d) extras[l] += k - 1;
+    }
+    for (unsigned l = 1; l < d; ++l) {
+      EXPECT_EQ(clean_extra_agents(d, l), extras[l]);
+    }
+  }
+}
+
+TEST(Formulas, Lemma4ActiveAgentsDecomposition) {
+  // Guards C(d,l) + extras + synchronizer == C(d,l+1) + C(d-1,l-1) + 1.
+  for (unsigned d = 2; d <= 20; ++d) {
+    for (unsigned l = 1; l < d; ++l) {
+      EXPECT_EQ(clean_active_agents(d, l),
+                binomial(d, l) + clean_extra_agents(d, l) + 1);
+    }
+  }
+}
+
+TEST(Formulas, Theorem2PeakAtCentralLevels) {
+  for (unsigned d = 4; d <= 20; d += 2) {
+    const unsigned peak = clean_peak_level(d);
+    EXPECT_TRUE(peak == d / 2 || peak == d / 2 - 1) << "d=" << d;
+    EXPECT_EQ(clean_team_size(d), clean_active_agents(d, peak));
+    EXPECT_EQ(peak, argmax_active_agents(d));
+  }
+}
+
+TEST(Formulas, Theorem2SmallValues) {
+  EXPECT_EQ(clean_team_size(1), 2u);   // one agent + synchronizer
+  EXPECT_EQ(clean_team_size(2), 3u);
+  EXPECT_EQ(clean_team_size(3), 5u);   // l=1: C(3,2)+C(2,0)+1
+  EXPECT_EQ(clean_team_size(4), 8u);
+  EXPECT_EQ(clean_team_size(6), 26u);
+}
+
+TEST(Formulas, Theorem2GrowthIsThetaNOverSqrtLogN) {
+  // Erratum check (see formulas.hpp): the exact team size grows like
+  // C(d, d/2) ~ 2^d / sqrt(d), i.e. strictly faster than the paper's
+  // claimed O(n / log n) but well below the visibility strategy's n/2.
+  for (unsigned d = 8; d <= 20; d += 2) {
+    const double team = static_cast<double>(clean_team_size(d));
+    const double n = static_cast<double>(std::uint64_t{1} << d);
+    const double n_over_logn = n / d;
+    const double ratio = team / (n / std::sqrt(static_cast<double>(d)));
+    EXPECT_GT(team, n_over_logn) << "d=" << d;  // exceeds the paper's bound
+    EXPECT_GT(ratio, 0.8) << "d=" << d;         // Theta(n / sqrt(log n))
+    EXPECT_LT(ratio, 1.5) << "d=" << d;
+    EXPECT_LT(team, n / 2) << "d=" << d;        // and beats Algorithm 2
+  }
+}
+
+TEST(Formulas, Theorem3AgentMovesMatchLeafSum) {
+  // (n/2)(log n + 1) == sum over leaf levels of 2 l C(d-1, l-1).
+  for (unsigned d = 1; d <= 20; ++d) {
+    std::uint64_t direct = 0;
+    for (unsigned l = 1; l <= d; ++l) {
+      direct += 2ull * l * binomial(d - 1, l - 1);
+    }
+    EXPECT_EQ(clean_agent_moves(d), direct);
+    EXPECT_EQ(clean_agent_moves(d),
+              (std::uint64_t{1} << (d - 1)) * (d + 1));
+  }
+}
+
+TEST(Formulas, Theorem3SyncEscorts) {
+  for (unsigned d = 1; d <= 20; ++d) {
+    EXPECT_EQ(clean_sync_escort_moves(d),
+              2 * ((std::uint64_t{1} << d) - 1));
+  }
+}
+
+TEST(Formulas, Theorem3NavigationBoundIsONLogN) {
+  for (unsigned d = 2; d <= 20; ++d) {
+    // The bound is at most 2 * sum_l min(l, d-l) C(d,l) <= d * 2^d.
+    EXPECT_LE(clean_sync_navigation_bound(d), n_log_n(d));
+  }
+}
+
+TEST(Formulas, Theorem5And8Visibility) {
+  for (unsigned d = 1; d <= 20; ++d) {
+    EXPECT_EQ(visibility_team_size(d), std::uint64_t{1} << (d - 1));
+    std::uint64_t direct = 0;
+    for (unsigned l = 1; l <= d; ++l) {
+      direct += std::uint64_t{l} * binomial(d - 1, l - 1);
+    }
+    EXPECT_EQ(visibility_moves(d), direct);
+    EXPECT_EQ(visibility_time(d), d);
+  }
+}
+
+TEST(Formulas, VisibilityNodeDemandRecursion) {
+  // 2^(k-1) = 1 + sum_{i=1}^{k-1} 2^(i-1): a node's complement exactly
+  // covers its children's demands (proof of Theorem 5).
+  for (unsigned k = 1; k <= 30; ++k) {
+    std::uint64_t children_demand = 1;  // the T(0) child
+    for (unsigned i = 1; i < k; ++i) {
+      children_demand += visibility_node_demand(i);
+    }
+    EXPECT_EQ(visibility_node_demand(k), children_demand);
+  }
+}
+
+TEST(Formulas, CloningCosts) {
+  for (unsigned d = 1; d <= 20; ++d) {
+    EXPECT_EQ(cloning_agents(d), visibility_team_size(d));
+    EXPECT_EQ(cloning_moves(d), (std::uint64_t{1} << d) - 1);
+    EXPECT_LT(cloning_moves(d), visibility_moves(d) + d);  // cheaper moves
+  }
+}
+
+TEST(Formulas, NaiveSweepDominatesCleanTeam) {
+  for (unsigned d = 2; d <= 20; ++d) {
+    std::uint64_t direct = d;
+    for (unsigned l = 1; l < d; ++l) {
+      direct = std::max(direct, binomial(d, l) + binomial(d, l + 1));
+    }
+    EXPECT_EQ(naive_sweep_team_size(d), direct);
+    // At d = 2 the two coincide; beyond that CLEAN is strictly cheaper.
+    EXPECT_GE(naive_sweep_team_size(d), clean_team_size(d)) << "d=" << d;
+    if (d >= 3) {
+      EXPECT_GT(naive_sweep_team_size(d), clean_team_size(d)) << "d=" << d;
+    }
+  }
+}
+
+TEST(Formulas, BroadcastTreeSearchNumberRecurrence) {
+  // c(T(k)) = max(c(T(k-1)), c(T(k-2)) + 1) with c(T(0)) = c(T(1)) = 1.
+  std::vector<std::uint64_t> c{1, 1};
+  for (unsigned k = 2; k <= 24; ++k) {
+    c.push_back(std::max(c[k - 1], c[k - 2] + 1));
+    EXPECT_EQ(broadcast_tree_search_number(k), c[k]) << "k=" << k;
+  }
+  EXPECT_EQ(broadcast_tree_search_number(6), 4u);
+  EXPECT_EQ(broadcast_tree_search_number(1), 1u);
+}
+
+}  // namespace
+}  // namespace hcs::core

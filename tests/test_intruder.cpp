@@ -1,0 +1,116 @@
+// Concrete intruder models pursued by the paper's strategies.
+
+#include "intruder/intruder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/clean_sync.hpp"
+#include "core/clean_visibility.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+
+namespace hcs::intruder {
+namespace {
+
+/// Runs the visibility strategy on H_d with the given intruder attached.
+template <typename IntruderT, typename... Args>
+std::unique_ptr<IntruderT> hunt(unsigned d, core::StrategyKind kind,
+                                Args&&... args) {
+  const graph::Graph g = graph::make_hypercube(d);
+  sim::Network net(g, 0);
+  net.trace().enable(true);
+  auto intr = std::make_unique<IntruderT>(std::forward<Args>(args)...);
+  intr->attach(net);
+
+  sim::Engine::Config cfg;
+  cfg.visibility = core::strategy_needs_visibility(kind);
+  sim::Engine engine(net, cfg);
+  switch (kind) {
+    case core::StrategyKind::kCleanSync:
+      core::spawn_clean_sync_team(engine, d);
+      break;
+    case core::StrategyKind::kVisibility:
+      core::spawn_visibility_team(engine, d);
+      break;
+    default:
+      ADD_FAILURE() << "unsupported strategy in hunt()";
+  }
+  const auto result = engine.run();
+  EXPECT_TRUE(result.all_terminated);
+  EXPECT_TRUE(net.all_clean());
+  return intr;
+}
+
+TEST(Intruder, StartsFarFromHomebase) {
+  const graph::Graph g = graph::make_hypercube(4);
+  sim::Network net(g, 0);
+  WorstCaseIntruder intr;
+  intr.attach(net);
+  // The farthest contaminated node from homebase 0 is the all-ones node.
+  EXPECT_EQ(intr.position(), 15u);
+  EXPECT_FALSE(intr.captured());
+}
+
+TEST(Intruder, WorstCaseIsCapturedExactlyAtCompletion) {
+  for (unsigned d = 2; d <= 6; ++d) {
+    const auto intr =
+        hunt<WorstCaseIntruder>(d, core::StrategyKind::kVisibility);
+    EXPECT_TRUE(intr->captured()) << "d=" << d;
+    // Captured exactly when the last node is cleared: ideal time d.
+    EXPECT_DOUBLE_EQ(intr->capture_time(), static_cast<double>(d));
+  }
+}
+
+TEST(Intruder, WorstCaseAgainstCleanSync) {
+  const auto intr = hunt<WorstCaseIntruder>(4, core::StrategyKind::kCleanSync);
+  EXPECT_TRUE(intr->captured());
+  EXPECT_GT(intr->capture_time(), 4.0);  // sequential sweep is far slower
+}
+
+TEST(Intruder, RandomFleeIsCaughtNoLaterThanWorstCase) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto weak =
+        hunt<RandomFleeIntruder>(5, core::StrategyKind::kVisibility, seed);
+    EXPECT_TRUE(weak->captured()) << "seed=" << seed;
+    EXPECT_LE(weak->capture_time(), 5.0);
+    EXPECT_GE(weak->capture_time(), 0.0);
+  }
+}
+
+TEST(Intruder, GreedyEscapeSurvivesUntilTheEnd) {
+  const auto greedy =
+      hunt<GreedyEscapeIntruder>(5, core::StrategyKind::kVisibility);
+  EXPECT_TRUE(greedy->captured());
+  // The greedy adversary holds out in the last-swept corner: its capture
+  // time equals the completion time.
+  EXPECT_DOUBLE_EQ(greedy->capture_time(), 5.0);
+}
+
+TEST(Intruder, MonotoneStrategyNeverLetsIntruderIntoCleanRegion) {
+  // Under a correct strategy the fleeing intruder only ever moves through
+  // contaminated nodes (no recontamination events are recorded).
+  const graph::Graph g = graph::make_hypercube(5);
+  sim::Network net(g, 0);
+  GreedyEscapeIntruder intr;
+  intr.attach(net);
+  sim::Engine::Config cfg;
+  cfg.visibility = true;
+  sim::Engine engine(net, cfg);
+  core::spawn_visibility_team(engine, 5);
+  (void)engine.run();
+  EXPECT_EQ(net.metrics().recontamination_events, 0u);
+  EXPECT_TRUE(intr.captured());
+}
+
+TEST(Intruder, AttachTwiceAborts) {
+  const graph::Graph g = graph::make_hypercube(2);
+  sim::Network net(g, 0);
+  WorstCaseIntruder intr;
+  intr.attach(net);
+  EXPECT_DEATH(intr.attach(net), "exactly once");
+}
+
+}  // namespace
+}  // namespace hcs::intruder

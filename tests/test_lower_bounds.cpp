@@ -1,0 +1,147 @@
+// The barrier lower bound (Section 5 open problem): Harper profile
+// validation against brute force, and the bound vs the strategies.
+
+#include "core/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/formulas.hpp"
+#include "core/optimal.hpp"
+#include "graph/builders.hpp"
+#include "util/binomial.hpp"
+
+namespace hcs::core {
+namespace {
+
+TEST(SimplicialOrder, SortedByLevelThenNumerically) {
+  const auto order = simplicial_order(5);
+  ASSERT_EQ(order.size(), 32u);
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order.back(), 31u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const unsigned la = popcount(order[i - 1]);
+    const unsigned lb = popcount(order[i]);
+    EXPECT_TRUE(la < lb || (la == lb && order[i - 1] < order[i]));
+  }
+}
+
+TEST(BallPrefixProfile, EndpointsAndBallSizes) {
+  for (unsigned d = 2; d <= 10; ++d) {
+    const auto profile = ball_prefix_boundary_profile(d);
+    const std::uint64_t n = std::uint64_t{1} << d;
+    ASSERT_EQ(profile.size(), n + 1);
+    EXPECT_EQ(profile[0], 0u);
+    EXPECT_EQ(profile[n], 0u);
+    EXPECT_EQ(profile[1], d);            // one node: all d neighbours outside
+    EXPECT_EQ(profile[n - 1], 1u);       // complement of one node
+    // At an exact ball (all levels <= l), the outer boundary is the whole
+    // next level: C(d, l+1).
+    std::uint64_t ball = 0;
+    for (unsigned l = 0; l < d; ++l) {
+      ball += binomial(d, l);
+      EXPECT_EQ(profile[ball], binomial(d, l + 1)) << "d=" << d << " l=" << l;
+    }
+  }
+}
+
+TEST(BallPrefixProfile, UpperBoundsTheMinimaTightAtBallSizes) {
+  // The prefix family upper-bounds the true minimum at every size (outer
+  // boundary of an m-set == inner boundary of its complement, which the
+  // brute-forcer computes) and is EXACT at ball sizes (Harper's theorem,
+  // validated here before the closed form is trusted at scale).
+  for (unsigned d = 2; d <= 4; ++d) {
+    const graph::Graph g = graph::make_hypercube(d);
+    const std::uint64_t n = std::uint64_t{1} << d;
+    const auto profile = ball_prefix_boundary_profile(d);
+    const auto min_inner = exhaustive_min_inner_boundary(g);
+    for (std::uint64_t m = 0; m <= n; ++m) {
+      EXPECT_GE(profile[m], min_inner[n - m]) << "d=" << d << " m=" << m;
+    }
+    std::uint64_t ball = 0;
+    for (unsigned r = 0; r < d; ++r) {
+      ball += binomial(d, r);
+      EXPECT_EQ(profile[ball], min_inner[n - ball])
+          << "d=" << d << " ball size=" << ball;
+    }
+  }
+}
+
+TEST(BallPrefixProfile, IntermediateSizesAdmitBetterSetsThanPrefixes) {
+  // The counterexample that keeps the module honest: at |S| = 8 in H_4 the
+  // closed neighbourhood of an edge has inner boundary 6, beating the
+  // by-level prefix's 7 -- so prefixes must not be used as exact minima.
+  const graph::Graph g = graph::make_hypercube(4);
+  const auto profile = ball_prefix_boundary_profile(4);
+  const auto min_inner = exhaustive_min_inner_boundary(g);
+  EXPECT_EQ(profile[8], 7u);
+  EXPECT_EQ(min_inner[8], 6u);
+}
+
+TEST(LowerBound, GrowsLikeNOverSqrtLogN) {
+  for (unsigned d = 8; d <= 16; d += 2) {
+    const double bound = static_cast<double>(hypercube_guard_lower_bound(d));
+    const double n = static_cast<double>(std::uint64_t{1} << d);
+    const double scale = n / std::sqrt(static_cast<double>(d));
+    EXPECT_GT(bound / scale, 0.5) << "d=" << d;
+    EXPECT_LT(bound / scale, 1.2) << "d=" << d;
+    // Strictly above the paper's conjectured Omega(n/log n) scale.
+    EXPECT_GT(bound, n / d) << "d=" << d;
+  }
+}
+
+TEST(LowerBound, SandwichesTheOptimumAndClean) {
+  // barrier <= exact optimum <= CLEAN's team, for the cubes we can solve
+  // exactly.
+  for (unsigned d = 2; d <= 4; ++d) {
+    const graph::Graph g = graph::make_hypercube(d);
+    const std::uint64_t barrier = hypercube_guard_lower_bound(d);
+    const auto opt = optimal_connected_search(g, 0);
+    EXPECT_LE(barrier, opt.search_number) << "d=" << d;
+    EXPECT_LE(opt.search_number, clean_team_size(d)) << "d=" << d;
+    // The exhaustive max-min barrier refines the ball-size bound.
+    EXPECT_GE(search_guard_lower_bound(g), barrier);
+    EXPECT_LE(search_guard_lower_bound(g), opt.search_number);
+  }
+}
+
+TEST(LowerBound, CleanIsWithinSmallConstantOfTheBarrier) {
+  // The answer to the open problem, empirically: CLEAN's exact team is
+  // within a factor ~2 of the barrier lower bound at every measured d, so
+  // it is Theta-optimal among monotone contiguous strategies.
+  for (unsigned d = 4; d <= 16; d += 2) {
+    const double barrier =
+        static_cast<double>(hypercube_guard_lower_bound(d));
+    const double team = static_cast<double>(clean_team_size(d));
+    EXPECT_GE(team, barrier) << "d=" << d;
+    EXPECT_LE(team / barrier, 2.5) << "d=" << d;
+  }
+}
+
+TEST(LowerBound, BruteForceOnOtherTopologies) {
+  // Ring: every k-set (0 < k < n) has at least... an arc has 2 boundary
+  // members except size 1 and n-1 (boundary 1): max over k is 2.
+  EXPECT_EQ(search_guard_lower_bound(graph::make_ring(8)), 2u);
+  // Path: singletons at the ends give boundary 1; the max-min is 1
+  // (prefixes of the path always expose one member).
+  EXPECT_EQ(search_guard_lower_bound(graph::make_path(8)), 1u);
+  // Complete graph: any proper subset is fully exposed.
+  EXPECT_EQ(search_guard_lower_bound(graph::make_complete(6)), 5u);
+  // Star: one guard (the centre or the lone member) always suffices.
+  EXPECT_EQ(search_guard_lower_bound(graph::make_star(7)), 1u);
+}
+
+TEST(LowerBound, BoundNeverExceedsOptimal) {
+  Rng rng(31);
+  for (int round = 0; round < 8; ++round) {
+    const graph::Graph g =
+        graph::make_random_connected(10, 0.25, rng);
+    const auto bound = search_guard_lower_bound(g);
+    const auto opt = optimal_connected_search(g, 0);
+    EXPECT_LE(bound, opt.search_number) << "round=" << round;
+  }
+}
+
+}  // namespace
+}  // namespace hcs::core

@@ -1,0 +1,157 @@
+// Contamination dynamics of sim::Network: statuses, vacating, the
+// recontamination flood, and the two move semantics.
+
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "intruder/contamination.hpp"
+
+namespace hcs::sim {
+namespace {
+
+TEST(Network, InitialState) {
+  const graph::Graph g = graph::make_path(4);
+  Network net(g, 0);
+  EXPECT_EQ(net.contaminated_count(), 4u);  // homebase contaminated until guarded
+  net.on_agent_placed(0, 0, 0.0);
+  EXPECT_EQ(net.status(0), NodeStatus::kGuarded);
+  EXPECT_EQ(net.status(1), NodeStatus::kContaminated);
+  EXPECT_EQ(net.contaminated_count(), 3u);
+  EXPECT_TRUE(net.visited(0));
+  EXPECT_FALSE(net.visited(2));
+}
+
+TEST(Network, AtomicArrivalKeepsOriginGuardedDuringTransit) {
+  const graph::Graph g = graph::make_path(3);
+  Network net(g, 0);  // default kAtomicArrival
+  net.on_agent_placed(0, 0, 0.0);
+  net.on_agent_departed(0, 0, 1, 0.0, "agent");
+  EXPECT_EQ(net.status(0), NodeStatus::kGuarded);  // still guarding origin
+  EXPECT_EQ(net.agents_at(0), 1u);
+  net.on_agent_arrived(0, 1, 0, 1.0);
+  EXPECT_EQ(net.agents_at(0), 0u);
+  EXPECT_EQ(net.agents_at(1), 1u);
+  EXPECT_EQ(net.status(1), NodeStatus::kGuarded);
+  // Node 0 is clean: its only contaminated-free... neighbour 1 is guarded.
+  EXPECT_EQ(net.status(0), NodeStatus::kClean);
+  EXPECT_EQ(net.metrics().total_moves, 1u);
+}
+
+TEST(Network, VacateOnDepartureExposesOrigin) {
+  const graph::Graph g = graph::make_path(3);
+  Network net(g, 0);
+  net.set_move_semantics(MoveSemantics::kVacateOnDeparture);
+  net.on_agent_placed(0, 0, 0.0);
+  net.on_agent_departed(0, 0, 1, 0.0, "agent");
+  // Origin vacated immediately; neighbour 1 still contaminated -> flood.
+  EXPECT_EQ(net.status(0), NodeStatus::kContaminated);
+  EXPECT_GT(net.metrics().recontamination_events, 0u);
+}
+
+TEST(Network, RecontaminationFloodsThroughUnguardedCleanNodes) {
+  // Path 0-1-2-3-4; guard 0 and 2, clean 1 manually, then vacate 2 while 3
+  // contaminated: 2 and (through it) nothing else floods -- 1 is protected
+  // by... no, 1 is unguarded clean: the flood reaches it via 2. Node 0
+  // stays guarded.
+  const graph::Graph g = graph::make_path(5);
+  Network net(g, 0);
+  net.on_agent_placed(0, 0, 0.0);
+  net.on_agent_placed(1, 1, 0.0);
+  net.on_agent_placed(2, 2, 0.0);
+  // Agent 1 moves back to 0: node 1 becomes clean (0 guarded, 2 guarded).
+  net.on_agent_departed(1, 1, 0, 1.0, "agent");
+  net.on_agent_arrived(1, 0, 1, 2.0);
+  EXPECT_EQ(net.status(1), NodeStatus::kClean);
+  EXPECT_EQ(net.metrics().recontamination_events, 0u);
+  // Agent 2 moves back to 1: node 2 is vacated while 3 is contaminated.
+  net.on_agent_departed(2, 2, 1, 3.0, "agent");
+  net.on_agent_arrived(2, 1, 2, 4.0);
+  EXPECT_EQ(net.status(2), NodeStatus::kContaminated);
+  EXPECT_EQ(net.status(1), NodeStatus::kGuarded);  // agent 2 stands here
+  EXPECT_GT(net.metrics().recontamination_events, 0u);
+}
+
+TEST(Network, FloodSpreadMatchesClosureComputation) {
+  // Ring of 8: guards at 0; clean 1..3 artificially via walks; vacating 3
+  // with 4 contaminated floods 3, 2, 1 (all unguarded) but not 0.
+  const graph::Graph g = graph::make_ring(8);
+  Network net(g, 0);
+  net.on_agent_placed(0, 0, 0.0);
+  net.on_agent_placed(1, 0, 0.0);
+  graph::Vertex pos = 0;
+  for (graph::Vertex next : {1u, 2u, 3u}) {
+    net.on_agent_departed(1, pos, next, 0.0, "agent");
+    net.on_agent_arrived(1, next, pos, 0.0);
+    pos = next;
+  }
+  EXPECT_EQ(net.status(1), NodeStatus::kClean);
+  EXPECT_EQ(net.status(2), NodeStatus::kClean);
+  EXPECT_EQ(net.status(3), NodeStatus::kGuarded);
+  // Move 3 -> 2: vacates 3 next to contaminated 4.
+  net.on_agent_departed(1, 3, 2, 1.0, "agent");
+  net.on_agent_arrived(1, 2, 3, 2.0);
+  EXPECT_EQ(net.status(3), NodeStatus::kContaminated);
+  EXPECT_EQ(net.status(1), NodeStatus::kClean);  // behind the guard at 2
+  EXPECT_EQ(net.status(2), NodeStatus::kGuarded);
+  EXPECT_EQ(net.status(0), NodeStatus::kGuarded);
+}
+
+TEST(Network, SpreadDisabledOnlyCounts) {
+  const graph::Graph g = graph::make_path(3);
+  Network net(g, 0);
+  net.set_recontamination_spread(false);
+  net.set_move_semantics(MoveSemantics::kVacateOnDeparture);
+  net.on_agent_placed(0, 0, 0.0);
+  net.on_agent_departed(0, 0, 1, 0.0, "agent");
+  EXPECT_EQ(net.status(0), NodeStatus::kClean);  // flagged, not flooded
+  EXPECT_EQ(net.metrics().recontamination_events, 1u);
+}
+
+TEST(Network, CleanRegionConnectivity) {
+  const graph::Graph g = graph::make_path(5);
+  Network net(g, 2);
+  net.on_agent_placed(0, 2, 0.0);
+  EXPECT_TRUE(net.clean_region_connected());
+  net.on_agent_placed(1, 2, 0.0);
+  // Walk agent 1 to node 4 via 3: clean region {2,3,4} stays connected.
+  net.on_agent_departed(1, 2, 3, 0.0, "agent");
+  net.on_agent_arrived(1, 3, 2, 0.0);
+  net.on_agent_departed(1, 3, 4, 0.0, "agent");
+  net.on_agent_arrived(1, 4, 3, 0.0);
+  EXPECT_TRUE(net.clean_region_connected());
+  EXPECT_EQ(net.contaminated_count(), 2u);  // nodes 0 and 1
+}
+
+TEST(Network, MetricsRolesAndFinalize) {
+  const graph::Graph g = graph::make_path(3);
+  Network net(g, 0);
+  net.on_agent_placed(0, 0, 0.0);
+  net.whiteboard(1).set("a", 1);
+  net.whiteboard(1).set("b", 1);
+  net.on_agent_departed(0, 0, 1, 0.0, "synchronizer");
+  net.on_agent_arrived(0, 1, 0, 1.0);
+  net.finalize_metrics();
+  EXPECT_EQ(net.metrics().moves_of("synchronizer"), 1u);
+  EXPECT_EQ(net.metrics().moves_of("agent"), 0u);
+  EXPECT_EQ(net.metrics().peak_whiteboard_bits, 128u);
+  EXPECT_EQ(net.metrics().nodes_visited, 2u);
+  EXPECT_FALSE(net.metrics().summary().empty());
+}
+
+TEST(Network, ObserversFireOnStatusChanges) {
+  const graph::Graph g = graph::make_path(2);
+  Network net(g, 0);
+  int events = 0;
+  net.add_status_callback(
+      [&](graph::Vertex, NodeStatus, SimTime) { ++events; });
+  net.on_agent_placed(0, 0, 0.0);  // contaminated -> guarded
+  EXPECT_EQ(events, 1);
+  net.on_agent_departed(0, 0, 1, 0.0, "agent");
+  net.on_agent_arrived(0, 1, 0, 1.0);  // 1 guarded, 0 clean
+  EXPECT_EQ(events, 3);
+}
+
+}  // namespace
+}  // namespace hcs::sim

@@ -1,0 +1,158 @@
+// The plan representation and the replay verifier: hand-built plans with
+// known safety verdicts.
+
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+
+namespace hcs::core {
+namespace {
+
+TEST(SearchPlan, RoundsAndMoves) {
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = 2;
+  plan.roles = {"synchronizer", "agent"};
+  plan.push_move(1, 0, 1);
+  plan.begin_round();
+  plan.add_to_round(0, 0, 2);
+  plan.add_to_round(1, 1, 3);
+  EXPECT_EQ(plan.num_rounds(), 2u);
+  EXPECT_EQ(plan.total_moves(), 3u);
+  EXPECT_EQ(plan.round(0).size(), 1u);
+  EXPECT_EQ(plan.round(1).size(), 2u);
+  EXPECT_EQ(plan.moves_of_role("agent"), 2u);
+  EXPECT_EQ(plan.moves_of_role("synchronizer"), 1u);
+}
+
+/// Two agents sweep a path 0-1-2-3 safely: the front agent advances while
+/// the second stays home (never needed, paths need one agent).
+SearchPlan safe_path_plan() {
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = 1;
+  plan.roles = {"agent"};
+  plan.push_move(0, 0, 1);
+  plan.push_move(0, 1, 2);
+  plan.push_move(0, 2, 3);
+  return plan;
+}
+
+TEST(VerifyPlan, AcceptsSafePathSweep) {
+  const graph::Graph g = graph::make_path(4);
+  const auto v = verify_plan(g, safe_path_plan());
+  EXPECT_TRUE(v.ok()) << v.error;
+  EXPECT_EQ(v.peak_guarded_nodes, 1u);
+  EXPECT_EQ(v.peak_deployed, 1u);
+}
+
+TEST(VerifyPlan, DetectsNonEdgeMove) {
+  const graph::Graph g = graph::make_path(4);
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = 1;
+  plan.roles = {"agent"};
+  plan.push_move(0, 0, 2);  // 0-2 is not an edge
+  const auto v = verify_plan(g, plan);
+  EXPECT_FALSE(v.valid);
+  EXPECT_NE(v.error.find("not an edge"), std::string::npos);
+}
+
+TEST(VerifyPlan, DetectsTeleportingAgent) {
+  const graph::Graph g = graph::make_path(4);
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = 1;
+  plan.roles = {"agent"};
+  plan.push_move(0, 1, 2);  // agent is at 0, not 1
+  const auto v = verify_plan(g, plan);
+  EXPECT_FALSE(v.valid);
+}
+
+TEST(VerifyPlan, DetectsRecontamination) {
+  // Ring of 4: a single agent cannot sweep it monotonically -- vacating a
+  // node always exposes it from the other side.
+  const graph::Graph g = graph::make_ring(4);
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = 1;
+  plan.roles = {"agent"};
+  plan.push_move(0, 0, 1);
+  plan.push_move(0, 1, 2);
+  plan.push_move(0, 2, 3);
+  const auto v = verify_plan(g, plan);
+  EXPECT_FALSE(v.monotone);
+  EXPECT_FALSE(v.ok());
+  EXPECT_NE(v.error.find("exposed"), std::string::npos);
+}
+
+TEST(VerifyPlan, TwoAgentsSweepRingSafely) {
+  // Guard the homebase with one agent while the other walks the ring.
+  const graph::Graph g = graph::make_ring(4);
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = 2;
+  plan.roles = {"agent", "agent"};
+  plan.push_move(1, 0, 1);
+  plan.push_move(1, 1, 2);
+  plan.push_move(1, 2, 3);
+  const auto v = verify_plan(g, plan);
+  EXPECT_TRUE(v.ok()) << v.error;
+  EXPECT_EQ(v.peak_guarded_nodes, 2u);
+}
+
+TEST(VerifyPlan, DetectsIncompleteness) {
+  const graph::Graph g = graph::make_path(4);
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = 1;
+  plan.roles = {"agent"};
+  plan.push_move(0, 0, 1);  // nodes 2, 3 never visited
+  const auto v = verify_plan(g, plan);
+  EXPECT_FALSE(v.complete);
+  EXPECT_TRUE(v.monotone);
+}
+
+TEST(VerifyPlan, AtomicHandoverWithinARound) {
+  // Star centre 0 with 3 leaves; two agents. Agent 1 guards a leaf, agent 0
+  // hops centre->leaf while centre has contaminated leaves... the centre is
+  // vacated by agent 0's move to leaf 2 while leaf 3 is contaminated ->
+  // recontamination of the centre.
+  const graph::Graph g = graph::make_star(4);
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = 2;
+  plan.roles = {"agent", "agent"};
+  plan.push_move(1, 0, 1);
+  plan.push_move(0, 0, 2);  // vacates the centre; leaf 3 contaminated
+  const auto v = verify_plan(g, plan);
+  EXPECT_FALSE(v.monotone);
+}
+
+TEST(VerifyPlan, ConcurrentRoundMovesShareThePreRoundState) {
+  // Both agents leave the centre in one round -- each move is validated
+  // against the pre-round positions.
+  const graph::Graph g = graph::make_star(3);
+  SearchPlan plan;
+  plan.homebase = 0;
+  plan.num_agents = 2;
+  plan.roles = {"agent", "agent"};
+  plan.begin_round();
+  plan.add_to_round(0, 0, 1);
+  plan.add_to_round(1, 0, 2);
+  const auto v = verify_plan(g, plan);
+  EXPECT_TRUE(v.ok()) << v.error;
+}
+
+TEST(VerifyPlan, ContiguitySamplingStillChecksFinalRound) {
+  const graph::Graph g = graph::make_path(4);
+  VerifyOptions opts;
+  opts.check_contiguity_every = 0;  // only at the end
+  const auto v = verify_plan(g, safe_path_plan(), opts);
+  EXPECT_TRUE(v.ok()) << v.error;
+}
+
+}  // namespace
+}  // namespace hcs::core

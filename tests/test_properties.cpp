@@ -1,0 +1,72 @@
+// Exhaustive verification of the paper's structural Properties 1-2, 5-8,
+// Lemma 1, and the heap-queue recursion (Definition 1), over a sweep of
+// dimensions.
+
+#include "hypercube/properties.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcs {
+namespace {
+
+class PropertySweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PropertySweep, Property1TypeCounts) {
+  EXPECT_TRUE(check_property1_type_counts(BroadcastTree(GetParam())));
+}
+
+TEST_P(PropertySweep, Property2LeafCounts) {
+  EXPECT_TRUE(check_property2_leaf_counts(BroadcastTree(GetParam())));
+}
+
+TEST_P(PropertySweep, Property5ClassSizes) {
+  EXPECT_TRUE(check_property5_class_sizes(Hypercube(GetParam())));
+}
+
+TEST_P(PropertySweep, Property6LeavesInCd) {
+  EXPECT_TRUE(check_property6_leaves_in_Cd(BroadcastTree(GetParam())));
+}
+
+TEST_P(PropertySweep, Property7NeighborClasses) {
+  EXPECT_TRUE(check_property7_neighbor_classes(Hypercube(GetParam())));
+}
+
+TEST_P(PropertySweep, Property8DescentChainWithErratum) {
+  EXPECT_TRUE(check_property8_descent_chain(Hypercube(GetParam())));
+}
+
+TEST_P(PropertySweep, Property8LiteralStatementFailsExactlyAt011) {
+  // Reproduces the erratum: the paper's literal Property 8 is violated by
+  // exactly one node, (0...011), in every dimension >= 2 (its proof's
+  // Case 2 needs a bit position j < i-1, which i = 2 does not offer).
+  const Hypercube cube(GetParam());
+  const auto violations = property8_counterexamples(cube);
+  if (cube.dimension() == 1) {
+    EXPECT_TRUE(violations.empty());
+  } else {
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0], 0b11u);
+  }
+}
+
+TEST_P(PropertySweep, Lemma1CrossEdges) {
+  EXPECT_TRUE(check_lemma1_cross_edges(BroadcastTree(GetParam())));
+}
+
+TEST_P(PropertySweep, HeapQueueRecursion) {
+  EXPECT_TRUE(check_heap_queue_recursion(BroadcastTree(GetParam())));
+}
+
+TEST_P(PropertySweep, BroadcastTreeSpans) {
+  EXPECT_TRUE(check_broadcast_tree_spanning(BroadcastTree(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, PropertySweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 12u, 14u),
+                         [](const ::testing::TestParamInfo<unsigned>& param_info) {
+                           return "d" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace hcs

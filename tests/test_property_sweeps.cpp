@@ -1,0 +1,134 @@
+// Cross-cutting property sweeps (the V1 experiment of DESIGN.md): every
+// strategy x dimension x schedule combination must satisfy the safety
+// theorems (monotone, contiguous, complete) and the exact cost formulas
+// where the paper proves exact values. This is the broadest parameterized
+// suite; per-strategy details live in the dedicated files.
+
+#include <gtest/gtest.h>
+
+#include "core/clean_sync.hpp"
+#include "core/clean_visibility.hpp"
+#include "core/formulas.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+
+namespace hcs::core {
+namespace {
+
+struct SweepCase {
+  StrategyKind kind;
+  unsigned d;
+  int delay_model;  // 0 unit, 1 uniform, 2 heavy-tailed
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string s = strategy_name(info.param.kind);
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  const char* delays[] = {"unit", "uniform", "heavy"};
+  return s + "_d" + std::to_string(info.param.d) + "_" +
+         delays[info.param.delay_model] + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class StrategySafetySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(StrategySafetySweep, MonotoneContiguousComplete) {
+  const SweepCase& c = GetParam();
+  SimRunConfig config;
+  switch (c.delay_model) {
+    case 0: config.delay = sim::DelayModel::unit(); break;
+    case 1: config.delay = sim::DelayModel::uniform(0.2, 4.0); break;
+    default: config.delay = sim::DelayModel::heavy_tailed(); break;
+  }
+  config.policy = c.delay_model == 0 ? sim::Engine::WakePolicy::kFifo
+                                     : sim::Engine::WakePolicy::kRandom;
+  config.seed = c.seed;
+
+  const SimOutcome out = run_strategy_sim(c.kind, c.d, config);
+  EXPECT_TRUE(out.all_clean);
+  EXPECT_EQ(out.recontaminations, 0u);
+  EXPECT_TRUE(out.all_agents_terminated);
+  EXPECT_TRUE(out.clean_region_connected);
+
+  // Schedule-independent exact costs.
+  switch (c.kind) {
+    case StrategyKind::kCleanSync:
+      EXPECT_EQ(out.team_size, clean_team_size(c.d));
+      EXPECT_EQ(out.agent_moves, clean_agent_moves(c.d));
+      break;
+    case StrategyKind::kVisibility:
+      EXPECT_EQ(out.team_size, visibility_team_size(c.d));
+      EXPECT_EQ(out.total_moves, visibility_moves(c.d));
+      break;
+    case StrategyKind::kCloning:
+      EXPECT_EQ(out.team_size, cloning_agents(c.d));
+      EXPECT_EQ(out.total_moves, cloning_moves(c.d));
+      break;
+    case StrategyKind::kSynchronous:
+      // Only sound under unit delays; the sweep never schedules it
+      // otherwise.
+      EXPECT_EQ(out.total_moves, visibility_moves(c.d));
+      break;
+  }
+}
+
+std::vector<SweepCase> make_cases() {
+  std::vector<SweepCase> cases;
+  // Unit-delay runs across dimensions for all strategies.
+  for (unsigned d = 1; d <= 7; ++d) {
+    cases.push_back({StrategyKind::kCleanSync, d, 0, 1});
+    cases.push_back({StrategyKind::kVisibility, d, 0, 1});
+    cases.push_back({StrategyKind::kCloning, d, 0, 1});
+    cases.push_back({StrategyKind::kSynchronous, d, 0, 1});
+  }
+  // Asynchronous adversarial schedules (synchronous variant excluded: it
+  // requires synchrony by definition).
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const auto kind : {StrategyKind::kCleanSync,
+                            StrategyKind::kVisibility,
+                            StrategyKind::kCloning}) {
+      cases.push_back({kind, 4, 1, seed});
+      cases.push_back({kind, 5, 2, seed + 100});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategySafetySweep,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+// ---------------------------------------------------------------------
+// Plans replayed on the generic verifier across dimensions (bigger sweep
+// than the per-strategy files).
+
+class PlanCrossCheck : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PlanCrossCheck, PlannerAndSimulatorAgreeOnAllCosts) {
+  const unsigned d = GetParam();
+  CleanSyncStats clean_stats;
+  (void)plan_clean_sync(d, &clean_stats);
+  const SimOutcome clean_sim = run_strategy_sim(StrategyKind::kCleanSync, d);
+  EXPECT_EQ(clean_sim.team_size, clean_stats.team_size);
+  EXPECT_EQ(clean_sim.agent_moves, clean_stats.agent_moves);
+  EXPECT_EQ(clean_sim.synchronizer_moves, clean_stats.sync_moves_total);
+
+  VisibilityStats vis_stats;
+  (void)plan_clean_visibility(d, &vis_stats);
+  const SimOutcome vis_sim = run_strategy_sim(StrategyKind::kVisibility, d);
+  EXPECT_EQ(vis_sim.team_size, vis_stats.team_size);
+  EXPECT_EQ(vis_sim.total_moves, vis_stats.moves);
+  EXPECT_EQ(static_cast<std::uint64_t>(vis_sim.makespan), vis_stats.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, PlanCrossCheck,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hcs::core

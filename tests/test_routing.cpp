@@ -1,0 +1,91 @@
+#include "hypercube/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(Routing, EcubePathIsShortestAndFixesBitsAscending) {
+  const Hypercube cube(6);
+  const auto path = ecube_path(cube, 0b000000, 0b101010);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[1], 0b000010u);
+  EXPECT_EQ(path[2], 0b001010u);
+  EXPECT_EQ(path[3], 0b101010u);
+  EXPECT_TRUE(is_valid_walk(cube, path));
+}
+
+TEST(Routing, EcubePathRandomPairs) {
+  const Hypercube cube(10);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId x = rng.below(cube.num_nodes());
+    const NodeId y = rng.below(cube.num_nodes());
+    const auto path = ecube_path(cube, x, y);
+    EXPECT_EQ(path.front(), x);
+    EXPECT_EQ(path.back(), y);
+    EXPECT_EQ(path.size(), cube.distance(x, y) + 1);
+    EXPECT_TRUE(is_valid_walk(cube, path));
+  }
+}
+
+TEST(Routing, DescendAscendStaysBelowTheCommonLevel) {
+  const Hypercube cube(8);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId x = rng.below(cube.num_nodes());
+    const NodeId y = rng.below(cube.num_nodes());
+    const auto path = descend_ascend_path(cube, x, y);
+    EXPECT_EQ(path.front(), x);
+    EXPECT_EQ(path.back(), y);
+    EXPECT_TRUE(is_valid_walk(cube, path));
+    EXPECT_EQ(path.size(), cube.distance(x, y) + 1);
+    const unsigned cap = std::max(cube.level(x), cube.level(y));
+    for (NodeId v : path) EXPECT_LE(cube.level(v), cap);
+  }
+}
+
+TEST(Routing, DescendAscendIntermediatesStrictlyBelowLevelForSameLevelHops) {
+  // The synchronizer's use case: both endpoints at level l, every
+  // intermediate node strictly below (hence already clean).
+  const Hypercube cube(8);
+  for (unsigned l = 1; l <= 8; ++l) {
+    const auto nodes = cube.level_nodes(l);
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      const auto path = descend_ascend_path(cube, nodes[i], nodes[i + 1]);
+      for (std::size_t j = 1; j + 1 < path.size(); ++j) {
+        EXPECT_LT(cube.level(path[j]), l);
+      }
+      // Theorem 3's bound on the hop length.
+      EXPECT_LE(path.size() - 1, intra_level_hop_bound(8, l));
+    }
+  }
+}
+
+TEST(Routing, IntraLevelHopBound) {
+  EXPECT_EQ(intra_level_hop_bound(8, 2), 4u);
+  EXPECT_EQ(intra_level_hop_bound(8, 6), 4u);
+  EXPECT_EQ(intra_level_hop_bound(8, 4), 8u);
+  EXPECT_EQ(intra_level_hop_bound(8, 0), 0u);
+  EXPECT_EQ(intra_level_hop_bound(8, 8), 0u);
+}
+
+TEST(Routing, TrivialPaths) {
+  const Hypercube cube(4);
+  EXPECT_EQ(ecube_path(cube, 5, 5), (std::vector<NodeId>{5}));
+  EXPECT_EQ(descend_ascend_path(cube, 5, 5), (std::vector<NodeId>{5}));
+}
+
+TEST(Routing, IsValidWalkRejectsJumps) {
+  const Hypercube cube(4);
+  EXPECT_FALSE(is_valid_walk(cube, {0b0000, 0b0011}));
+  EXPECT_TRUE(is_valid_walk(cube, {0b0000, 0b0001, 0b0011}));
+  EXPECT_TRUE(is_valid_walk(cube, {0b0101}));
+}
+
+}  // namespace
+}  // namespace hcs

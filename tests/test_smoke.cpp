@@ -1,0 +1,50 @@
+// End-to-end smoke: every strategy cleans H_4 on the simulator, and the
+// planners verify. Deeper per-module suites live in the sibling files.
+
+#include <gtest/gtest.h>
+
+#include "core/clean_sync.hpp"
+#include "core/clean_visibility.hpp"
+#include "core/formulas.hpp"
+#include "core/plan.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(Smoke, CleanSyncPlanVerifies) {
+  core::CleanSyncStats stats;
+  const core::SearchPlan plan = core::plan_clean_sync(4, &stats);
+  const graph::Graph g = graph::make_hypercube(4);
+  const core::PlanVerification v = core::verify_plan(g, plan);
+  EXPECT_TRUE(v.ok()) << v.error;
+  EXPECT_EQ(stats.team_size, core::clean_team_size(4));
+  EXPECT_EQ(stats.agent_moves, core::clean_agent_moves(4));
+}
+
+TEST(Smoke, VisibilityPlanVerifies) {
+  core::VisibilityStats stats;
+  const core::SearchPlan plan = core::plan_clean_visibility(4, &stats);
+  const graph::Graph g = graph::make_hypercube(4);
+  const core::PlanVerification v = core::verify_plan(g, plan);
+  EXPECT_TRUE(v.ok()) << v.error;
+  EXPECT_EQ(stats.team_size, 8u);
+  EXPECT_EQ(stats.moves, core::visibility_moves(4));
+  EXPECT_EQ(stats.rounds, 4u);
+}
+
+TEST(Smoke, AllStrategiesCleanH4OnSimulator) {
+  for (const auto kind :
+       {core::StrategyKind::kCleanSync, core::StrategyKind::kVisibility,
+        core::StrategyKind::kCloning, core::StrategyKind::kSynchronous}) {
+    const core::SimOutcome out = core::run_strategy_sim(kind, 4);
+    EXPECT_TRUE(out.correct()) << out.strategy
+                               << ": recontaminations=" << out.recontaminations
+                               << " all_clean=" << out.all_clean
+                               << " terminated=" << out.all_agents_terminated;
+  }
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,75 @@
+#include "graph/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "graph/builders.hpp"
+#include "graph/traversal.hpp"
+
+namespace hcs::graph {
+namespace {
+
+TEST(SpanningTree, BfsTreeOnHypercubeHasLevelDepths) {
+  const Graph g = make_hypercube(4);
+  const SpanningTree t = bfs_spanning_tree(g, 0);
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.root(), 0u);
+  for (Vertex v = 0; v < 16; ++v) {
+    EXPECT_EQ(t.depth(v), static_cast<std::uint32_t>(std::popcount(v)));
+  }
+  EXPECT_EQ(t.height(), 4u);
+  EXPECT_EQ(t.subtree_size(0), 16u);
+}
+
+TEST(SpanningTree, ChildrenAndLeaves) {
+  // Hand-built: 0 -> {1, 2}, 1 -> {3}.
+  const SpanningTree t(0, {0, 0, 0, 1});
+  EXPECT_EQ(t.children(0), (std::vector<Vertex>{1, 2}));
+  EXPECT_TRUE(t.is_leaf(2));
+  EXPECT_TRUE(t.is_leaf(3));
+  EXPECT_FALSE(t.is_leaf(1));
+  EXPECT_EQ(t.leaf_count(), 2u);
+  EXPECT_EQ(t.subtree_size(1), 2u);
+  EXPECT_EQ(t.parent(3), 1u);
+}
+
+TEST(SpanningTree, PreorderVisitsParentBeforeChild) {
+  const Graph g = make_hypercube(3);
+  const SpanningTree t = bfs_spanning_tree(g, 0);
+  const auto order = t.preorder();
+  EXPECT_EQ(order.size(), 8u);
+  std::vector<std::size_t> pos(8);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (Vertex v = 1; v < 8; ++v) {
+    EXPECT_LT(pos[t.parent(v)], pos[v]);
+  }
+}
+
+TEST(SpanningTree, PathToRoot) {
+  const SpanningTree t(0, {0, 0, 1, 2});
+  EXPECT_EQ(t.path_to_root(3), (std::vector<Vertex>{3, 2, 1, 0}));
+  EXPECT_EQ(t.path_to_root(0), (std::vector<Vertex>{0}));
+}
+
+TEST(SpanningTree, SubtreeSizesSumCorrectly) {
+  const Graph g = make_hypercube(5);
+  const SpanningTree t = bfs_spanning_tree(g, 7);
+  std::size_t total = 0;
+  for (Vertex v = 0; v < t.size(); ++v) {
+    if (t.is_leaf(v)) total += 1;
+    std::size_t child_sum = 1;
+    for (Vertex c : t.children(v)) child_sum += t.subtree_size(c);
+    EXPECT_EQ(t.subtree_size(v), child_sum);
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(SpanningTreeDeath, RejectsCyclesAndForests) {
+  // 1 <-> 2 cycle, disconnected from root 0.
+  EXPECT_DEATH(SpanningTree(0, {0, 2, 1}), "tree");
+}
+
+}  // namespace
+}  // namespace hcs::graph

@@ -1,0 +1,87 @@
+// The run harness and the event trace machinery.
+
+#include "core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypercube/hypercube.hpp"
+
+namespace hcs::core {
+namespace {
+
+TEST(Strategy, NamesAndVisibilityRequirements) {
+  EXPECT_STREQ(strategy_name(StrategyKind::kCleanSync), "CLEAN");
+  EXPECT_STREQ(strategy_name(StrategyKind::kVisibility),
+               "CLEAN-WITH-VISIBILITY");
+  EXPECT_FALSE(strategy_needs_visibility(StrategyKind::kCleanSync));
+  EXPECT_FALSE(strategy_needs_visibility(StrategyKind::kSynchronous));
+  EXPECT_TRUE(strategy_needs_visibility(StrategyKind::kVisibility));
+  EXPECT_TRUE(strategy_needs_visibility(StrategyKind::kCloning));
+}
+
+TEST(Strategy, OutcomeFieldsAreCoherent) {
+  const SimOutcome out = run_strategy_sim(StrategyKind::kCleanSync, 5);
+  EXPECT_EQ(out.dimension, 5u);
+  EXPECT_EQ(out.strategy, "CLEAN");
+  EXPECT_EQ(out.total_moves, out.agent_moves + out.synchronizer_moves);
+  EXPECT_GT(out.synchronizer_moves, 0u);
+  EXPECT_GE(out.makespan, out.capture_time);
+  EXPECT_GT(out.capture_time, 0.0);
+  EXPECT_TRUE(out.clean_region_connected);
+}
+
+TEST(Strategy, TraceCapturesCleaningOrder) {
+  sim::Trace trace;
+  SimRunConfig config;
+  config.trace = true;
+  const SimOutcome out =
+      run_strategy_sim(StrategyKind::kVisibility, 4, config, &trace);
+  EXPECT_TRUE(out.correct());
+  EXPECT_GT(trace.size(), 0u);
+
+  const auto order = trace.cleaning_order();
+  // Every node appears exactly once...
+  EXPECT_EQ(order.size(), 16u);
+  std::set<graph::Vertex> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 16u);
+  // ...starting at the homebase...
+  EXPECT_EQ(order.front(), 0u);
+  // ...and in class order: a node of class C_i is guarded after every node
+  // of class C_{i'} with i' < i - 1... more simply, first-visit times are
+  // non-decreasing in the class of the tree parent; check the weaker but
+  // exact invariant that a node never precedes its broadcast-tree parent.
+  const Hypercube cube(4);
+  std::vector<std::size_t> pos(16);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId x = 1; x < 16; ++x) {
+    const NodeId parent = clear_bit(x, msb_position(x));
+    EXPECT_LT(pos[parent], pos[x]) << "x=" << x;
+  }
+}
+
+TEST(Strategy, TraceRenderIsNonEmptyAndMentionsCapture) {
+  sim::Trace trace;
+  SimRunConfig config;
+  config.trace = true;
+  (void)run_strategy_sim(StrategyKind::kVisibility, 3, config, &trace);
+  const std::string text = trace.render();
+  EXPECT_NE(text.find("move-start"), std::string::npos);
+  EXPECT_NE(text.find("status"), std::string::npos);
+  EXPECT_NE(text.find("intruder captured"), std::string::npos);
+}
+
+TEST(Strategy, SeedsDoNotChangeDeterministicCosts) {
+  for (std::uint64_t seed : {1ull, 17ull, 99ull}) {
+    SimRunConfig config;
+    config.seed = seed;
+    const SimOutcome out =
+        run_strategy_sim(StrategyKind::kCleanSync, 4, config);
+    EXPECT_EQ(out.total_moves,
+              run_strategy_sim(StrategyKind::kCleanSync, 4).total_moves);
+  }
+}
+
+}  // namespace
+}  // namespace hcs::core

@@ -1,0 +1,85 @@
+// Randomized end-to-end stress: compose the independent machinery pieces
+// (planners, automorphisms, replay, verifier, simulator) in random ways and
+// require them to agree. Bounded so it stays inside the normal ctest run;
+// crank kRounds up locally for soak testing.
+
+#include <gtest/gtest.h>
+
+#include "core/clean_sync.hpp"
+#include "core/clean_visibility.hpp"
+#include "core/formulas.hpp"
+#include "core/homebase.hpp"
+#include "core/replay.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace hcs::core {
+namespace {
+
+constexpr int kRounds = 12;
+
+TEST(Stress, RandomAutomorphismThenReplayThenVerify) {
+  Rng rng(20260706);
+  for (int round = 0; round < kRounds; ++round) {
+    const unsigned d = 2 + static_cast<unsigned>(rng.below(4));  // 2..5
+    const bool use_clean = rng.chance(0.5);
+    const SearchPlan base =
+        use_clean ? plan_clean_sync(d) : plan_clean_visibility(d);
+    const auto f = CubeAutomorphism::random(d, rng);
+    const SearchPlan moved = transform_plan(base, f);
+    const graph::Graph g = graph::make_hypercube(d);
+
+    // Static verification.
+    const PlanVerification v = verify_plan(g, moved);
+    ASSERT_TRUE(v.ok()) << "round=" << round << " d=" << d << ": " << v.error;
+
+    // Dynamic replay under a random delay model.
+    ReplayConfig cfg;
+    cfg.delay = rng.chance(0.5) ? sim::DelayModel::unit()
+                                : sim::DelayModel::uniform(0.3, 2.5);
+    cfg.policy = rng.chance(0.5) ? sim::Engine::WakePolicy::kFifo
+                                 : sim::Engine::WakePolicy::kRandom;
+    cfg.seed = rng.next();
+    const auto out = replay_plan(g, moved, cfg);
+    ASSERT_TRUE(out.all_terminated) << "round=" << round;
+    ASSERT_TRUE(out.all_clean);
+    ASSERT_EQ(out.recontaminations, 0u);
+    ASSERT_EQ(out.total_moves, base.total_moves());
+  }
+}
+
+TEST(Stress, RandomScheduleBatteryKeepsTheoremCounts) {
+  Rng rng(42424242);
+  for (int round = 0; round < kRounds; ++round) {
+    const unsigned d = 3 + static_cast<unsigned>(rng.below(4));  // 3..6
+    const auto kind = rng.chance(0.34)  ? StrategyKind::kCleanSync
+                      : rng.chance(0.5) ? StrategyKind::kVisibility
+                                        : StrategyKind::kCloning;
+    SimRunConfig config;
+    config.delay = rng.chance(0.5) ? sim::DelayModel::uniform(0.1, 4.0)
+                                   : sim::DelayModel::heavy_tailed();
+    config.policy = sim::Engine::WakePolicy::kRandom;
+    config.seed = rng.next();
+    const SimOutcome out = run_strategy_sim(kind, d, config);
+    ASSERT_TRUE(out.correct())
+        << "round=" << round << " " << out.strategy << " d=" << d;
+    switch (kind) {
+      case StrategyKind::kCleanSync:
+        ASSERT_EQ(out.agent_moves, clean_agent_moves(d));
+        ASSERT_EQ(out.team_size, clean_team_size(d));
+        break;
+      case StrategyKind::kVisibility:
+        ASSERT_EQ(out.total_moves, visibility_moves(d));
+        break;
+      case StrategyKind::kCloning:
+        ASSERT_EQ(out.total_moves, cloning_moves(d));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcs::core

@@ -1,0 +1,61 @@
+// Unit tests for the trace machinery itself (integration coverage lives in
+// test_strategy.cpp).
+
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcs::sim {
+namespace {
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  Trace trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.record({1.0, TraceKind::kSpawn, 0, 0, 0, {}});
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace trace;
+  trace.enable(true);
+  trace.record({1.0, TraceKind::kSpawn, 0, 3, 3, {}});
+  trace.record({2.0, TraceKind::kMoveStart, 0, 3, 4, {}});
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[1].kind, TraceKind::kMoveStart);
+  EXPECT_EQ(trace.events()[1].other, 4u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, CleaningOrderFirstVisitWins) {
+  Trace trace;
+  trace.enable(true);
+  trace.record({0.0, TraceKind::kSpawn, 0, 7, 7, {}});
+  trace.record({1.0, TraceKind::kStatusChange, kNoAgent, 2, 2, "guarded"});
+  trace.record({2.0, TraceKind::kStatusChange, kNoAgent, 2, 2, "clean"});
+  trace.record({3.0, TraceKind::kStatusChange, kNoAgent, 5, 5, "guarded"});
+  // Contaminated transitions never count as visits.
+  trace.record({4.0, TraceKind::kStatusChange, kNoAgent, 9, 9,
+                "contaminated"});
+  const auto order = trace.cleaning_order();
+  EXPECT_EQ(order, (std::vector<graph::Vertex>{7, 2, 5}));
+}
+
+TEST(Trace, RenderShowsKindsAgentsAndDetails) {
+  Trace trace;
+  trace.enable(true);
+  trace.record({0.25, TraceKind::kWhiteboard, 3, 1, 1, "pool"});
+  trace.record({1.5, TraceKind::kTerminate, 3, 1, 1, {}});
+  trace.record({2.0, TraceKind::kCustom, kNoAgent, 0, 0, "note text"});
+  const std::string text = trace.render();
+  EXPECT_NE(text.find("whiteboard"), std::string::npos);
+  EXPECT_NE(text.find("agent#3"), std::string::npos);
+  EXPECT_NE(text.find("[pool]"), std::string::npos);
+  EXPECT_NE(text.find("terminate"), std::string::npos);
+  EXPECT_NE(text.find("[note text]"), std::string::npos);
+  // Events without an agent omit the agent tag.
+  EXPECT_EQ(text.find("agent#4294967295"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcs::sim

@@ -1,0 +1,124 @@
+#include "graph/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "graph/builders.hpp"
+#include "util/rng.hpp"
+
+namespace hcs::graph {
+namespace {
+
+TEST(Traversal, BfsDistancesOnPath) {
+  const Graph p = make_path(6);
+  const auto dist = bfs_distances(p, 0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Traversal, BfsDistancesOnHypercubeAreHammingDistances) {
+  const Graph g = make_hypercube(5);
+  const auto dist = bfs_distances(g, 0);
+  for (Vertex v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(dist[v], static_cast<std::uint32_t>(std::popcount(v)));
+  }
+}
+
+TEST(Traversal, BfsOrderVisitsAllNodesOnce) {
+  const Graph g = make_hypercube(4);
+  const auto order = bfs_order(g, 3);
+  EXPECT_EQ(order.size(), g.num_nodes());
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (Vertex v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(sorted[v], v);
+  EXPECT_EQ(order.front(), 3u);
+}
+
+TEST(Traversal, ConnectivityAndComponents) {
+  GraphBuilder b(5);  // two components: {0,1,2}, {3,4}
+  b.add_edge_auto_ports(0, 1);
+  b.add_edge_auto_ports(1, 2);
+  b.add_edge_auto_ports(3, 4);
+  const Graph g = b.finalize();
+  EXPECT_FALSE(is_connected(g));
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Traversal, IsTreeDetectsCycles) {
+  EXPECT_TRUE(is_tree(make_path(4)));
+  EXPECT_FALSE(is_tree(make_ring(4)));
+  EXPECT_FALSE(is_tree(make_hypercube(2)));
+}
+
+TEST(Traversal, ReachableWithoutBlocksGuards) {
+  // Ring of 6 with guards at 0 and 3: sources {1} reach {1, 2} only.
+  const Graph r = make_ring(6);
+  std::vector<bool> blocked(6, false);
+  blocked[0] = blocked[3] = true;
+  const auto reach = reachable_without(r, {1}, blocked);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+  EXPECT_FALSE(reach[0]);
+  EXPECT_FALSE(reach[3]);
+  EXPECT_FALSE(reach[4]);
+  EXPECT_FALSE(reach[5]);
+}
+
+TEST(Traversal, ReachableWithoutExcludesBlockedSources) {
+  const Graph p = make_path(3);
+  std::vector<bool> blocked(3, false);
+  blocked[1] = true;
+  const auto reach = reachable_without(p, {1}, blocked);
+  EXPECT_FALSE(reach[0]);
+  EXPECT_FALSE(reach[1]);
+  EXPECT_FALSE(reach[2]);
+}
+
+TEST(Traversal, ConnectedSubset) {
+  const Graph g = make_hypercube(3);
+  std::vector<bool> members(8, false);
+  EXPECT_TRUE(is_connected_subset(g, members));  // empty set
+  members[0] = true;
+  EXPECT_TRUE(is_connected_subset(g, members));  // singleton
+  members[3] = true;                             // 000 and 011: not adjacent
+  EXPECT_FALSE(is_connected_subset(g, members));
+  members[1] = true;  // 001 joins them
+  EXPECT_TRUE(is_connected_subset(g, members));
+}
+
+TEST(Traversal, ShortestPathEndpointsAndLength) {
+  const Graph g = make_hypercube(4);
+  const auto path = shortest_path(g, 0b0000, 0b1011);
+  EXPECT_EQ(path.front(), 0b0000u);
+  EXPECT_EQ(path.back(), 0b1011u);
+  EXPECT_EQ(path.size(), 4u);  // Hamming distance 3 -> 4 nodes
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(Traversal, ShortestPathWithinRespectsAllowedSet) {
+  const Graph r = make_ring(8);
+  std::vector<bool> allowed(8, true);
+  allowed[1] = false;  // forbid the short way from 0 to 2
+  const auto path = shortest_path_within(r, 0, 2, allowed);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.size(), 7u);  // the long way round
+  allowed[7] = false;          // now 0 is sealed off
+  EXPECT_TRUE(shortest_path_within(r, 0, 2, allowed).empty());
+}
+
+TEST(Traversal, Diameter) {
+  EXPECT_EQ(diameter(make_path(7)), 6u);
+  EXPECT_EQ(diameter(make_ring(8)), 4u);
+  EXPECT_EQ(diameter(make_hypercube(5)), 5u);
+  EXPECT_EQ(diameter(make_complete(9)), 1u);
+}
+
+}  // namespace
+}  // namespace hcs::graph

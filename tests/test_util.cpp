@@ -1,0 +1,184 @@
+// Tests for the small utilities: string formatting, ASCII tables,
+// statistics accumulators, CLI parsing, and logging.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace hcs {
+namespace {
+
+TEST(Strfmt, StrCatConcatenates) {
+  EXPECT_EQ(str_cat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(str_cat(), "");
+}
+
+TEST(Strfmt, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(18446744073709551615ull),
+            "18,446,744,073,709,551,615");
+}
+
+TEST(Strfmt, FixedPrecision) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strfmt, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // no truncation
+}
+
+TEST(Strfmt, Ratio) {
+  EXPECT_EQ(ratio(6.0, 2.0), "3.00x");
+  EXPECT_EQ(ratio(1.0, 0.0), "inf");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"d", "agents"});
+  t.add(4, 10);
+  t.add(6, 31);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| d | agents |"), std::string::npos);
+  EXPECT_NE(out.find("| 4 |     10 |"), std::string::npos);
+  EXPECT_NE(out.find("| 6 |     31 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, SeparatorsAndMixedTypes) {
+  Table t({"name", "value"}, {Align::kLeft, Align::kRight});
+  t.add(std::string("alpha"), 1);
+  t.add_separator();
+  t.add("beta", 22);
+  const std::string out = t.render();
+  // Header rule + top + separator + bottom = 4 rules at least.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TableDeath, WrongCellCountAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "precondition");
+}
+
+TEST(Stats, AccumulatorMoments) {
+  StatAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Stats, MergeMatchesSingleStream) {
+  StatAccumulator a, b, whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3;
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Stats, HistogramBucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-3.0);  // clamps to bucket 0
+  h.add(42.0);  // clamps to bucket 4
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(QuantileSketch, ExactWhileWithinCapacity) {
+  QuantileSketch qs(100);
+  for (int i = 100; i >= 1; --i) qs.add(i);  // 1..100 reversed
+  EXPECT_EQ(qs.count(), 100u);
+  EXPECT_DOUBLE_EQ(qs.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(qs.quantile(1.0), 100.0);
+  EXPECT_NEAR(qs.median(), 50.0, 1.0);
+  EXPECT_NEAR(qs.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(QuantileSketch, SampledStreamApproximatesQuantiles) {
+  QuantileSketch qs(512, 7);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) qs.add(rng.uniform(0.0, 10.0));
+  EXPECT_EQ(qs.count(), 100000u);
+  EXPECT_NEAR(qs.median(), 5.0, 0.6);
+  EXPECT_NEAR(qs.quantile(0.95), 9.5, 0.6);
+}
+
+TEST(QuantileSketchDeath, EmptyAndBadQ) {
+  QuantileSketch qs(8);
+  EXPECT_DEATH((void)qs.quantile(0.5), "precondition");
+  qs.add(1.0);
+  EXPECT_DEATH((void)qs.quantile(1.5), "precondition");
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  CliParser cli("test");
+  cli.add_flag("dim", "4", "dimension");
+  cli.add_flag("rate", "0.5", "a rate");
+  cli.add_bool_flag("verbose", "noise");
+  const char* argv[] = {"prog", "--dim", "7", "--verbose", "pos1",
+                        "--rate=2.25"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(cli.get_int("dim"), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 2.25);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, DefaultsAndUnknownFlags) {
+  CliParser cli("test");
+  cli.add_flag("dim", "4", "dimension");
+  {
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.get_uint("dim"), 4u);
+  }
+  CliParser cli2("test");
+  cli2.add_flag("dim", "4", "dimension");
+  const char* bad[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(cli2.parse(3, bad));
+}
+
+TEST(Log, LevelGating) {
+  const LogLevel original = Log::level();
+  Log::set_level(LogLevel::kError);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+  Log::set_level(LogLevel::kTrace);
+  EXPECT_TRUE(Log::enabled(LogLevel::kDebug));
+  Log::set_level(original);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,91 @@
+// The Section 5 variants: cloning and the synchronous clock-driven
+// strategy.
+
+#include <gtest/gtest.h>
+
+#include "core/clean_synchronous.hpp"
+#include "core/formulas.hpp"
+#include "core/strategy.hpp"
+
+namespace hcs::core {
+namespace {
+
+class CloningSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CloningSweep, MatchesSection5Costs) {
+  const unsigned d = GetParam();
+  const SimOutcome out = run_strategy_sim(StrategyKind::kCloning, d);
+  EXPECT_TRUE(out.correct());
+  // "the second strategy still requires n/2 agents and O(log n) steps, but
+  // the number of moves performed by the agents is reduced to n-1."
+  EXPECT_EQ(out.team_size, cloning_agents(d));
+  EXPECT_EQ(out.total_moves, cloning_moves(d));
+  EXPECT_DOUBLE_EQ(out.makespan, static_cast<double>(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, CloningSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(Cloning, AsynchronousSchedulesStaySafe) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SimRunConfig config;
+    config.delay = sim::DelayModel::uniform(0.3, 4.0);
+    config.policy = sim::Engine::WakePolicy::kRandom;
+    config.seed = seed;
+    const unsigned d = 3 + static_cast<unsigned>(seed % 3);
+    const SimOutcome out = run_strategy_sim(StrategyKind::kCloning, d, config);
+    EXPECT_TRUE(out.correct()) << "seed=" << seed;
+    EXPECT_EQ(out.total_moves, cloning_moves(d));
+    EXPECT_EQ(out.team_size, cloning_agents(d));
+  }
+}
+
+TEST(Cloning, MovesAreStrictlyCheaperThanCarrying) {
+  for (unsigned d = 3; d <= 10; ++d) {
+    EXPECT_LT(cloning_moves(d), visibility_moves(d));
+  }
+}
+
+class SynchronousSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SynchronousSweep, MatchesVisibilityCostsWithoutVisibility) {
+  const unsigned d = GetParam();
+  const SimOutcome out = run_strategy_sim(StrategyKind::kSynchronous, d);
+  EXPECT_TRUE(out.correct());
+  EXPECT_EQ(out.team_size, visibility_team_size(d));
+  EXPECT_EQ(out.total_moves, visibility_moves(d));
+  EXPECT_DOUBLE_EQ(out.makespan, static_cast<double>(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, SynchronousSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(Synchronous, RequiresSynchrony) {
+  // The implicit-clock argument is unsound under asynchronous delays: with
+  // slow traversals, agents fire at wall-clock m(x) before their smaller
+  // neighbours are protected, and the worst-case intruder exploits it.
+  // (This is the paper's point in reverse: the synchronous variant is only
+  // offered for the synchronous model.)
+  bool any_violation = false;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SimRunConfig config;
+    config.delay = sim::DelayModel::uniform(1.5, 6.0);  // slower than 1
+    config.seed = seed;
+    const SimOutcome out =
+        run_strategy_sim(StrategyKind::kSynchronous, 4, config);
+    any_violation = any_violation || out.recontaminations > 0 ||
+                    !out.all_agents_terminated;
+  }
+  EXPECT_TRUE(any_violation);
+}
+
+}  // namespace
+}  // namespace hcs::core

@@ -1,0 +1,60 @@
+#include "sim/whiteboard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcs::sim {
+namespace {
+
+TEST(Whiteboard, GetSetDefaults) {
+  Whiteboard wb;
+  EXPECT_EQ(wb.get("x"), 0);
+  EXPECT_EQ(wb.get("x", -7), -7);
+  EXPECT_FALSE(wb.has("x"));
+  wb.set("x", 42);
+  EXPECT_TRUE(wb.has("x"));
+  EXPECT_EQ(wb.get("x"), 42);
+  EXPECT_EQ(wb.get("x", -7), 42);
+}
+
+TEST(Whiteboard, AddAccumulates) {
+  Whiteboard wb;
+  EXPECT_EQ(wb.add("count", 3), 3);
+  EXPECT_EQ(wb.add("count", -1), 2);
+  EXPECT_EQ(wb.get("count"), 2);
+}
+
+TEST(Whiteboard, EraseAndClear) {
+  Whiteboard wb;
+  wb.set("a", 1);
+  wb.set("b", 2);
+  wb.erase("a");
+  EXPECT_FALSE(wb.has("a"));
+  EXPECT_TRUE(wb.has("b"));
+  wb.clear();
+  EXPECT_FALSE(wb.has("b"));
+  EXPECT_EQ(wb.live_registers(), 0u);
+}
+
+TEST(Whiteboard, PeakTracksHighWaterMark) {
+  Whiteboard wb;
+  wb.set("a", 1);
+  wb.set("b", 2);
+  wb.set("c", 3);
+  EXPECT_EQ(wb.peak_registers(), 3u);
+  wb.erase("b");
+  wb.erase("c");
+  EXPECT_EQ(wb.live_registers(), 1u);
+  EXPECT_EQ(wb.peak_registers(), 3u);  // peak persists
+  EXPECT_EQ(wb.peak_bits(), 3u * 64);
+}
+
+TEST(Whiteboard, OverwriteDoesNotGrowPeak) {
+  Whiteboard wb;
+  wb.set("a", 1);
+  wb.set("a", 2);
+  wb.set("a", 3);
+  EXPECT_EQ(wb.peak_registers(), 1u);
+}
+
+}  // namespace
+}  // namespace hcs::sim
