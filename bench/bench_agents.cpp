@@ -10,11 +10,14 @@
 //  * Lemma 3's per-level extras for one mid-size dimension.
 
 #include <cmath>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/clean_sync.hpp"
 #include "core/clean_visibility.hpp"
 #include "core/formulas.hpp"
+#include "core/strategy_registry.hpp"
+#include "run/sweep.hpp"
 
 namespace hcs {
 namespace {
@@ -58,6 +61,32 @@ void print_tables() {
     }
     std::printf("\nLemma 3 extras per level, d = %u.\n%s", d,
                 t.render().c_str());
+  }
+  {
+    // Registry cross-check: every strategy's closed-form expected() team
+    // size against the team the simulator actually spawns, via one sweep.
+    run::SweepSpec spec;
+    spec.strategies = core::StrategyRegistry::instance().names();
+    spec.dimensions = {4, 6, 8};
+    const run::SweepResult sweep = run::SweepRunner().run(spec);
+
+    Table t({"strategy", "d", "expected agents", "spawned (sim)", "verdict"});
+    for (const std::string& name : spec.strategies) {
+      const core::Strategy& strategy =
+          core::StrategyRegistry::instance().get(name);
+      for (unsigned d : spec.dimensions) {
+        const run::SweepCell* cell = sweep.find(name, d);
+        if (cell == nullptr) continue;
+        const std::uint64_t expected = strategy.expected(d).agents;
+        t.add_row({name, std::to_string(d), with_commas(expected),
+                   with_commas(cell->outcome.team_size),
+                   bench::verdict(cell->outcome.team_size, expected)});
+      }
+    }
+    std::printf(
+        "\nRegistry expected() vs simulated team (all strategies, one "
+        "sweep).\n%s",
+        t.render().c_str());
   }
 }
 

@@ -1,13 +1,17 @@
 // Experiment S1 + Y1 (DESIGN.md): the paper's Section 1.3 / Section 5
 // summary comparison -- both strategies and both variants side by side, on
-// the same footing, with the asymptotic reference columns.
+// the same footing, with the asymptotic reference columns. The simulated
+// grid (every registered strategy x d in {4,6,8,10}) runs as one parallel
+// sweep (hcs::run) instead of a hand-rolled per-configuration loop.
 
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/clean_sync.hpp"
 #include "core/formulas.hpp"
-#include "core/strategy.hpp"
+#include "core/strategy_registry.hpp"
+#include "run/sweep.hpp"
 #include "util/fit.hpp"
 
 namespace hcs {
@@ -21,17 +25,27 @@ void print_tables() {
       "  CLONING variant:       n/2 agents, log n time, n-1 moves\n"
       "  SYNCHRONOUS variant:   same as visibility, without the visibility assumption\n\n");
 
-  for (unsigned d : {4u, 6u, 8u, 10u}) {
+  // One sweep covers the whole simulated grid: every registered strategy
+  // (paper protocols and baseline replays alike resolve by name) at each
+  // dimension, then the per-d tables are lookups into the result.
+  run::SweepSpec spec;
+  spec.strategies = core::StrategyRegistry::instance().names();
+  spec.dimensions = {4, 6, 8, 10};
+  const run::SweepResult sweep = run::SweepRunner().run(spec);
+
+  for (unsigned d : spec.dimensions) {
     Table t({"strategy", "agents", "moves", "ideal time", "monotone",
-             "all clean"});
-    for (const auto kind :
-         {core::StrategyKind::kCleanSync, core::StrategyKind::kVisibility,
-          core::StrategyKind::kCloning, core::StrategyKind::kSynchronous}) {
-      const auto out = core::run_strategy_sim(kind, d);
+             "all clean", "covers H_d"});
+    for (const std::string& name : spec.strategies) {
+      const run::SweepCell* cell = sweep.find(name, d);
+      if (cell == nullptr) continue;
+      const core::SimOutcome& out = cell->outcome;
+      const bool covers =
+          core::StrategyRegistry::instance().get(name).covers_hypercube();
       t.add_row({out.strategy, with_commas(out.team_size),
                  with_commas(out.total_moves), fixed(out.makespan, 0),
                  out.recontaminations == 0 ? "yes" : "NO",
-                 out.all_clean ? "yes" : "NO"});
+                 out.all_clean ? "yes" : "NO", covers ? "yes" : "tree only"});
     }
     std::printf("H_%u (n = %llu):\n%s\n", d,
                 static_cast<unsigned long long>(1ull << d),
@@ -88,15 +102,32 @@ void print_tables() {
 }
 
 void BM_FullRun(benchmark::State& state) {
-  const auto kind = static_cast<core::StrategyKind>(state.range(0));
+  // Strategies resolve by registry name, same as the sweep runner.
+  const std::vector<std::string> names =
+      core::StrategyRegistry::instance().names();
+  const std::string& name = names[static_cast<std::size_t>(state.range(0))];
   const auto d = static_cast<unsigned>(state.range(1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_strategy_sim(kind, d).total_moves);
+    benchmark::DoNotOptimize(core::run_strategy_sim(name, d).total_moves);
   }
+  state.SetLabel(name);
 }
 BENCHMARK(BM_FullRun)
-    ->ArgsProduct({{0, 1, 2, 3}, {4, 6, 8}})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {4, 6, 8}})
     ->ArgNames({"strategy", "d"});
+
+void BM_Sweep(benchmark::State& state) {
+  // The whole comparison grid end-to-end at a given worker count.
+  run::SweepSpec spec;
+  spec.strategies = core::StrategyRegistry::instance().names();
+  spec.dimensions = {4, 6, 8};
+  const run::SweepRunner runner(
+      {.threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(spec).cells.size());
+  }
+}
+BENCHMARK(BM_Sweep)->Arg(1)->Arg(4)->ArgNames({"threads"});
 
 }  // namespace
 }  // namespace hcs

@@ -13,7 +13,7 @@
 #include "core/clean_sync.hpp"
 #include "core/clean_visibility.hpp"
 #include "core/formulas.hpp"
-#include "core/strategy.hpp"
+#include "run/sweep.hpp"
 
 namespace hcs {
 namespace {
@@ -42,22 +42,22 @@ void print_tables() {
     bench::maybe_write_csv("clean_moves", t);
   }
   {
+    // The cloning variant is simulated (its plan cannot pre-place clones);
+    // the simulated dimensions run as one parallel sweep, and the table
+    // falls back to the formula beyond the sweep's range.
+    run::SweepSpec spec;
+    spec.strategies = {"CLONING"};
+    for (unsigned d = 2; d <= 12; ++d) spec.dimensions.push_back(d);
+    const run::SweepResult sweep = run::SweepRunner().run(spec);
+
     Table t({"d", "visibility moves", "(n/4)(log n+1)", "verdict",
              "cloning moves (sim)", "n-1", "verdict(clone)"});
     for (unsigned d = 2; d <= 18; ++d) {
       core::VisibilityStats vis;
       (void)core::plan_clean_visibility(d, &vis);
-      // The cloning variant is simulated (its plan cannot pre-place
-      // clones); cap the simulated dimension and fall back to the formula
-      // beyond it.
-      std::uint64_t clone_moves;
-      if (d <= 12) {
-        clone_moves =
-            core::run_strategy_sim(core::StrategyKind::kCloning, d)
-                .total_moves;
-      } else {
-        clone_moves = core::cloning_moves(d);
-      }
+      const run::SweepCell* cell = sweep.find("CLONING", d);
+      const std::uint64_t clone_moves =
+          cell != nullptr ? cell->outcome.total_moves : core::cloning_moves(d);
       t.add_row({std::to_string(d), with_commas(vis.moves),
                  with_commas(core::visibility_moves(d)),
                  bench::verdict(vis.moves, core::visibility_moves(d)),
@@ -66,7 +66,7 @@ void print_tables() {
                  bench::verdict(clone_moves, core::cloning_moves(d))});
     }
     std::printf("\nTheorem 8 and Section 5: moves of Algorithm 2 and the "
-                "cloning variant.\n%s",
+                "cloning variant (sim d <= 12 via sweep).\n%s",
                 t.render().c_str());
   }
 }

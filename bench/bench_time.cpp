@@ -6,23 +6,32 @@
 //  * Theorem 4: Algorithm CLEAN's time equals (up to dispatch overlap) the
 //    synchronizer's move count, i.e. Theta(n log n) -- the measured ratio
 //    time / (n log n) column shows the constant settling.
+//
+// Both simulated grids run as parallel sweeps (hcs::run): CLEAN and the
+// visibility strategy across d = 2..11, then the asynchronous-schedule
+// grid (delay model x seed) for Theorem 6.
 
 #include "bench_common.hpp"
-#include "core/clean_sync.hpp"
 #include "core/formulas.hpp"
-#include "core/strategy.hpp"
+#include "run/sweep.hpp"
 
 namespace hcs {
 namespace {
 
 void print_tables() {
   {
+    run::SweepSpec spec;
+    spec.strategies = {"CLEAN", "CLEAN-WITH-VISIBILITY"};
+    for (unsigned d = 2; d <= 11; ++d) spec.dimensions.push_back(d);
+    const run::SweepResult sweep = run::SweepRunner().run(spec);
+
     Table t({"d", "CLEAN time (sim)", "sync moves", "time/sync", "n log n",
              "time/(n log n)", "VISIBILITY time (sim)", "log n (Thm 7)",
              "verdict"});
-    for (unsigned d = 2; d <= 11; ++d) {
-      const auto clean = core::run_strategy_sim(core::StrategyKind::kCleanSync, d);
-      const auto vis = core::run_strategy_sim(core::StrategyKind::kVisibility, d);
+    for (unsigned d : spec.dimensions) {
+      const core::SimOutcome& clean = sweep.find("CLEAN", d)->outcome;
+      const core::SimOutcome& vis =
+          sweep.find("CLEAN-WITH-VISIBILITY", d)->outcome;
       t.add_row({std::to_string(d), fixed(clean.makespan, 0),
                  with_commas(clean.synchronizer_moves),
                  ratio(clean.makespan,
@@ -42,23 +51,24 @@ void print_tables() {
   }
   {
     // Asynchrony: time under random delays still completes; moves and
-    // safety are schedule-independent (Theorem 6).
+    // safety are schedule-independent (Theorem 6). The delay-model x seed
+    // grid is exactly a SweepSpec.
+    run::SweepSpec spec;
+    spec.strategies = {"CLEAN-WITH-VISIBILITY"};
+    spec.dimensions = {8};
+    spec.seeds = {1, 2, 3};
+    spec.delays = {run::DelaySpec::uniform(0.2, 3.0),
+                   run::DelaySpec::heavy_tailed()};
+    spec.policies = {sim::Engine::WakePolicy::kRandom};
+    const run::SweepResult sweep = run::SweepRunner().run(spec);
+
     Table t({"delay model", "seed", "VISIBILITY makespan (d=8)", "moves",
              "recontaminations"});
-    for (int model = 0; model <= 1; ++model) {
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        core::SimRunConfig cfg;
-        cfg.delay = model == 0 ? sim::DelayModel::uniform(0.2, 3.0)
-                               : sim::DelayModel::heavy_tailed();
-        cfg.policy = sim::Engine::WakePolicy::kRandom;
-        cfg.seed = seed;
-        const auto out =
-            core::run_strategy_sim(core::StrategyKind::kVisibility, 8, cfg);
-        t.add_row({model == 0 ? "uniform(0.2,3)" : "heavy-tailed",
-                   std::to_string(seed), fixed(out.makespan, 2),
-                   with_commas(out.total_moves),
-                   std::to_string(out.recontaminations)});
-      }
+    for (const run::SweepCell& cell : sweep.cells) {
+      t.add_row({cell.delay.label(), std::to_string(cell.seed),
+                 fixed(cell.outcome.makespan, 2),
+                 with_commas(cell.outcome.total_moves),
+                 std::to_string(cell.outcome.recontaminations)});
     }
     std::printf("\nAsynchronous schedules (Theorem 6 safety).\n%s",
                 t.render().c_str());
@@ -68,8 +78,7 @@ void print_tables() {
 void BM_SimCleanSync(benchmark::State& state) {
   const auto d = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::run_strategy_sim(core::StrategyKind::kCleanSync, d).makespan);
+    benchmark::DoNotOptimize(core::run_strategy_sim("CLEAN", d).makespan);
   }
 }
 BENCHMARK(BM_SimCleanSync)->DenseRange(4, 8, 2);
@@ -78,7 +87,7 @@ void BM_SimVisibility(benchmark::State& state) {
   const auto d = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::run_strategy_sim(core::StrategyKind::kVisibility, d).makespan);
+        core::run_strategy_sim("CLEAN-WITH-VISIBILITY", d).makespan);
   }
 }
 BENCHMARK(BM_SimVisibility)->DenseRange(4, 10, 2);

@@ -8,14 +8,24 @@
 // network size, available capabilities, and an optimization goal, it
 // compares every strategy and recommends one.
 //
+// The candidate list is the StrategyRegistry: anything registered shows up
+// here with its expected costs. --verify re-runs the feasible candidates
+// end-to-end on the event engine (a parallel sweep via hcs::run) so the
+// planned numbers are confirmed by simulation, and --csv/--json dump the
+// sweep for further analysis.
+//
 //   $ ./network_audit --dim 10 --goal agents
 //   $ ./network_audit --dim 8 --goal time --budget-moves 100000
 //   $ ./network_audit --dim 8 --goal time --no-visibility
+//   $ ./network_audit --dim 8 --goal moves --verify --csv sweep.csv
 
 #include <cstdio>
+#include <string>
 
 #include "core/audit.hpp"
 #include "core/audit_timeline.hpp"
+#include "run/sweep.hpp"
+#include "run/sweep_io.hpp"
 #include "util/cli.hpp"
 #include "util/strfmt.hpp"
 #include "util/table.hpp"
@@ -34,6 +44,12 @@ int main(int argc, char** argv) {
   cli.add_flag("period", "0",
                "audit period (time between sweep starts); 0 = skip the "
                "detection-latency analysis");
+  cli.add_bool_flag("verify",
+                    "simulate the feasible candidates (parallel sweep) and "
+                    "check them against the planned costs");
+  cli.add_flag("csv", "", "write the verification sweep as CSV to this path");
+  cli.add_flag("json", "",
+               "write the verification sweep as JSON to this path");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto d = static_cast<unsigned>(cli.get_uint("dim"));
@@ -84,6 +100,53 @@ int main(int argc, char** argv) {
   std::printf("  traffic overhead: %.2f agent-traversals per host per "
               "sweep.\n",
               report.traffic_per_host());
+
+  // Re-run the feasible candidates on the event engine so the planner's
+  // closed-form numbers are backed by an actual monotone sweep.
+  if (cli.get_bool("verify") || !cli.get("csv").empty() ||
+      !cli.get("json").empty()) {
+    run::SweepSpec spec;
+    for (const auto& c : report.candidates) {
+      if (c.feasible) spec.strategies.push_back(c.name);
+    }
+    spec.dimensions = {d};
+    const run::SweepResult sweep = run::SweepRunner().run(spec);
+
+    Table vt({"strategy", "planned moves", "simulated moves", "monotone",
+              "clean", "verdict"});
+    for (const auto& c : report.candidates) {
+      if (!c.feasible) continue;
+      const run::SweepCell* cell = sweep.find(c.name, d);
+      if (cell == nullptr) continue;
+      const core::SimOutcome& out = cell->outcome;
+      vt.add_row({c.name, with_commas(c.moves), with_commas(out.total_moves),
+                  out.recontaminations == 0 ? "yes" : "NO",
+                  out.all_clean ? "yes" : "NO",
+                  out.correct() && out.total_moves == c.moves ? "confirmed"
+                                                              : "CHECK"});
+    }
+    std::printf("\nsimulation check (event engine, parallel sweep):\n%s",
+                vt.render().c_str());
+
+    const std::string csv_path = cli.get("csv");
+    if (!csv_path.empty()) {
+      if (run::write_sweep_csv(sweep, csv_path)) {
+        std::printf("wrote %s\n", csv_path.c_str());
+      } else {
+        std::fprintf(stderr, "could not write %s\n", csv_path.c_str());
+        return 1;
+      }
+    }
+    const std::string json_path = cli.get("json");
+    if (!json_path.empty()) {
+      if (run::write_sweep_json(sweep, json_path)) {
+        std::printf("wrote %s\n", json_path.c_str());
+      } else {
+        std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+        return 1;
+      }
+    }
+  }
 
   // Optional security side of the trade-off: how long does an intruder
   // arriving at a random time survive before the guaranteed capture?

@@ -1,7 +1,8 @@
 #include "core/audit.hpp"
 
-#include "core/clean_sync.hpp"
-#include "core/formulas.hpp"
+#include <string>
+
+#include "core/strategy_registry.hpp"
 #include "util/assert.hpp"
 
 namespace hcs::core {
@@ -21,6 +22,29 @@ double AuditReport::traffic_per_host() const {
   return static_cast<double>(candidates[*recommended].moves) / n;
 }
 
+namespace {
+
+/// Why the deployment cannot run the strategy, or empty when it can.
+std::string exclusion_reason(const Strategy& strategy,
+                             const AuditCapabilities& caps) {
+  if (!strategy.covers_hypercube()) {
+    return "excluded: cleans only the broadcast-tree skeleton";
+  }
+  const StrategyCaps need = strategy.required_capabilities();
+  std::string missing;
+  if (need.visibility && !caps.visibility) missing = "visibility";
+  if (need.cloning && !caps.cloning) {
+    missing += missing.empty() ? "cloning" : " + cloning";
+  }
+  if (need.synchronous && !caps.synchronous) {
+    missing += missing.empty() ? "synchrony" : " + synchrony";
+  }
+  if (missing.empty()) return {};
+  return "excluded: requires " + missing;
+}
+
+}  // namespace
+
 AuditReport plan_audit(unsigned d, AuditGoal goal,
                        const AuditCapabilities& caps,
                        std::uint64_t move_budget) {
@@ -28,30 +52,16 @@ AuditReport plan_audit(unsigned d, AuditGoal goal,
   AuditReport report;
   report.dimension = d;
 
-  const CleanSyncStats clean = measure_clean_sync(d);
-  report.candidates.push_back(
-      {"CLEAN (coordinated)", clean.team_size,
-       clean.agent_moves + clean.sync_moves_total, clean.sync_moves_total,
-       true, "fewest agents; slow sequential sweep"});
-  report.candidates.push_back(
-      {"CLEAN WITH VISIBILITY", visibility_team_size(d), visibility_moves(d),
-       visibility_time(d), caps.visibility,
-       caps.visibility ? "fastest; needs neighbour-state visibility"
-                       : "excluded: requires visibility"});
-  report.candidates.push_back(
-      {"CLONING variant", cloning_agents(d), cloning_moves(d),
-       visibility_time(d), caps.visibility && caps.cloning,
-       caps.visibility && caps.cloning
-           ? "fewest moves; needs cloning capability"
-           : "excluded: requires visibility + cloning"});
-  report.candidates.push_back(
-      {"SYNCHRONOUS variant", visibility_team_size(d), visibility_moves(d),
-       visibility_time(d), caps.synchronous,
-       caps.synchronous ? "visibility-free; needs synchronous links"
-                        : "excluded: requires synchrony"});
-  report.candidates.push_back({"naive level sweep", naive_sweep_team_size(d),
-                               n_log_n(d), n_log_n(d), true,
-                               "baseline; no coordination tricks"});
+  const StrategyRegistry& registry = StrategyRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    const Strategy& strategy = registry.get(name);
+    const ExpectedCosts costs = strategy.expected(d);
+    const std::string excluded = exclusion_reason(strategy, caps);
+    report.candidates.push_back({name, costs.agents, costs.moves, costs.time,
+                                 excluded.empty(),
+                                 excluded.empty() ? strategy.notes()
+                                                  : excluded});
+  }
 
   const auto key = [goal](const AuditCandidate& c) {
     switch (goal) {

@@ -50,10 +50,12 @@ struct AuditReport {
   [[nodiscard]] double traffic_per_host() const;
 };
 
-/// All five implemented strategies with exact costs for H_d, the
-/// infeasible ones marked, and the best feasible one under `goal`
-/// selected. `move_budget` (0 = unlimited) excludes strategies whose sweep
-/// exceeds it.
+/// Every registered strategy (StrategyRegistry order) with its expected
+/// costs for dimension d, the infeasible ones marked -- missing
+/// capabilities, over budget, or not covering H_d (the tree-only
+/// baseline) -- and the best feasible one under `goal` selected.
+/// `move_budget` (0 = unlimited) excludes strategies whose sweep exceeds
+/// it.
 [[nodiscard]] AuditReport plan_audit(unsigned d, AuditGoal goal,
                                      const AuditCapabilities& caps = {},
                                      std::uint64_t move_budget = 0);

@@ -15,36 +15,29 @@ namespace {
 constexpr const char* kReleased = "released";
 constexpr const char* kClaimed = "claimed";
 
-/// The decision an agent takes at its node.
-struct VisDecision {
-  enum class Kind : std::uint8_t { kWait, kMove, kTerminate };
-  Kind kind = Kind::kWait;
-  NodeId dest = 0;
-};
-
 /// One atomic evaluation of the Section 4.2 rule for an agent at node x.
 ///
 /// Ctx requirements (satisfied by sim::AgentContext and by the LocalView
 /// adapter below): agents_here(), status(graph::Vertex),
 /// wb_get(key)/wb_set(key, v)/wb_add(key, delta) on the local whiteboard.
 template <typename Ctx>
-VisDecision visibility_decide(unsigned d, Ctx& ctx) {
+sim::LocalDecision visibility_decide(unsigned d, Ctx& ctx) {
   const auto x = static_cast<NodeId>(ctx.here());
   const BitPos m = msb_position(x);
   const unsigned k = d - m;  // x is of type T(k)
-  if (k == 0) return {VisDecision::Kind::kTerminate, 0};
+  if (k == 0) return sim::LocalDecision::terminate();
 
   if (ctx.wb_get(kReleased) == 0) {
     const auto need =
         static_cast<std::int64_t>(visibility_required_agents(d, x));
     if (static_cast<std::int64_t>(ctx.agents_here()) < need) {
-      return {VisDecision::Kind::kWait, 0};
+      return sim::LocalDecision::wait();
     }
     // Visibility: every smaller neighbour must be clean or guarded.
     for (BitPos j = 1; j <= m; ++j) {
       const auto y = static_cast<graph::Vertex>(flip_bit(x, j));
       if (ctx.status(y) == sim::NodeStatus::kContaminated) {
-        return {VisDecision::Kind::kWait, 0};
+        return sim::LocalDecision::wait();
       }
     }
     // Latch the decision: once the condition has been observed, agents may
@@ -53,7 +46,8 @@ VisDecision visibility_decide(unsigned d, Ctx& ctx) {
   }
 
   const auto claim = static_cast<std::uint64_t>(ctx.wb_add(kClaimed, 1) - 1);
-  return {VisDecision::Kind::kMove, visibility_claim_destination(d, x, claim)};
+  return sim::LocalDecision::move(
+      static_cast<graph::Vertex>(visibility_claim_destination(d, x, claim)));
 }
 
 /// Engine-model agent: evaluates the rule on every wake-up.
@@ -64,14 +58,13 @@ class VisibilityAgent final : public sim::Agent {
   std::string role() const override { return "agent"; }
 
   sim::Action step(sim::AgentContext& ctx) override {
-    const VisDecision decision = visibility_decide(d_, ctx);
+    const sim::LocalDecision decision = visibility_decide(d_, ctx);
     switch (decision.kind) {
-      case VisDecision::Kind::kWait:
+      case sim::LocalDecision::Kind::kWait:
         return sim::Action::wait();
-      case VisDecision::Kind::kMove:
-        return sim::Action::move_to(
-            static_cast<graph::Vertex>(decision.dest));
-      case VisDecision::Kind::kTerminate:
+      case sim::LocalDecision::Kind::kMove:
+        return sim::Action::move_to(decision.dest);
+      case sim::LocalDecision::Kind::kTerminate:
         return sim::Action::finished();
     }
     return sim::Action::finished();
@@ -186,17 +179,7 @@ std::uint64_t spawn_visibility_team(sim::Engine& engine, unsigned d) {
 sim::LocalRule make_visibility_rule(unsigned d) {
   return [d](const sim::LocalView& view) -> sim::LocalDecision {
     LocalViewCtx ctx{&view};
-    const VisDecision decision = visibility_decide(d, ctx);
-    switch (decision.kind) {
-      case VisDecision::Kind::kWait:
-        return sim::LocalDecision::wait();
-      case VisDecision::Kind::kMove:
-        return sim::LocalDecision::move(
-            static_cast<graph::Vertex>(decision.dest));
-      case VisDecision::Kind::kTerminate:
-        return sim::LocalDecision::terminate();
-    }
-    return sim::LocalDecision::terminate();
+    return visibility_decide(d, ctx);
   };
 }
 

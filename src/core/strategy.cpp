@@ -1,10 +1,6 @@
 #include "core/strategy.hpp"
 
-#include "core/clean_cloning.hpp"
-#include "core/clean_sync.hpp"
-#include "core/clean_synchronous.hpp"
-#include "core/clean_visibility.hpp"
-#include "graph/builders.hpp"
+#include "core/strategy_registry.hpp"
 #include "util/assert.hpp"
 
 namespace hcs::core {
@@ -20,22 +16,17 @@ const char* strategy_name(StrategyKind kind) {
 }
 
 bool strategy_needs_visibility(StrategyKind kind) {
-  switch (kind) {
-    case StrategyKind::kCleanSync:
-    case StrategyKind::kSynchronous:
-      return false;
-    case StrategyKind::kVisibility:
-    case StrategyKind::kCloning:
-      return true;
-  }
-  return false;
+  return StrategyRegistry::instance().get(strategy_name(kind))
+      .needs_visibility();
 }
 
-SimOutcome run_strategy_sim(StrategyKind kind, unsigned d,
+SimOutcome run_strategy_sim(std::string_view name, unsigned d,
                             const SimRunConfig& config,
                             sim::Trace* trace_out) {
   HCS_EXPECTS(d >= 1);
-  const graph::Graph g = graph::make_hypercube(d);
+  const Strategy& strategy = StrategyRegistry::instance().get(name);
+
+  const graph::Graph g = strategy.build_graph(d);
   sim::Network net(g, /*homebase=*/0);
   net.set_move_semantics(config.semantics);
   net.trace().enable(config.trace);
@@ -44,29 +35,17 @@ SimOutcome run_strategy_sim(StrategyKind kind, unsigned d,
   engine_config.delay = config.delay;
   engine_config.policy = config.policy;
   engine_config.seed = config.seed;
-  engine_config.visibility = strategy_needs_visibility(kind);
+  engine_config.visibility = strategy.needs_visibility();
+  engine_config.max_agent_steps = config.max_agent_steps;
   sim::Engine engine(net, engine_config);
 
-  switch (kind) {
-    case StrategyKind::kCleanSync:
-      spawn_clean_sync_team(engine, d);
-      break;
-    case StrategyKind::kVisibility:
-      spawn_visibility_team(engine, d);
-      break;
-    case StrategyKind::kCloning:
-      spawn_cloning_team(engine, d);
-      break;
-    case StrategyKind::kSynchronous:
-      spawn_synchronous_team(engine, d);
-      break;
-  }
+  strategy.spawn_team(engine, d);
 
   const sim::Engine::RunResult run = engine.run();
   const sim::Metrics& m = net.metrics();
 
   SimOutcome outcome;
-  outcome.strategy = strategy_name(kind);
+  outcome.strategy = strategy.name();
   outcome.dimension = d;
   outcome.team_size = m.agents_spawned;
   outcome.total_moves = m.total_moves;
@@ -78,10 +57,17 @@ SimOutcome run_strategy_sim(StrategyKind kind, unsigned d,
   outcome.all_clean = net.all_clean();
   outcome.clean_region_connected = net.clean_region_connected();
   outcome.all_agents_terminated = run.all_terminated;
+  outcome.aborted = run.aborted;
   outcome.peak_whiteboard_bits = m.peak_whiteboard_bits;
 
   if (trace_out != nullptr) *trace_out = std::move(net.trace());
   return outcome;
+}
+
+SimOutcome run_strategy_sim(StrategyKind kind, unsigned d,
+                            const SimRunConfig& config,
+                            sim::Trace* trace_out) {
+  return run_strategy_sim(strategy_name(kind), d, config, trace_out);
 }
 
 }  // namespace hcs::core

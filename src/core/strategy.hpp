@@ -2,11 +2,18 @@
 // asynchronous simulator and collect the paper's three cost measures plus
 // the safety verdicts. Used by tests, benches, and the examples so that
 // "run Algorithm X on H_d and measure it" is a single line.
+//
+// Strategies resolve through the string-keyed StrategyRegistry
+// (strategy_registry.hpp): the four paper strategies and the two baseline
+// sweeps are pre-registered, and anything added to the registry runs here
+// without changes. StrategyKind remains as a convenient enum handle for
+// the paper's own four algorithms.
 
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "sim/engine.hpp"
 
@@ -19,6 +26,8 @@ enum class StrategyKind : std::uint8_t {
   kSynchronous,    ///< Section 5 synchronous variant
 };
 
+/// Registry name of a paper strategy ("CLEAN", "CLEAN-WITH-VISIBILITY",
+/// "CLONING", "SYNCHRONOUS").
 [[nodiscard]] const char* strategy_name(StrategyKind kind);
 
 /// Does the strategy need Engine visibility (neighbour status reads)?
@@ -37,11 +46,15 @@ struct SimOutcome {
   bool all_clean = false;
   bool clean_region_connected = false;
   bool all_agents_terminated = false;
+  /// The run hit SimRunConfig::max_agent_steps (livelock guard) and was cut
+  /// off before quiescence; the counters above are the partial totals.
+  bool aborted = false;
   std::uint64_t peak_whiteboard_bits = 0;
 
   /// Theorems 1/6-style verdict for the run.
   [[nodiscard]] bool correct() const {
-    return all_clean && recontaminations == 0 && all_agents_terminated;
+    return all_clean && recontaminations == 0 && all_agents_terminated &&
+           !aborted;
   }
 };
 
@@ -51,11 +64,19 @@ struct SimRunConfig {
   std::uint64_t seed = 1;
   bool trace = false;
   sim::MoveSemantics semantics = sim::MoveSemantics::kAtomicArrival;
+  /// Livelock guard, surfaced as SimOutcome::aborted when exceeded.
+  std::uint64_t max_agent_steps = 200'000'000;
 };
 
-/// Builds H_d (graph + network + engine), runs the strategy to quiescence,
-/// and reports. When `trace_out` is non-null the full event trace is moved
-/// into it.
+/// Builds the strategy's topology (H_d for all but the tree-only baseline),
+/// spawns its team, runs the engine to quiescence, and reports. `name` is a
+/// StrategyRegistry key (case-insensitive); unknown names abort. When
+/// `trace_out` is non-null the full event trace is moved into it.
+[[nodiscard]] SimOutcome run_strategy_sim(std::string_view name, unsigned d,
+                                          const SimRunConfig& config = {},
+                                          sim::Trace* trace_out = nullptr);
+
+/// Enum convenience overload for the paper's four strategies.
 [[nodiscard]] SimOutcome run_strategy_sim(StrategyKind kind, unsigned d,
                                           const SimRunConfig& config = {},
                                           sim::Trace* trace_out = nullptr);

@@ -1,0 +1,67 @@
+#include "core/strategy_registry.hpp"
+
+#include <cctype>
+
+#include "graph/builders.hpp"
+#include "util/assert.hpp"
+
+namespace hcs::core {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+graph::Graph Strategy::build_graph(unsigned d) const {
+  return graph::make_hypercube(d);
+}
+
+StrategyRegistry& StrategyRegistry::instance() {
+  // Leaked singleton: avoids destruction-order races with other statics,
+  // and the thread-safe local-static init doubles as the registration lock.
+  static StrategyRegistry* registry = [] {
+    auto* r = new StrategyRegistry();
+    detail::register_builtin_strategies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void StrategyRegistry::add(std::unique_ptr<Strategy> strategy) {
+  HCS_EXPECTS(strategy != nullptr);
+  HCS_EXPECTS(find(strategy->name()) == nullptr &&
+              "strategy name already registered");
+  strategies_.push_back(std::move(strategy));
+}
+
+const Strategy* StrategyRegistry::find(std::string_view name) const {
+  for (const auto& s : strategies_) {
+    if (iequals(s->name(), name)) return s.get();
+  }
+  return nullptr;
+}
+
+const Strategy& StrategyRegistry::get(std::string_view name) const {
+  const Strategy* s = find(name);
+  HCS_EXPECTS(s != nullptr && "unknown strategy name");
+  return *s;
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(strategies_.size());
+  for (const auto& s : strategies_) out.emplace_back(s->name());
+  return out;
+}
+
+}  // namespace hcs::core

@@ -1,0 +1,147 @@
+#include "run/sweep.hpp"
+
+#include <cstdio>
+
+#include "core/strategy_registry.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcs::run {
+
+namespace {
+
+/// Shortest exact-ish rendering for delay-bound labels: 3 -> "3",
+/// 0.2 -> "0.2".
+std::string compact(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+sim::DelayModel DelaySpec::make() const {
+  switch (kind) {
+    case Kind::kUnit: return sim::DelayModel::unit();
+    case Kind::kUniform: return sim::DelayModel::uniform(lo, hi);
+    case Kind::kHeavyTailed: return sim::DelayModel::heavy_tailed();
+  }
+  return sim::DelayModel::unit();
+}
+
+std::string DelaySpec::label() const {
+  switch (kind) {
+    case Kind::kUnit: return "unit";
+    case Kind::kUniform:
+      return "uniform(" + compact(lo) + "," + compact(hi) + ")";
+    case Kind::kHeavyTailed: return "heavy-tailed";
+  }
+  return "?";
+}
+
+const char* to_string(sim::Engine::WakePolicy policy) {
+  switch (policy) {
+    case sim::Engine::WakePolicy::kFifo: return "fifo";
+    case sim::Engine::WakePolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+const char* to_string(sim::MoveSemantics semantics) {
+  switch (semantics) {
+    case sim::MoveSemantics::kAtomicArrival: return "atomic-arrival";
+    case sim::MoveSemantics::kVacateOnDeparture: return "vacate-on-departure";
+  }
+  return "?";
+}
+
+std::size_t SweepSpec::num_cells() const {
+  return strategies.size() * dimensions.size() * seeds.size() *
+         delays.size() * policies.size() * semantics.size();
+}
+
+SweepCell sweep_cell_at(const SweepSpec& spec, std::size_t index) {
+  HCS_EXPECTS(index < spec.num_cells());
+  // Row-major decode, semantics fastest.
+  const auto pick = [&index](std::size_t extent) {
+    const std::size_t i = index % extent;
+    index /= extent;
+    return i;
+  };
+  SweepCell cell;
+  cell.semantics = spec.semantics[pick(spec.semantics.size())];
+  cell.policy = spec.policies[pick(spec.policies.size())];
+  cell.delay = spec.delays[pick(spec.delays.size())];
+  cell.seed = spec.seeds[pick(spec.seeds.size())];
+  cell.dimension = spec.dimensions[pick(spec.dimensions.size())];
+  cell.strategy = spec.strategies[pick(spec.strategies.size())];
+  return cell;
+}
+
+SweepCell run_sweep_cell(const SweepSpec& spec, std::size_t index) {
+  SweepCell cell = sweep_cell_at(spec, index);
+  core::SimRunConfig config;
+  config.delay = cell.delay.make();
+  config.policy = cell.policy;
+  config.seed = cell.seed;
+  config.semantics = cell.semantics;
+  config.max_agent_steps = spec.max_agent_steps;
+  cell.outcome = core::run_strategy_sim(cell.strategy, cell.dimension, config);
+  return cell;
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) const {
+  HCS_EXPECTS(!spec.strategies.empty() && !spec.dimensions.empty());
+  HCS_EXPECTS(!spec.seeds.empty() && !spec.delays.empty());
+  HCS_EXPECTS(!spec.policies.empty() && !spec.semantics.empty());
+  // Resolve every name up front (and warm the registry singleton) so a typo
+  // aborts before any work is scheduled and no worker races the first
+  // instance() initialization.
+  for (const std::string& name : spec.strategies) {
+    (void)core::StrategyRegistry::instance().get(name);
+  }
+
+  SweepResult result;
+  result.spec = spec;
+  result.cells.resize(spec.num_cells());
+
+  ThreadPool pool(config_.threads);
+  pool.parallel_for(result.cells.size(), [&](std::size_t i) {
+    result.cells[i] = run_sweep_cell(spec, i);
+  });
+  return result;
+}
+
+const SweepCell* SweepResult::find(const std::string& strategy,
+                                   unsigned dimension) const {
+  for (const SweepCell& cell : cells) {
+    if (cell.dimension == dimension && cell.strategy == strategy) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<StrategySummary> SweepResult::summarize() const {
+  std::vector<StrategySummary> out;
+  out.reserve(spec.strategies.size());
+  for (const std::string& name : spec.strategies) {
+    StrategySummary s;
+    // Cells carry the registry's canonical casing; resolve once.
+    s.strategy = core::StrategyRegistry::instance().get(name).name();
+    for (const SweepCell& cell : cells) {
+      if (cell.outcome.strategy != s.strategy) continue;
+      ++s.cells;
+      if (cell.outcome.correct()) ++s.correct_cells;
+      if (cell.outcome.aborted) ++s.aborted_cells;
+      s.recontaminations += cell.outcome.recontaminations;
+      s.team_size.add(static_cast<double>(cell.outcome.team_size));
+      s.total_moves.add(static_cast<double>(cell.outcome.total_moves));
+      s.makespan.add(cell.outcome.makespan);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace hcs::run

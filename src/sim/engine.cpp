@@ -40,6 +40,10 @@ graph::Vertex Engine::agent_position(AgentId a) const {
 Engine::RunResult Engine::run() {
   while (true) {
     if (!runnable_.empty()) {
+      if (steps_taken_ >= cfg_.max_agent_steps) {
+        aborted_ = true;
+        break;
+      }
       step_agent(pick_runnable());
       continue;
     }
@@ -55,6 +59,7 @@ Engine::RunResult Engine::run() {
   net_->finalize_metrics();
 
   RunResult result;
+  result.aborted = aborted_;
   result.end_time = now_;
   result.capture_time = capture_time_;
   for (const AgentRecord& rec : agents_) {
@@ -64,7 +69,7 @@ Engine::RunResult Engine::run() {
       ++result.waiting;
     }
   }
-  result.all_terminated = result.waiting == 0;
+  result.all_terminated = result.waiting == 0 && !aborted_;
   return result;
 }
 
@@ -87,8 +92,7 @@ AgentId Engine::pick_runnable() {
 void Engine::step_agent(AgentId a) {
   AgentRecord& rec = agents_[a];
   HCS_ASSERT(rec.state == AgentState::kRunnable);
-  HCS_ASSERT(++steps_taken_ <= cfg_.max_agent_steps &&
-             "agent step limit exceeded (livelocked protocol?)");
+  ++steps_taken_;
   ++net_->metrics().agent_steps;
 
   AgentContext ctx(*this, a, rec.at);

@@ -49,6 +49,11 @@ class Engine {
 
   struct RunResult {
     bool all_terminated = false;
+    /// True when the run was cut off by Config::max_agent_steps (a
+    /// livelocked or pathologically slow protocol) rather than reaching
+    /// quiescence. Aborted runs report the partial metrics accumulated so
+    /// far; sweeps use the flag to flag pathological configurations.
+    bool aborted = false;
     std::size_t terminated = 0;
     std::size_t waiting = 0;
     SimTime end_time = kTimeZero;
@@ -122,6 +127,7 @@ class Engine {
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t steps_taken_ = 0;
+  bool aborted_ = false;
   bool captured_ = false;
   SimTime capture_time_ = -1.0;
 

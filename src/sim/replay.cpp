@@ -67,9 +67,8 @@ class ReplayAgent final : public Agent {
 
 }  // namespace
 
-ReplayOutcome replay_itineraries(Engine& engine,
-                                 std::vector<Itinerary> itineraries,
-                                 std::uint64_t num_rounds) {
+void spawn_itinerary_team(Engine& engine, std::vector<Itinerary> itineraries,
+                          std::uint64_t num_rounds) {
   auto barrier = std::make_shared<Barrier>();
   barrier->moves_per_round.assign(num_rounds, 0);
   for (const Itinerary& it : itineraries) {
@@ -85,6 +84,12 @@ ReplayOutcome replay_itineraries(Engine& engine,
   for (Itinerary& it : itineraries) {
     engine.spawn(std::make_unique<ReplayAgent>(std::move(it), barrier), home);
   }
+}
+
+ReplayOutcome replay_itineraries(Engine& engine,
+                                 std::vector<Itinerary> itineraries,
+                                 std::uint64_t num_rounds) {
+  spawn_itinerary_team(engine, std::move(itineraries), num_rounds);
 
   const Engine::RunResult run = engine.run();
   ReplayOutcome out;

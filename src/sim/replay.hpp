@@ -47,6 +47,14 @@ struct ReplayOutcome {
   SimTime makespan = 0;
 };
 
+/// Spawns one engine agent per itinerary at the network's homebase without
+/// running the engine; the agents execute their moves (respecting the round
+/// barriers) once the caller runs the engine to quiescence. Lets itinerary
+/// teams share an engine run with other spawners (e.g. the strategy
+/// registry's plan-backed baselines).
+void spawn_itinerary_team(Engine& engine, std::vector<Itinerary> itineraries,
+                          std::uint64_t num_rounds);
+
 /// Spawns one engine agent per itinerary at `homebase` and runs the engine
 /// to quiescence. The caller provides itineraries already split per agent
 /// (see plan_to_itineraries in core/replay_bridge.hpp for SearchPlan

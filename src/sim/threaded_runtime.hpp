@@ -37,20 +37,8 @@ struct LocalView {
   std::function<NodeStatus(graph::Vertex)> status;
 };
 
-struct LocalDecision {
-  enum class Kind : std::uint8_t { kWait, kMove, kTerminate };
-  Kind kind = Kind::kWait;
-  graph::Vertex dest = 0;
-
-  static LocalDecision wait() { return {}; }
-  static LocalDecision move(graph::Vertex v) {
-    return {Kind::kMove, v};
-  }
-  static LocalDecision terminate() {
-    return {Kind::kTerminate, 0};
-  }
-};
-
+// LocalDecision lives in sim/types.hpp: the same decision type drives both
+// this runtime and the engine-model protocol implementations.
 using LocalRule = std::function<LocalDecision(const LocalView&)>;
 
 struct ThreadedRunReport {

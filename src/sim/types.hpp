@@ -37,4 +37,19 @@ enum class NodeStatus : std::uint8_t {
   return "?";
 }
 
+/// A protocol's atomic decision for one agent at its node: keep waiting,
+/// move to `dest`, or terminate. Shared vocabulary of the decision
+/// functions (e.g. the Section 4.2 visibility rule) and both runtimes: the
+/// event Engine wraps it in an Action, the ThreadedRuntime executes it
+/// directly as a LocalRule result.
+struct LocalDecision {
+  enum class Kind : std::uint8_t { kWait, kMove, kTerminate };
+  Kind kind = Kind::kWait;
+  graph::Vertex dest = 0;
+
+  static LocalDecision wait() { return {}; }
+  static LocalDecision move(graph::Vertex v) { return {Kind::kMove, v}; }
+  static LocalDecision terminate() { return {Kind::kTerminate, 0}; }
+};
+
 }  // namespace hcs::sim

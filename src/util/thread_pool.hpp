@@ -1,0 +1,118 @@
+// A small fixed-size worker thread pool.
+//
+// Built for the sweep runner's workload: many independent, CPU-bound
+// simulations whose results land in pre-sized slots. Tasks are plain
+// std::function<void()>; parallel_for hands out indices through an atomic
+// counter, so the set of (index -> result slot) assignments -- and
+// therefore the output -- is identical at any thread count, only the
+// execution interleaving differs.
+//
+// Exceptions do not cross the pool boundary by design: hcsearch reports
+// contract violations by aborting (util/assert.hpp), so tasks are noexcept
+// in practice. Keep it that way in new call sites.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcs {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 = std::thread::hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(unsigned threads = 0) {
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task for any worker.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++unfinished_;
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+
+  /// Runs body(0) .. body(n-1) across the pool and blocks until all are
+  /// done. Indices are claimed one at a time from a shared counter, so
+  /// uneven per-index costs balance automatically.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    const std::size_t lanes = std::min<std::size_t>(n, size());
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      submit([next, n, &body] {
+        for (std::size_t i = (*next)++; i < n; i = (*next)++) body(i);
+      });
+    }
+    wait_idle();
+  }
+
+ private:
+  void worker_loop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_, and nothing left to run
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--unfinished_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t unfinished_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hcs

@@ -7,27 +7,33 @@
 namespace hcs::core {
 namespace {
 
-TEST(Audit, ListsAllFiveStrategiesWithExactCosts) {
+TEST(Audit, ListsEveryRegisteredStrategyWithExactCosts) {
   const AuditReport r = plan_audit(8, AuditGoal::kAgents);
-  ASSERT_EQ(r.candidates.size(), 5u);
+  ASSERT_EQ(r.candidates.size(), 6u);
+  EXPECT_EQ(r.candidates[0].name, "CLEAN");
   EXPECT_EQ(r.candidates[0].agents, clean_team_size(8));
   EXPECT_EQ(r.candidates[1].agents, visibility_team_size(8));
   EXPECT_EQ(r.candidates[1].moves, visibility_moves(8));
   EXPECT_EQ(r.candidates[2].moves, cloning_moves(8));
   EXPECT_EQ(r.candidates[3].time, visibility_time(8));
   EXPECT_EQ(r.candidates[4].agents, naive_sweep_team_size(8));
-  for (const auto& c : r.candidates) EXPECT_TRUE(c.feasible);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(r.candidates[i].feasible) << r.candidates[i].name;
+  }
+  // The tree baseline never audits a hypercube: it cleans only T(d).
+  EXPECT_EQ(r.candidates[5].name, "TREE-SWEEP");
+  EXPECT_FALSE(r.candidates[5].feasible);
+  EXPECT_NE(r.candidates[5].notes.find("broadcast-tree"), std::string::npos);
 }
 
 TEST(Audit, GoalSelectsTheRightWinner) {
   const auto agents = plan_audit(10, AuditGoal::kAgents);
   ASSERT_TRUE(agents.recommended.has_value());
-  EXPECT_EQ(agents.candidates[*agents.recommended].name,
-            "CLEAN (coordinated)");
+  EXPECT_EQ(agents.candidates[*agents.recommended].name, "CLEAN");
 
   const auto moves = plan_audit(10, AuditGoal::kMoves);
   ASSERT_TRUE(moves.recommended.has_value());
-  EXPECT_EQ(moves.candidates[*moves.recommended].name, "CLONING variant");
+  EXPECT_EQ(moves.candidates[*moves.recommended].name, "CLONING");
 
   const auto time = plan_audit(10, AuditGoal::kTime);
   ASSERT_TRUE(time.recommended.has_value());
@@ -44,13 +50,13 @@ TEST(Audit, CapabilitiesExcludeStrategies) {
   EXPECT_FALSE(r.candidates[2].feasible);  // cloning
   EXPECT_TRUE(r.candidates[3].feasible);   // synchronous still allowed
   ASSERT_TRUE(r.recommended.has_value());
-  EXPECT_EQ(r.candidates[*r.recommended].name, "SYNCHRONOUS variant");
+  EXPECT_EQ(r.candidates[*r.recommended].name, "SYNCHRONOUS");
 
   caps.synchronous = false;
   const auto r2 = plan_audit(8, AuditGoal::kTime, caps);
   ASSERT_TRUE(r2.recommended.has_value());
   // Only CLEAN and the naive sweep survive; CLEAN is faster.
-  EXPECT_EQ(r2.candidates[*r2.recommended].name, "CLEAN (coordinated)");
+  EXPECT_EQ(r2.candidates[*r2.recommended].name, "CLEAN");
 }
 
 TEST(Audit, MoveBudgetFilters) {
@@ -62,7 +68,7 @@ TEST(Audit, MoveBudgetFilters) {
   // A budget that only the cloning variant fits (n-1 = 255 moves at d=8).
   const auto r2 = plan_audit(8, AuditGoal::kAgents, {}, 300);
   ASSERT_TRUE(r2.recommended.has_value());
-  EXPECT_EQ(r2.candidates[*r2.recommended].name, "CLONING variant");
+  EXPECT_EQ(r2.candidates[*r2.recommended].name, "CLONING");
 }
 
 TEST(Audit, TrafficPerHost) {

@@ -196,7 +196,10 @@ TEST(Engine, LivelockGuardAborts) {
   cfg.max_agent_steps = 1000;
   Engine engine(net, cfg);
   engine.spawn(std::make_unique<SpinAgent>(), 0);
-  EXPECT_DEATH((void)engine.run(), "step limit");
+  const Engine::RunResult run = engine.run();
+  EXPECT_TRUE(run.aborted);
+  EXPECT_FALSE(run.all_terminated);
+  EXPECT_EQ(net.metrics().agent_steps, 1000u);
 }
 
 TEST(Engine, MoveViaPortLabel) {

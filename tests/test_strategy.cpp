@@ -83,5 +83,32 @@ TEST(Strategy, SeedsDoNotChangeDeterministicCosts) {
   }
 }
 
+TEST(Strategy, ByNameMatchesEnumOverload) {
+  // The enum overload is a thin forward onto the registry lookup, so the
+  // two spellings run the same simulation.
+  for (const auto kind : {StrategyKind::kCleanSync, StrategyKind::kVisibility,
+                          StrategyKind::kCloning, StrategyKind::kSynchronous}) {
+    const SimOutcome by_enum = run_strategy_sim(kind, 4);
+    const SimOutcome by_name = run_strategy_sim(strategy_name(kind), 4);
+    EXPECT_EQ(by_enum.strategy, by_name.strategy);
+    EXPECT_EQ(by_enum.team_size, by_name.team_size);
+    EXPECT_EQ(by_enum.total_moves, by_name.total_moves);
+    EXPECT_EQ(by_enum.makespan, by_name.makespan);
+    EXPECT_TRUE(by_name.correct()) << by_name.strategy;
+  }
+  // Registry lookups are case-insensitive.
+  EXPECT_EQ(run_strategy_sim("clean", 3).total_moves,
+            run_strategy_sim("CLEAN", 3).total_moves);
+}
+
+TEST(Strategy, LivelockGuardSurfacesInOutcome) {
+  SimRunConfig config;
+  config.max_agent_steps = 10;  // far below what CLEAN needs on H_4
+  const SimOutcome out = run_strategy_sim(StrategyKind::kCleanSync, 4, config);
+  EXPECT_TRUE(out.aborted);
+  EXPECT_FALSE(out.all_agents_terminated);
+  EXPECT_FALSE(out.correct());
+}
+
 }  // namespace
 }  // namespace hcs::core

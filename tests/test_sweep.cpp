@@ -1,0 +1,190 @@
+// The run layer: strategy registry resolution, the sweep runner's
+// thread-count-independent determinism, and the livelock abort plumbing.
+
+#include "run/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/formulas.hpp"
+#include "core/strategy_registry.hpp"
+#include "run/sweep_io.hpp"
+
+namespace hcs::run {
+namespace {
+
+SweepSpec wide_spec() {
+  // Exercise every axis: paper strategies + both baselines, several
+  // dimensions and seeds, two delay models, both wake policies.
+  SweepSpec spec;
+  spec.strategies = {"CLEAN-WITH-VISIBILITY", "CLONING", "NAIVE-LEVEL-SWEEP",
+                     "TREE-SWEEP"};
+  spec.dimensions = {3, 4, 5};
+  spec.seeds = {1, 7};
+  spec.delays = {DelaySpec::unit(), DelaySpec::uniform(0.2, 2.0)};
+  spec.policies = {sim::Engine::WakePolicy::kFifo,
+                   sim::Engine::WakePolicy::kRandom};
+  return spec;
+}
+
+TEST(Registry, AllSixBuiltinsResolveByName) {
+  auto& registry = core::StrategyRegistry::instance();
+  EXPECT_GE(registry.size(), 6u);
+  for (const char* name :
+       {"CLEAN", "CLEAN-WITH-VISIBILITY", "CLONING", "SYNCHRONOUS",
+        "NAIVE-LEVEL-SWEEP", "TREE-SWEEP"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  // Lookups are case-insensitive; the stored name keeps canonical casing.
+  EXPECT_STREQ(registry.get("clean").name(), "CLEAN");
+  EXPECT_TRUE(registry.get("cloning").needs_visibility());
+  EXPECT_FALSE(registry.get("CLEAN").needs_visibility());
+  EXPECT_FALSE(registry.get("TREE-SWEEP").covers_hypercube());
+  EXPECT_TRUE(registry.get("NAIVE-LEVEL-SWEEP").covers_hypercube());
+}
+
+TEST(Registry, ExpectedCostsMatchFormulas) {
+  auto& registry = core::StrategyRegistry::instance();
+  const unsigned d = 8;
+  const core::ExpectedCosts vis =
+      registry.get("CLEAN-WITH-VISIBILITY").expected(d);
+  EXPECT_EQ(vis.agents, core::visibility_team_size(d));
+  EXPECT_EQ(vis.moves, core::visibility_moves(d));
+  EXPECT_EQ(vis.time, core::visibility_time(d));
+  const core::ExpectedCosts clone = registry.get("CLONING").expected(d);
+  EXPECT_EQ(clone.agents, core::cloning_agents(d));
+  EXPECT_EQ(clone.moves, core::cloning_moves(d));
+  const core::ExpectedCosts naive =
+      registry.get("NAIVE-LEVEL-SWEEP").expected(d);
+  EXPECT_EQ(naive.agents, core::naive_sweep_team_size(d));
+  EXPECT_EQ(naive.moves, core::n_log_n(d));
+  const core::ExpectedCosts tree = registry.get("TREE-SWEEP").expected(d);
+  EXPECT_EQ(tree.agents, core::broadcast_tree_search_number(d));
+  EXPECT_GT(tree.moves, 0u);
+}
+
+TEST(Registry, BaselinesRunThroughTheSimByName) {
+  const core::SimOutcome naive =
+      core::run_strategy_sim("NAIVE-LEVEL-SWEEP", 4);
+  EXPECT_TRUE(naive.correct());
+  EXPECT_EQ(naive.team_size, core::naive_sweep_team_size(4));
+  EXPECT_EQ(naive.total_moves, core::n_log_n(4));
+
+  // The tree baseline searches T(d) (its own topology), so its run is
+  // monotone and complete there.
+  const core::SimOutcome tree = core::run_strategy_sim("TREE-SWEEP", 4);
+  EXPECT_TRUE(tree.correct());
+  EXPECT_EQ(tree.team_size, core::broadcast_tree_search_number(4));
+}
+
+TEST(Sweep, CellEnumerationCoversTheGridDeterministically) {
+  const SweepSpec spec = wide_spec();
+  ASSERT_EQ(spec.num_cells(), 4u * 3u * 2u * 2u * 2u);
+  // First cell: first value on every axis; the semantics/policy/delay axes
+  // vary fastest.
+  const SweepCell first = sweep_cell_at(spec, 0);
+  EXPECT_EQ(first.strategy, "CLEAN-WITH-VISIBILITY");
+  EXPECT_EQ(first.dimension, 3u);
+  EXPECT_EQ(first.seed, 1u);
+  const SweepCell second = sweep_cell_at(spec, 1);
+  EXPECT_EQ(second.policy, sim::Engine::WakePolicy::kRandom);
+  const SweepCell last = sweep_cell_at(spec, spec.num_cells() - 1);
+  EXPECT_EQ(last.strategy, "TREE-SWEEP");
+  EXPECT_EQ(last.dimension, 5u);
+  EXPECT_EQ(last.seed, 7u);
+}
+
+TEST(Sweep, ResultsAreByteIdenticalAtAnyThreadCount) {
+  const SweepSpec spec = wide_spec();
+  const SweepResult serial = SweepRunner({.threads = 1}).run(spec);
+  const SweepResult two = SweepRunner({.threads = 2}).run(spec);
+  const SweepResult eight = SweepRunner({.threads = 8}).run(spec);
+
+  ASSERT_EQ(serial.cells.size(), spec.num_cells());
+  const std::string csv1 = sweep_csv(serial);
+  EXPECT_EQ(csv1, sweep_csv(two));
+  EXPECT_EQ(csv1, sweep_csv(eight));
+  const std::string json1 = sweep_json(serial);
+  EXPECT_EQ(json1, sweep_json(two));
+  EXPECT_EQ(json1, sweep_json(eight));
+}
+
+TEST(Sweep, EachCellMatchesADirectRunWithTheSameSeed) {
+  SweepSpec spec = wide_spec();
+  // Trim to keep the pairwise comparison fast but cover every axis value.
+  spec.dimensions = {4};
+  const SweepResult result = SweepRunner({.threads = 8}).run(spec);
+
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const SweepCell& cell = result.cells[i];
+    core::SimRunConfig config;
+    config.delay = cell.delay.make();
+    config.policy = cell.policy;
+    config.seed = cell.seed;
+    config.semantics = cell.semantics;
+    const core::SimOutcome direct =
+        core::run_strategy_sim(cell.strategy, cell.dimension, config);
+    EXPECT_EQ(cell.outcome.strategy, direct.strategy);
+    EXPECT_EQ(cell.outcome.team_size, direct.team_size);
+    EXPECT_EQ(cell.outcome.total_moves, direct.total_moves);
+    EXPECT_EQ(cell.outcome.makespan, direct.makespan);
+    EXPECT_EQ(cell.outcome.capture_time, direct.capture_time);
+    EXPECT_EQ(cell.outcome.recontaminations, direct.recontaminations);
+    EXPECT_EQ(cell.outcome.correct(), direct.correct());
+  }
+}
+
+TEST(Sweep, SummariesAggregatePerStrategy) {
+  SweepSpec spec;
+  spec.strategies = {"CLEAN-WITH-VISIBILITY", "NAIVE-LEVEL-SWEEP"};
+  spec.dimensions = {3, 4};
+  const SweepResult result = SweepRunner({.threads = 2}).run(spec);
+
+  const auto summaries = result.summarize();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].strategy, "CLEAN-WITH-VISIBILITY");
+  EXPECT_EQ(summaries[0].cells, 2u);
+  EXPECT_EQ(summaries[0].correct_cells, 2u);
+  EXPECT_EQ(summaries[0].aborted_cells, 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(summaries[0].team_size.max()),
+            core::visibility_team_size(4));
+  EXPECT_EQ(summaries[1].cells, 2u);
+
+  const SweepCell* cell = result.find("CLEAN-WITH-VISIBILITY", 4);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->outcome.total_moves, core::visibility_moves(4));
+}
+
+TEST(Sweep, LivelockGuardSurfacesAsAborted) {
+  SweepSpec spec;
+  spec.strategies = {"CLEAN"};
+  spec.dimensions = {5};
+  spec.max_agent_steps = 50;  // far below what the protocol needs
+  const SweepResult result = SweepRunner({.threads = 1}).run(spec);
+
+  ASSERT_EQ(result.cells.size(), 1u);
+  const core::SimOutcome& o = result.cells[0].outcome;
+  EXPECT_TRUE(o.aborted);
+  EXPECT_FALSE(o.correct());
+  EXPECT_FALSE(o.all_agents_terminated);
+  EXPECT_EQ(result.summarize()[0].aborted_cells, 1u);
+}
+
+TEST(SweepIo, CsvAndJsonAndTablesRenderEveryCell) {
+  SweepSpec spec;
+  spec.strategies = {"CLONING"};
+  spec.dimensions = {3};
+  const SweepResult result = SweepRunner({.threads = 1}).run(spec);
+
+  const std::string csv = sweep_csv(result);
+  EXPECT_NE(csv.find("strategy,dimension,seed"), std::string::npos);
+  EXPECT_NE(csv.find("CLONING,3,1,unit,fifo,atomic-arrival"),
+            std::string::npos);
+  const std::string json = sweep_json(result);
+  EXPECT_NE(json.find("\"strategy\": \"CLONING\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\": 1"), std::string::npos);
+  EXPECT_GT(sweep_cells_table(result).row_count(), 0u);
+  EXPECT_GT(sweep_summary_table(result).row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hcs::run
