@@ -1,0 +1,122 @@
+// Experiment F1 (robustness extension, not in the paper): recovery
+// overhead under crash-stop faults. The paper proves monotone capture for
+// perfectly reliable agents; here every paper strategy runs on H_6 under
+// increasing crash rates and we chart what graceful degradation costs --
+// extra moves over the fault-free run, repair waves dispatched, and whether
+// the intruder is still captured.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/strategy.hpp"
+#include "fault/fault.hpp"
+#include "run/sweep.hpp"
+#include "run/sweep_io.hpp"
+
+namespace hcs {
+namespace {
+
+const std::vector<std::string> kPaperStrategies = {
+    "CLEAN", "CLEAN-WITH-VISIBILITY", "CLONING", "SYNCHRONOUS"};
+const std::vector<double> kCrashRates = {0.0, 0.01, 0.02, 0.05};
+
+void print_tables() {
+  std::printf(
+      "\nFault model: crash-stop per traversal (at-node or mid-edge),\n"
+      "deterministic per (fault seed, agent, move index). Recovery: heartbeat\n"
+      "detection + bounded repair waves recleaning the contaminated region\n"
+      "contiguously from the homebase (see docs/MODEL.md).\n\n");
+
+  const unsigned d = 6;
+  run::SweepSpec spec;
+  spec.strategies = kPaperStrategies;
+  spec.dimensions = {d};
+  spec.faults.clear();
+  for (double rate : kCrashRates) {
+    spec.faults.push_back(rate == 0.0 ? fault::FaultSpec::none()
+                                      : fault::FaultSpec::crashes(rate));
+  }
+  const run::SweepResult sweep = run::SweepRunner().run(spec);
+
+  Table t({"strategy", "faults", "captured", "moves", "overhead", "crashes",
+           "recovered", "waves", "repair agents", "repair moves", "verdict"});
+  for (const std::string& name : kPaperStrategies) {
+    // The fault axis varies fastest, so cells for one strategy are
+    // contiguous and the rate-0 cell is the overhead baseline.
+    std::uint64_t baseline_moves = 0;
+    for (const run::SweepCell& cell : sweep.cells) {
+      if (cell.strategy != name) continue;
+      const core::SimOutcome& o = cell.outcome;
+      const fault::DegradationReport& deg = o.degradation;
+      if (cell.faults.empty()) baseline_moves = o.total_moves;
+      const double overhead =
+          baseline_moves == 0
+              ? 0.0
+              : 100.0 * (static_cast<double>(o.total_moves) -
+                         static_cast<double>(baseline_moves)) /
+                    static_cast<double>(baseline_moves);
+      t.add_row({o.strategy, cell.faults.label(),
+                 o.captured() ? "yes" : "NO", with_commas(o.total_moves),
+                 cell.faults.empty() ? "-" : fixed(overhead, 1) + "%",
+                 std::to_string(deg.crashes),
+                 std::to_string(deg.faults_recovered),
+                 std::to_string(deg.recovery_rounds),
+                 std::to_string(deg.repair_agents),
+                 with_commas(deg.recovery_moves), o.verdict()});
+    }
+  }
+  std::printf("Recovery overhead on H_%u (n = %llu):\n%s\n", d,
+              static_cast<unsigned long long>(1ull << d), t.render().c_str());
+  bench::maybe_write_csv("fault_overhead", t);
+
+  std::printf(
+      "Shape check: every strategy still captures at crash rates up to 0.05\n"
+      "(the acceptance bar). The wave strategies pay a move overhead growing\n"
+      "with the rate: a crashed guard floods a region whose repair costs a\n"
+      "contiguous re-sweep. CLEAN degrades differently -- its single\n"
+      "synchronizer is a fault bottleneck, so an early crash stalls the\n"
+      "whole protocol and the run collapses into the recovery re-sweep:\n"
+      "fewer protocol moves, but a full complement of standing repair\n"
+      "agents doing the sweep's work instead.\n");
+}
+
+void BM_FaultedRun(benchmark::State& state) {
+  const std::string& name =
+      kPaperStrategies[static_cast<std::size_t>(state.range(0))];
+  const double rate = kCrashRates[static_cast<std::size_t>(state.range(1))];
+  core::SimRunConfig config;
+  if (rate > 0.0) config.faults = fault::FaultSpec::crashes(rate);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_strategy_sim(name, 6, config).total_moves);
+  }
+  state.SetLabel(name + "/" + (rate == 0.0 ? "fault-free"
+                                           : "crash=" + fixed(rate, 2)));
+}
+BENCHMARK(BM_FaultedRun)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3}})
+    ->ArgNames({"strategy", "rate"});
+
+void BM_RecoveryOnly(benchmark::State& state) {
+  // Isolates the recovery machinery: same strategy, rate high enough that
+  // every run dispatches repair waves.
+  core::SimRunConfig config;
+  config.faults = fault::FaultSpec::crashes(0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_strategy_sim("CLEAN-WITH-VISIBILITY", 6, config)
+            .degradation.recovery_moves);
+  }
+}
+BENCHMARK(BM_RecoveryOnly);
+
+}  // namespace
+}  // namespace hcs
+
+int main(int argc, char** argv) {
+  return hcs::bench::run_bench_main(
+      argc, argv,
+      "bench_faults: crash recovery overhead (robustness extension)",
+      hcs::print_tables);
+}

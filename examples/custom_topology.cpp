@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   CliParser cli("custom_topology: contiguous search beyond the hypercube");
   cli.add_flag("tree-size", "25", "size of the random tree demo");
   cli.add_flag("seed", "1", "random seed");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   std::printf("optimal contiguous tree sweeps (the [1] baseline):\n");
   sweep_tree("path P_12 (from one end)", graph::make_path(12), 0);

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", "", "write the verification sweep as CSV to this path");
   cli.add_flag("json", "",
                "write the verification sweep as JSON to this path");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   const auto d = static_cast<unsigned>(cli.get_uint("dim"));
   const std::string goal_name = cli.get("goal");

@@ -15,7 +15,7 @@
 int main(int argc, char** argv) {
   hcs::CliParser cli("hcsearch quickstart: sweep H_d with Algorithm 2");
   cli.add_flag("dim", "4", "hypercube dimension d (n = 2^d nodes)");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
   const auto d = static_cast<unsigned>(cli.get_uint("dim"));
 
   const hcs::core::SimOutcome out =

@@ -178,7 +178,7 @@ int main(int argc, char** argv) {
   cli.add_flag("dim", "4", "dimension for figures 2-4 (figure 1 uses it too)");
   cli.add_flag("dot", "",
                "also write GraphViz files with this path prefix (optional)");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
   const auto d = static_cast<unsigned>(cli.get_uint("dim"));
 
   figure1(d);

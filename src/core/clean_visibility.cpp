@@ -45,7 +45,18 @@ sim::LocalDecision visibility_decide(unsigned d, Ctx& ctx) {
     ctx.wb_set(kReleased, 1);
   }
 
-  const auto claim = static_cast<std::uint64_t>(ctx.wb_add(kClaimed, 1) - 1);
+  const std::int64_t raw_claim = ctx.wb_add(kClaimed, 1) - 1;
+  // A valid claim indexes one of the node's outgoing complements; anything
+  // else means the counter was damaged (fault-injected whiteboard loss or
+  // corruption). Reset it and park: the run degrades to the recovery
+  // layer's re-sweep instead of violating the claim-range precondition.
+  if (raw_claim < 0 ||
+      static_cast<std::uint64_t>(raw_claim) >=
+          visibility_required_agents(d, x)) {
+    ctx.wb_set(kClaimed, 0);
+    return sim::LocalDecision::wait();
+  }
+  const auto claim = static_cast<std::uint64_t>(raw_claim);
   return sim::LocalDecision::move(
       static_cast<graph::Vertex>(visibility_claim_destination(d, x, claim)));
 }

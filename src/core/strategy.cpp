@@ -20,6 +20,15 @@ bool strategy_needs_visibility(StrategyKind kind) {
       .needs_visibility();
 }
 
+std::string SimOutcome::verdict() const {
+  if (correct()) return "correct";
+  if (captured() && !aborted()) return "captured-degraded";
+  if (aborted()) {
+    return std::string("failed(") + sim::to_string(abort_reason) + ")";
+  }
+  return "failed(incomplete)";
+}
+
 SimOutcome run_strategy_sim(std::string_view name, unsigned d,
                             const SimRunConfig& config,
                             sim::Trace* trace_out) {
@@ -37,6 +46,8 @@ SimOutcome run_strategy_sim(std::string_view name, unsigned d,
   engine_config.seed = config.seed;
   engine_config.visibility = strategy.needs_visibility();
   engine_config.max_agent_steps = config.max_agent_steps;
+  engine_config.faults = config.faults;
+  engine_config.recovery = config.recovery;
   sim::Engine engine(net, engine_config);
 
   strategy.spawn_team(engine, d);
@@ -57,7 +68,8 @@ SimOutcome run_strategy_sim(std::string_view name, unsigned d,
   outcome.all_clean = net.all_clean();
   outcome.clean_region_connected = net.clean_region_connected();
   outcome.all_agents_terminated = run.all_terminated;
-  outcome.aborted = run.aborted;
+  outcome.abort_reason = run.abort_reason;
+  outcome.degradation = run.degradation;
   outcome.peak_whiteboard_bits = m.peak_whiteboard_bits;
 
   if (trace_out != nullptr) *trace_out = std::move(net.trace());

@@ -46,16 +46,31 @@ struct SimOutcome {
   bool all_clean = false;
   bool clean_region_connected = false;
   bool all_agents_terminated = false;
-  /// The run hit SimRunConfig::max_agent_steps (livelock guard) and was cut
-  /// off before quiescence; the counters above are the partial totals.
-  bool aborted = false;
+  /// Why the run was cut off before quiescence (step cap, livelock, or an
+  /// unrecoverable fault); kNone for a completed run. When set, the
+  /// counters above are the partial totals.
+  sim::AbortReason abort_reason = sim::AbortReason::kNone;
   std::uint64_t peak_whiteboard_bits = 0;
+  /// Fault accounting for the run; all zeros when no faults were injected.
+  fault::DegradationReport degradation;
+
+  [[nodiscard]] bool aborted() const {
+    return abort_reason != sim::AbortReason::kNone;
+  }
 
   /// Theorems 1/6-style verdict for the run.
   [[nodiscard]] bool correct() const {
     return all_clean && recontaminations == 0 && all_agents_terminated &&
-           !aborted;
+           !aborted();
   }
+
+  /// The intruder was captured (the network went clean), even if the run
+  /// degraded (crashed agents, stranded waiters, repair overhead).
+  [[nodiscard]] bool captured() const { return all_clean; }
+
+  /// One-word verdict for reports: "correct", "captured-degraded" (clean
+  /// but with fault overhead or stranded agents), or "failed(<reason>)".
+  [[nodiscard]] std::string verdict() const;
 };
 
 struct SimRunConfig {
@@ -64,8 +79,12 @@ struct SimRunConfig {
   std::uint64_t seed = 1;
   bool trace = false;
   sim::MoveSemantics semantics = sim::MoveSemantics::kAtomicArrival;
-  /// Livelock guard, surfaced as SimOutcome::aborted when exceeded.
+  /// Livelock guard, surfaced as SimOutcome::abort_reason when exceeded.
   std::uint64_t max_agent_steps = 200'000'000;
+  /// Fault workload injected into the run (empty = fault-free) and the
+  /// recovery policy applied when it is active.
+  fault::FaultSpec faults;
+  fault::RecoveryConfig recovery;
 };
 
 /// Builds the strategy's topology (H_d for all but the tree-only baseline),

@@ -57,18 +57,20 @@ const char* to_string(sim::MoveSemantics semantics) {
 
 std::size_t SweepSpec::num_cells() const {
   return strategies.size() * dimensions.size() * seeds.size() *
-         delays.size() * policies.size() * semantics.size();
+         delays.size() * policies.size() * semantics.size() * faults.size();
 }
 
 SweepCell sweep_cell_at(const SweepSpec& spec, std::size_t index) {
   HCS_EXPECTS(index < spec.num_cells());
-  // Row-major decode, semantics fastest.
+  // Row-major decode, faults fastest (so the default single-entry fault
+  // axis preserves the historical cell order).
   const auto pick = [&index](std::size_t extent) {
     const std::size_t i = index % extent;
     index /= extent;
     return i;
   };
   SweepCell cell;
+  cell.faults = spec.faults[pick(spec.faults.size())];
   cell.semantics = spec.semantics[pick(spec.semantics.size())];
   cell.policy = spec.policies[pick(spec.policies.size())];
   cell.delay = spec.delays[pick(spec.delays.size())];
@@ -86,6 +88,8 @@ SweepCell run_sweep_cell(const SweepSpec& spec, std::size_t index) {
   config.seed = cell.seed;
   config.semantics = cell.semantics;
   config.max_agent_steps = spec.max_agent_steps;
+  config.faults = cell.faults;
+  config.recovery = spec.recovery;
   cell.outcome = core::run_strategy_sim(cell.strategy, cell.dimension, config);
   return cell;
 }
@@ -94,6 +98,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
   HCS_EXPECTS(!spec.strategies.empty() && !spec.dimensions.empty());
   HCS_EXPECTS(!spec.seeds.empty() && !spec.delays.empty());
   HCS_EXPECTS(!spec.policies.empty() && !spec.semantics.empty());
+  HCS_EXPECTS(!spec.faults.empty());
   // Resolve every name up front (and warm the registry singleton) so a typo
   // aborts before any work is scheduled and no worker races the first
   // instance() initialization.
@@ -133,8 +138,12 @@ std::vector<StrategySummary> SweepResult::summarize() const {
       if (cell.outcome.strategy != s.strategy) continue;
       ++s.cells;
       if (cell.outcome.correct()) ++s.correct_cells;
-      if (cell.outcome.aborted) ++s.aborted_cells;
+      if (cell.outcome.captured()) ++s.captured_cells;
+      if (cell.outcome.aborted()) ++s.aborted_cells;
       s.recontaminations += cell.outcome.recontaminations;
+      s.faults_injected += cell.outcome.degradation.injected_total();
+      s.faults_recovered += cell.outcome.degradation.faults_recovered;
+      s.recovery_moves += cell.outcome.degradation.recovery_moves;
       s.team_size.add(static_cast<double>(cell.outcome.team_size));
       s.total_moves.add(static_cast<double>(cell.outcome.total_moves));
       s.makespan.add(cell.outcome.makespan);

@@ -50,7 +50,7 @@ struct DelaySpec {
 
 /// The cartesian grid. Axis order (slowest to fastest varying in the cell
 /// enumeration): strategies, dimensions, seeds, delays, policies,
-/// semantics. Strategy names resolve through the StrategyRegistry.
+/// semantics, faults. Strategy names resolve through the StrategyRegistry.
 struct SweepSpec {
   std::vector<std::string> strategies;
   std::vector<unsigned> dimensions;
@@ -60,7 +60,13 @@ struct SweepSpec {
       sim::Engine::WakePolicy::kFifo};
   std::vector<sim::MoveSemantics> semantics = {
       sim::MoveSemantics::kAtomicArrival};
-  /// Livelock guard applied to every cell (SimOutcome::aborted on excess).
+  /// Fault axis: one full sub-grid per workload. The default single empty
+  /// spec reproduces the pre-fault grid exactly (cell-for-cell).
+  std::vector<fault::FaultSpec> faults = {fault::FaultSpec::none()};
+  /// Recovery policy applied to every faulty cell.
+  fault::RecoveryConfig recovery;
+  /// Livelock guard applied to every cell (SimOutcome::abort_reason on
+  /// excess).
   std::uint64_t max_agent_steps = 200'000'000;
 
   [[nodiscard]] std::size_t num_cells() const;
@@ -74,6 +80,7 @@ struct SweepCell {
   DelaySpec delay;
   sim::Engine::WakePolicy policy = sim::Engine::WakePolicy::kFifo;
   sim::MoveSemantics semantics = sim::MoveSemantics::kAtomicArrival;
+  fault::FaultSpec faults;
   core::SimOutcome outcome;
 };
 
@@ -82,8 +89,12 @@ struct StrategySummary {
   std::string strategy;
   std::uint64_t cells = 0;
   std::uint64_t correct_cells = 0;   ///< outcome.correct()
-  std::uint64_t aborted_cells = 0;   ///< livelock guard hit
+  std::uint64_t captured_cells = 0;  ///< outcome.captured() (incl. degraded)
+  std::uint64_t aborted_cells = 0;   ///< abort_reason != kNone
   std::uint64_t recontaminations = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_recovered = 0;
+  std::uint64_t recovery_moves = 0;
   StatAccumulator team_size;
   StatAccumulator total_moves;
   StatAccumulator makespan;

@@ -22,22 +22,29 @@ const std::vector<std::string>& cell_fields() {
   static const std::vector<std::string> fields = {
       "strategy",       "dimension",        "seed",
       "delay",          "policy",           "semantics",
+      "faults",         "abort_reason",
       "team_size",      "total_moves",      "agent_moves",
       "sync_moves",     "makespan",         "capture_time",
       "recontaminations", "all_clean",      "connected",
       "terminated",     "aborted",          "correct",
-      "peak_wb_bits"};
+      "peak_wb_bits",
+      "faults_injected", "faults_detected", "faults_recovered",
+      "recovery_rounds", "repair_agents",   "recovery_moves",
+      "recovery_time",   "recont_attributed"};
   return fields;
 }
 
 std::vector<std::string> cell_values(const SweepCell& cell) {
   const core::SimOutcome& o = cell.outcome;
+  const fault::DegradationReport& deg = o.degradation;
   return {cell.strategy,
           std::to_string(cell.dimension),
           std::to_string(cell.seed),
           cell.delay.label(),
           to_string(cell.policy),
           to_string(cell.semantics),
+          cell.faults.label(),
+          sim::to_string(o.abort_reason),
           std::to_string(o.team_size),
           std::to_string(o.total_moves),
           std::to_string(o.agent_moves),
@@ -48,9 +55,17 @@ std::vector<std::string> cell_values(const SweepCell& cell) {
           o.all_clean ? "1" : "0",
           o.clean_region_connected ? "1" : "0",
           o.all_agents_terminated ? "1" : "0",
-          o.aborted ? "1" : "0",
+          o.aborted() ? "1" : "0",
           o.correct() ? "1" : "0",
-          std::to_string(o.peak_whiteboard_bits)};
+          std::to_string(o.peak_whiteboard_bits),
+          std::to_string(deg.injected_total()),
+          std::to_string(deg.crashes_detected + deg.wb_faults_detected),
+          std::to_string(deg.faults_recovered),
+          std::to_string(deg.recovery_rounds),
+          std::to_string(deg.repair_agents),
+          std::to_string(deg.recovery_moves),
+          exact(deg.recovery_time),
+          std::to_string(deg.recontaminations_attributed)};
 }
 
 std::string json_escape(const std::string& s) {
@@ -106,9 +121,9 @@ std::string sweep_json(const SweepResult& result) {
     for (std::size_t f = 0; f < fields.size(); ++f) {
       if (f > 0) out += ", ";
       out += "\"" + fields[f] + "\": ";
-      // Quote the label-like columns; everything else is numeric (booleans
-      // serialized as 0/1).
-      const bool quoted = f <= 5;
+      // Quote the label-like columns (through "abort_reason"); everything
+      // else is numeric (booleans serialized as 0/1).
+      const bool quoted = f <= 7;
       out += quoted ? "\"" + json_escape(values[f]) + "\"" : values[f];
     }
     out += c + 1 < result.cells.size() ? "},\n" : "}\n";
@@ -126,28 +141,32 @@ bool write_sweep_json(const SweepResult& result, const std::string& path) {
 }
 
 Table sweep_cells_table(const SweepResult& result) {
-  Table t({"strategy", "d", "seed", "delay", "policy", "agents", "moves",
-           "ideal time", "monotone", "all clean", "aborted"});
+  Table t({"strategy", "d", "seed", "delay", "policy", "faults", "agents",
+           "moves", "ideal time", "monotone", "all clean", "verdict"});
   for (const SweepCell& cell : result.cells) {
     const core::SimOutcome& o = cell.outcome;
     t.add_row({cell.strategy, std::to_string(cell.dimension),
                std::to_string(cell.seed), cell.delay.label(),
-               to_string(cell.policy), with_commas(o.team_size),
+               to_string(cell.policy), cell.faults.label(),
+               with_commas(o.team_size),
                with_commas(o.total_moves), fixed(o.makespan, 0),
                o.recontaminations == 0 ? "yes" : "NO",
-               o.all_clean ? "yes" : "NO", o.aborted ? "YES" : "no"});
+               o.all_clean ? "yes" : "NO", o.verdict()});
   }
   return t;
 }
 
 Table sweep_summary_table(const SweepResult& result) {
-  Table t({"strategy", "cells", "correct", "aborted", "recont.", "agents",
-           "moves (mean)", "time (mean)"});
+  Table t({"strategy", "cells", "correct", "captured", "aborted", "recont.",
+           "faults", "recovered", "agents", "moves (mean)", "time (mean)"});
   for (const StrategySummary& s : result.summarize()) {
     t.add_row({s.strategy, std::to_string(s.cells),
                std::to_string(s.correct_cells),
+               std::to_string(s.captured_cells),
                std::to_string(s.aborted_cells),
                std::to_string(s.recontaminations),
+               std::to_string(s.faults_injected),
+               std::to_string(s.faults_recovered),
                s.cells == 0 ? "-" : with_commas(static_cast<std::uint64_t>(
                                         s.team_size.max())),
                s.cells == 0 ? "-" : fixed(s.total_moves.mean(), 1),

@@ -1,7 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "fault/reclean.hpp"
+#include "sim/recovery.hpp"
 #include "util/assert.hpp"
 
 namespace hcs::sim {
@@ -9,11 +12,54 @@ namespace hcs::sim {
 // ---------------------------------------------------------------- Engine
 
 Engine::Engine(Network& net, Config cfg)
-    : net_(&net), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+    : net_(&net),
+      cfg_(std::move(cfg)),
+      rng_(cfg_.seed),
+      fault_sched_(cfg_.faults) {
   waiting_at_.resize(net.num_nodes());
   net_->add_status_callback([this](graph::Vertex v, NodeStatus s, SimTime t) {
     on_status_change(v, s, t);
   });
+  if (fault_sched_.active()) {
+    wake_count_.assign(net.num_nodes(), 0);
+    wb_write_count_.assign(net.num_nodes(), 0);
+    install_wb_hooks();
+  }
+}
+
+Engine::~Engine() {
+  if (!fault_sched_.active()) return;
+  for (graph::Vertex v = 0; v < net_->num_nodes(); ++v) {
+    net_->whiteboard(v).set_write_hook({});
+  }
+}
+
+void Engine::install_wb_hooks() {
+  for (graph::Vertex v = 0; v < net_->num_nodes(); ++v) {
+    net_->whiteboard(v).set_write_hook(
+        [this, v](Whiteboard& wb, const std::string& key) {
+          const std::uint64_t idx = wb_write_count_[v]++;
+          const auto node = static_cast<std::uint32_t>(v);
+          if (fault_sched_.lose_write(node, idx)) {
+            // Journal the just-committed value: it is what the recovery
+            // layer later re-derives from the neighbourhood.
+            wb_journal_[{v, key}] = wb.get(key);
+            wb.erase(key);
+            ++degradation_.wb_entries_lost;
+            net_->trace().record(
+                {now_, TraceKind::kFault, kNoAgent, v, v, "wb lost: " + key});
+          } else if (fault_sched_.corrupt_write(node, idx)) {
+            wb_journal_[{v, key}] = wb.get(key);
+            wb.set(key, fault_sched_.corrupt_value(node, idx));
+            ++degradation_.wb_entries_corrupted;
+            net_->trace().record({now_, TraceKind::kFault, kNoAgent, v, v,
+                                  "wb corrupted: " + key});
+          } else {
+            // A good write supersedes any pending repair of this entry.
+            wb_journal_.erase({v, key});
+          }
+        });
+  }
 }
 
 AgentId Engine::spawn(std::unique_ptr<Agent> agent, graph::Vertex at) {
@@ -37,11 +83,15 @@ graph::Vertex Engine::agent_position(AgentId a) const {
   return agents_[a].at;
 }
 
-Engine::RunResult Engine::run() {
-  while (true) {
+void Engine::run_to_quiescence() {
+  while (abort_reason_ == AbortReason::kNone) {
     if (!runnable_.empty()) {
       if (steps_taken_ >= cfg_.max_agent_steps) {
-        aborted_ = true;
+        abort_reason_ = AbortReason::kStepCap;
+        break;
+      }
+      if (steps_taken_ - last_progress_step_ > cfg_.livelock_window) {
+        abort_reason_ = AbortReason::kLivelock;
         break;
       }
       step_agent(pick_runnable());
@@ -55,22 +105,130 @@ Engine::RunResult Engine::run() {
     ++net_->metrics().events_processed;
     handle_event(e);
   }
+}
+
+Engine::RunResult Engine::run() {
+  run_to_quiescence();
+  if (fault_sched_.active() && cfg_.recovery.enabled) run_recovery();
 
   net_->finalize_metrics();
 
   RunResult result;
-  result.aborted = aborted_;
+  result.abort_reason = abort_reason_;
   result.end_time = now_;
   result.capture_time = capture_time_;
   for (const AgentRecord& rec : agents_) {
-    if (rec.state == AgentState::kDone) {
-      ++result.terminated;
-    } else {
-      ++result.waiting;
+    switch (rec.state) {
+      case AgentState::kDone:
+        ++result.terminated;
+        break;
+      case AgentState::kCrashed:
+        ++result.crashed;
+        break;
+      default:
+        ++result.waiting;
+        break;
     }
   }
-  result.all_terminated = result.waiting == 0 && !aborted_;
+  if (fault_sched_.active()) degradation_.agents_stranded = result.waiting;
+  result.degradation = degradation_;
+  result.all_terminated = result.waiting == 0 && result.crashed == 0 &&
+                          abort_reason_ == AbortReason::kNone;
   return result;
+}
+
+void Engine::crash_agent(AgentId a, bool counted_at, const char* what) {
+  AgentRecord& rec = agents_[a];
+  rec.state = AgentState::kCrashed;
+  // Attribute any recontamination flood the lost guard causes to the fault
+  // rather than to the protocol.
+  const std::uint64_t before = net_->metrics().recontamination_events;
+  net_->on_agent_crashed(a, rec.at, now_, counted_at, what);
+  degradation_.recontaminations_attributed +=
+      net_->metrics().recontamination_events - before;
+  last_progress_step_ = steps_taken_;
+  bool wake = false;
+  for (const auto& cb : crash_observers_) wake = cb(a) || wake;
+  if (wake) wake_global();
+}
+
+void Engine::restore_whiteboards() {
+  if (wb_journal_.empty()) return;
+  // The hook may damage a restored write again (the restore is itself a
+  // write with its own logical index), refilling the journal for the next
+  // round; detach first so the iteration stays valid.
+  const auto journal = std::move(wb_journal_);
+  wb_journal_.clear();
+  for (const auto& [where, value] : journal) {
+    net_->trace().record({now_, TraceKind::kFault, kNoAgent, where.first,
+                          where.first, "wb restored: " + where.second});
+    net_->whiteboard(where.first).set(where.second, value);
+    ++degradation_.wb_faults_detected;
+    wake_node(where.first);
+  }
+}
+
+void Engine::redeliver_wakes() {
+  if (dropped_wake_nodes_.empty()) return;
+  std::vector<graph::Vertex> nodes;
+  nodes.swap(dropped_wake_nodes_);
+  for (graph::Vertex v : nodes) {
+    net_->trace().record(
+        {now_, TraceKind::kFault, kNoAgent, v, v, "wake re-delivered"});
+    wake_node(v);
+  }
+}
+
+void Engine::run_recovery() {
+  // Detection-and-repair rounds. Each round charges the heartbeat timeout
+  // (the synchronizer's cost of declaring missed-rendezvous agents dead),
+  // restores journaled whiteboard entries, re-delivers dropped wakes, and
+  // dispatches one repair wave over the dirty region; the retry budget is
+  // bounded and the timeout backs off every round.
+  double timeout = cfg_.recovery.detect_timeout;
+  while (abort_reason_ == AbortReason::kNone &&
+         (!net_->all_clean() || !dropped_wake_nodes_.empty() ||
+          !wb_journal_.empty())) {
+    if (degradation_.recovery_rounds >= cfg_.recovery.max_rounds) {
+      if (!net_->all_clean()) {
+        abort_reason_ = AbortReason::kFaultUnrecoverable;
+      }
+      break;
+    }
+    ++degradation_.recovery_rounds;
+    const SimTime round_start = now_;
+    const std::uint64_t moves_before = net_->metrics().total_moves;
+
+    now_ += timeout;
+    timeout *= cfg_.recovery.backoff;
+    degradation_.crashes_detected = net_->metrics().agents_crashed;
+
+    restore_whiteboards();
+    redeliver_wakes();
+
+    if (!net_->all_clean()) {
+      std::vector<bool> contaminated(net_->num_nodes());
+      for (graph::Vertex v = 0; v < net_->num_nodes(); ++v) {
+        contaminated[v] = net_->status(v) == NodeStatus::kContaminated;
+      }
+      const fault::RecleanPlan plan =
+          fault::plan_reclean(net_->graph(), net_->homebase(), contaminated);
+      degradation_.repair_agents += spawn_repair_wave(*this, plan);
+    }
+
+    run_to_quiescence();
+
+    degradation_.recovery_moves +=
+        net_->metrics().total_moves - moves_before;
+    degradation_.recovery_time += now_ - round_start;
+  }
+  // Persistent faults count as recovered when their damage is provably
+  // gone: restored whiteboard entries always, detected crashes only when
+  // the repair waves actually got the network clean again.
+  degradation_.faults_recovered = degradation_.wb_faults_detected;
+  if (net_->all_clean()) {
+    degradation_.faults_recovered += degradation_.crashes_detected;
+  }
 }
 
 AgentId Engine::pick_runnable() {
@@ -109,11 +267,34 @@ void Engine::step_agent(AgentId a) {
       } else {
         to = net_->graph().neighbor_via(from, action.port);
       }
+      // Fault gate: each traversal decision is one crash/stall opportunity,
+      // keyed on the agent's logical move counter. The intruder is part of
+      // the threat model, not of the searcher team, and never fails.
+      const bool faultable = fault_sched_.active() && rec.role != "intruder";
+      const std::uint64_t move_index = rec.moves++;
+      if (faultable && fault_sched_.crash_at_node(a, move_index)) {
+        ++degradation_.crashes;
+        crash_agent(a, /*counted_at=*/true, "crash-stop at node");
+        break;
+      }
       rec.state = AgentState::kInTransit;
       rec.moving_to = to;
+      if (faultable && fault_sched_.crash_in_transit(a, move_index)) {
+        ++degradation_.crashes;
+        ++degradation_.crashes_in_transit;
+        rec.crash_on_arrival = true;
+      }
       net_->on_agent_departed(a, from, to, now_, rec.role);
       wake_node(from);
-      schedule(a, now_ + cfg_.delay.sample(rng_));
+      SimTime dt = cfg_.delay.sample(rng_);
+      if (faultable && fault_sched_.stall_link(a, move_index)) {
+        ++degradation_.links_stalled;
+        dt *= fault_sched_.stall_factor();
+        net_->trace().record(
+            {now_, TraceKind::kFault, a, from, to, "link stalled"});
+      }
+      schedule(a, now_ + dt);
+      last_progress_step_ = steps_taken_;
       break;
     }
     case Action::Kind::kWait:
@@ -132,6 +313,7 @@ void Engine::step_agent(AgentId a) {
     case Action::Kind::kTerminate:
       rec.state = AgentState::kDone;
       net_->on_agent_terminated(a, rec.at, now_);
+      last_progress_step_ = steps_taken_;
       break;
   }
 }
@@ -140,6 +322,16 @@ void Engine::handle_event(const Event& e) {
   AgentRecord& rec = agents_[e.agent];
   switch (rec.state) {
     case AgentState::kInTransit: {
+      if (rec.crash_on_arrival) {
+        // The agent died mid-edge: it never arrives. Under kAtomicArrival
+        // it was still guarding its origin (rec.at); under
+        // kVacateOnDeparture the origin was already released at departure.
+        rec.crash_on_arrival = false;
+        crash_agent(e.agent,
+                    net_->move_semantics() == MoveSemantics::kAtomicArrival,
+                    "crash-stop in transit");
+        break;
+      }
       const graph::Vertex from = rec.at;
       rec.at = rec.moving_to;
       rec.state = AgentState::kRunnable;
@@ -162,6 +354,7 @@ void Engine::handle_event(const Event& e) {
     case AgentState::kRunnable:
     case AgentState::kWaiting:
     case AgentState::kWaitingGlobal:
+    case AgentState::kCrashed:
     case AgentState::kDone:
       // Spurious event for an agent whose state already changed (e.g. a
       // waiting agent woken before its timer); ignore.
@@ -182,6 +375,18 @@ void Engine::make_runnable(AgentId a) {
 void Engine::wake_node(graph::Vertex v) {
   auto& waiters = waiting_at_[v];
   if (waiters.empty()) return;
+  if (fault_sched_.active()) {
+    // Only wakes with someone listening count as fault opportunities, so
+    // the logical index is runtime-independent.
+    const std::uint64_t idx = wake_count_[v]++;
+    if (fault_sched_.drop_wake(static_cast<std::uint32_t>(v), idx)) {
+      ++degradation_.wakes_dropped;
+      dropped_wake_nodes_.push_back(v);
+      net_->trace().record(
+          {now_, TraceKind::kFault, kNoAgent, v, v, "wake dropped"});
+      return;
+    }
+  }
   // Waiters re-register if their condition is still unmet, so detach the
   // current list first (make_runnable may not re-enter wake_node, but a
   // woken agent's step can).

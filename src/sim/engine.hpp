@@ -19,11 +19,15 @@
 #pragma once
 
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/agent.hpp"
 #include "sim/delay.hpp"
 #include "sim/network.hpp"
@@ -43,26 +47,44 @@ class Engine {
     /// Enables the Section 4 model: neighbour status/whiteboard reads and
     /// neighbour-change wake-ups.
     bool visibility = false;
-    /// Abort guard against livelocked protocols.
+    /// Abort guard against pathologically slow protocols.
     std::uint64_t max_agent_steps = 200'000'000;
+    /// Livelock guard: abort when this many consecutive agent steps pass
+    /// without progress (no departure, no crash, no termination).
+    std::uint64_t livelock_window = 1'000'000;
+    /// Fault workload injected into this run. An empty spec never draws a
+    /// decision and leaves the run byte-identical to the fault-free engine.
+    fault::FaultSpec faults;
+    /// Recovery policy applied when the fault schedule is active.
+    fault::RecoveryConfig recovery;
   };
 
   struct RunResult {
     bool all_terminated = false;
-    /// True when the run was cut off by Config::max_agent_steps (a
-    /// livelocked or pathologically slow protocol) rather than reaching
-    /// quiescence. Aborted runs report the partial metrics accumulated so
-    /// far; sweeps use the flag to flag pathological configurations.
-    bool aborted = false;
+    /// Why the run was cut off, or kNone when it reached quiescence.
+    /// Aborted runs report the partial metrics accumulated so far; sweeps
+    /// use the reason to flag pathological configurations.
+    AbortReason abort_reason = AbortReason::kNone;
     std::size_t terminated = 0;
     std::size_t waiting = 0;
+    /// Agents removed by injected crash-stops.
+    std::size_t crashed = 0;
     SimTime end_time = kTimeZero;
     /// Time at which the last contaminated node was cleared, or < 0 if the
     /// network never became clean.
     SimTime capture_time = -1.0;
+    /// Fault accounting; all zeros for fault-free runs.
+    fault::DegradationReport degradation;
+
+    [[nodiscard]] bool aborted() const {
+      return abort_reason != AbortReason::kNone;
+    }
   };
 
   Engine(Network& net, Config cfg);
+  /// Clears any fault write hooks (they capture `this`) so the Network can
+  /// outlive the engine.
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -82,6 +104,17 @@ class Engine {
   /// Current node of an agent (its origin while in transit).
   [[nodiscard]] graph::Vertex agent_position(AgentId a) const;
 
+  /// Registers an observer called after an agent crash-stops. Returning
+  /// true requests a global wake (the recovery layer uses this to hand a
+  /// repair wave's turn past a dead walker).
+  void add_crash_observer(std::function<bool(AgentId)> cb) {
+    crash_observers_.push_back(std::move(cb));
+  }
+
+  [[nodiscard]] const fault::FaultSchedule& fault_schedule() const {
+    return fault_sched_;
+  }
+
  private:
   friend class AgentContext;
 
@@ -91,6 +124,7 @@ class Engine {
     kWaitingGlobal,
     kInTransit,
     kSleeping,
+    kCrashed,
     kDone,
   };
 
@@ -100,6 +134,11 @@ class Engine {
     graph::Vertex moving_to = 0;
     AgentState state = AgentState::kRunnable;
     std::string role;
+    /// Logical traversal counter: the fault key for crash/stall decisions.
+    std::uint64_t moves = 0;
+    /// Set when a crash-in-transit was drawn at departure; the agent dies
+    /// at the scheduled arrival instant without ever arriving.
+    bool crash_on_arrival = false;
   };
 
   struct Event {
@@ -121,13 +160,23 @@ class Engine {
   void on_status_change(graph::Vertex v, NodeStatus s, SimTime t);
   void schedule(AgentId a, SimTime at);
 
+  void run_to_quiescence();
+  void crash_agent(AgentId a, bool counted_at, const char* what);
+  void install_wb_hooks();
+  void restore_whiteboards();
+  void redeliver_wakes();
+  void run_recovery();
+
   Network* net_;
   Config cfg_;
   Rng rng_;
+  fault::FaultSchedule fault_sched_;
+  fault::DegradationReport degradation_;
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t steps_taken_ = 0;
-  bool aborted_ = false;
+  std::uint64_t last_progress_step_ = 0;
+  AbortReason abort_reason_ = AbortReason::kNone;
   bool captured_ = false;
   SimTime capture_time_ = -1.0;
 
@@ -138,6 +187,19 @@ class Engine {
   std::vector<std::vector<AgentId>> waiting_at_;  // per node
   std::vector<AgentId> waiting_global_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+
+  // --- fault machinery (all empty/idle when the schedule is inactive) ---
+  std::vector<std::function<bool(AgentId)>> crash_observers_;
+  /// Per-node logical counters: meaningful wakes (a waiter was present)
+  /// and committed whiteboard writes. Fault keys, never engine state.
+  std::vector<std::uint64_t> wake_count_;
+  std::vector<std::uint64_t> wb_write_count_;
+  /// Nodes whose wake signal was dropped; recovery re-delivers them.
+  std::vector<graph::Vertex> dropped_wake_nodes_;
+  /// (node, key) -> last good committed value for entries the fault layer
+  /// damaged; models the recovery layer re-deriving lost whiteboard state
+  /// from neighbours (see docs/MODEL.md). Cleared by later good writes.
+  std::map<std::pair<graph::Vertex, std::string>, std::int64_t> wb_journal_;
 };
 
 }  // namespace hcs::sim

@@ -37,6 +37,9 @@ struct Metrics {
   /// strategy keeps this at 0 (Theorems 1 and 6).
   std::uint64_t recontamination_events = 0;
 
+  /// Agents that crash-stopped (fault injection; 0 in fault-free runs).
+  std::uint64_t agents_crashed = 0;
+
   /// Engineering counters.
   std::uint64_t events_processed = 0;
   std::uint64_t agent_steps = 0;

@@ -100,6 +100,18 @@ void Network::on_agent_terminated(AgentId a, graph::Vertex at, SimTime t) {
   metrics_.makespan = std::max(metrics_.makespan, t);
 }
 
+void Network::on_agent_crashed(AgentId a, graph::Vertex at, SimTime t,
+                               bool counted_at, const std::string& detail) {
+  HCS_EXPECTS(at < num_nodes());
+  ++metrics_.agents_crashed;
+  trace_.record({t, TraceKind::kFault, a, at, at, detail});
+  if (counted_at) {
+    HCS_ASSERT(agent_count_[at] > 0);
+    --agent_count_[at];
+    if (agent_count_[at] == 0) node_vacated(at, t);
+  }
+}
+
 void Network::finalize_metrics() {
   std::uint64_t peak = 0;
   for (const Whiteboard& wb : whiteboards_) {

@@ -118,6 +118,15 @@ class Network {
   /// Agent terminates (stays on its node, which remains guarded).
   void on_agent_terminated(AgentId a, graph::Vertex at, SimTime t);
 
+  /// Agent crash-stops (fault injection). When `counted_at` is true the
+  /// agent still held a guard at `at` (crash at node, or mid-edge under
+  /// kAtomicArrival where the origin is guarded until arrival) and the
+  /// count is released -- possibly vacating the node and triggering
+  /// recontamination. Under kVacateOnDeparture a mid-edge crash releases
+  /// nothing (the origin was vacated at departure).
+  void on_agent_crashed(AgentId a, graph::Vertex at, SimTime t,
+                        bool counted_at, const std::string& detail);
+
   /// Folds per-node whiteboard peaks into metrics; call once at run end.
   void finalize_metrics();
 

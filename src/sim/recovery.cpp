@@ -1,0 +1,79 @@
+#include "sim/recovery.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace hcs::sim {
+
+namespace {
+
+/// Shared sequencing state of one repair wave.
+struct WaveState {
+  std::size_t turn = 0;
+  std::vector<AgentId> members;
+};
+
+class RepairAgent final : public Agent {
+ public:
+  RepairAgent(std::shared_ptr<WaveState> wave, std::size_t index,
+              std::vector<graph::Vertex> path)
+      : wave_(std::move(wave)), index_(index), path_(std::move(path)) {
+    HCS_EXPECTS(!path_.empty());
+  }
+
+  std::string role() const override { return "repair"; }
+
+  Action step(AgentContext& ctx) override {
+    if (wave_->turn < index_) return Action::wait_global();
+    if (pos_ + 1 < path_.size()) {
+      ++pos_;
+      return Action::move_to(path_[pos_]);
+    }
+    // Parked on the target: release the next walk, then stand guard.
+    if (wave_->turn == index_) {
+      ++wave_->turn;
+      ctx.broadcast_signal();
+    }
+    return Action::finished();
+  }
+
+ private:
+  std::shared_ptr<WaveState> wave_;
+  std::size_t index_;
+  std::vector<graph::Vertex> path_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t spawn_repair_wave(Engine& engine,
+                                const fault::RecleanPlan& plan) {
+  if (plan.empty()) return 0;
+  auto wave = std::make_shared<WaveState>();
+  const graph::Vertex home = engine.network().homebase();
+  for (std::size_t i = 0; i < plan.walks.size(); ++i) {
+    HCS_EXPECTS(plan.walks[i].path.front() == home);
+    wave->members.push_back(engine.spawn(
+        std::make_unique<RepairAgent>(wave, i, plan.walks[i].path), home));
+  }
+  // Skip-on-crash: a dead walker's turn passes to the next walk at once
+  // (detection for the round was already paid for), keeping a single crash
+  // from stalling the whole wave.
+  engine.add_crash_observer([wave](AgentId crashed) {
+    for (std::size_t i = 0; i < wave->members.size(); ++i) {
+      if (wave->members[i] == crashed && i >= wave->turn) {
+        wave->turn = i + 1;
+        return true;
+      }
+    }
+    return false;
+  });
+  return plan.walks.size();
+}
+
+}  // namespace hcs::sim

@@ -1,0 +1,34 @@
+// Repair waves: executing a RecleanPlan on the event engine.
+//
+// When the recovery layer (Engine::run_recovery) finds the network dirty
+// after quiescence, it asks fault::plan_reclean for a contiguous repair
+// schedule and dispatches one wave of replacement agents from the root
+// pool (the homebase). Each repair agent owns one walk of the plan and
+// parks on its target forever (terminated agents keep guarding), so the
+// wave monotonically extends the guarded frontier.
+//
+// Sequencing: walk k may start only after walk k-1 parked. The wave keeps
+// a shared turn counter; agents whose turn has not come block in
+// wait_global() and are released by the parking agent's broadcast. If the
+// walking agent crash-stops (repair agents draw the same fault coins as
+// everyone else), the engine's crash observer hands the turn to the next
+// walk immediately -- the heartbeat cost was already charged for the whole
+// round -- and the standing guards keep the damage inside the dirty region
+// for the next wave to re-plan.
+
+#pragma once
+
+#include <cstdint>
+
+#include "fault/reclean.hpp"
+
+namespace hcs::sim {
+
+class Engine;
+
+/// Spawns one repair agent per walk of `plan` at the engine's homebase and
+/// registers the wave's crash observer. Returns the number of agents
+/// spawned. The caller runs the engine to quiescence to execute the wave.
+std::uint64_t spawn_repair_wave(Engine& engine, const fault::RecleanPlan& plan);
+
+}  // namespace hcs::sim

@@ -3,10 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <map>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "fault/reclean.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -25,7 +29,16 @@ struct Shared {
   std::atomic<std::uint64_t> change_epoch{0};
   std::size_t waiting = 0;
   std::size_t alive = 0;
+  std::size_t terminated = 0;
+  std::size_t protocol_crashed = 0;
   bool aborted = false;
+
+  // Fault state; everything below is guarded by `mutex` (whiteboard writes
+  // only happen under it, so the hooks fire under it too).
+  fault::FaultSchedule faults;
+  fault::DegradationReport degradation;
+  std::vector<std::uint64_t> wb_write_count;
+  std::map<std::pair<graph::Vertex, std::string>, std::int64_t> wb_journal;
 
   SimTime now() const {
     return std::chrono::duration<double>(Clock::now() - start).count();
@@ -35,14 +48,62 @@ struct Shared {
     change_epoch.fetch_add(1, std::memory_order_relaxed);
     changed.notify_all();
   }
+
+  /// Crash bookkeeping; mirrors Engine::crash_agent including the
+  /// fault-attribution of any recontamination flood the lost guard causes.
+  void crash(AgentId id, graph::Vertex at, bool counted_at,
+             const char* what) {
+    const std::uint64_t before = net->metrics().recontamination_events;
+    net->on_agent_crashed(id, at, now(), counted_at, what);
+    degradation.recontaminations_attributed +=
+        net->metrics().recontamination_events - before;
+  }
 };
+
+/// Same damage model as Engine::install_wb_hooks, with the same logical
+/// write counters, so a given (node, write-index) suffers the same fate in
+/// both runtimes.
+void install_wb_hooks(Shared& shared) {
+  Network& net = *shared.net;
+  for (graph::Vertex v = 0; v < net.num_nodes(); ++v) {
+    net.whiteboard(v).set_write_hook(
+        [&shared, v](Whiteboard& wb, const std::string& key) {
+          const std::uint64_t idx = shared.wb_write_count[v]++;
+          const auto node = static_cast<std::uint32_t>(v);
+          if (shared.faults.lose_write(node, idx)) {
+            shared.wb_journal[{v, key}] = wb.get(key);
+            wb.erase(key);
+            ++shared.degradation.wb_entries_lost;
+            shared.net->trace().record({shared.now(), TraceKind::kFault,
+                                        kNoAgent, v, v, "wb lost: " + key});
+          } else if (shared.faults.corrupt_write(node, idx)) {
+            shared.wb_journal[{v, key}] = wb.get(key);
+            wb.set(key, shared.faults.corrupt_value(node, idx));
+            ++shared.degradation.wb_entries_corrupted;
+            shared.net->trace().record({shared.now(), TraceKind::kFault,
+                                        kNoAgent, v, v,
+                                        "wb corrupted: " + key});
+          } else {
+            shared.wb_journal.erase({v, key});
+          }
+        });
+  }
+}
+
+void clear_wb_hooks(Network& net) {
+  for (graph::Vertex v = 0; v < net.num_nodes(); ++v) {
+    net.whiteboard(v).set_write_hook({});
+  }
+}
 
 void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
                 const ThreadedRuntime::Config& cfg, std::uint64_t seed) {
   Rng rng(seed);
   graph::Vertex here = shared.net->homebase();
+  std::uint64_t moves = 0;  // logical fault key, like Engine's rec.moves
 
   std::unique_lock<std::mutex> lock(shared.mutex);
+  const bool faultable = shared.faults.active();
   while (!shared.aborted) {
     LocalView view;
     view.here = here;
@@ -58,6 +119,7 @@ void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
     const LocalDecision decision = rule(view);
     if (decision.kind == LocalDecision::Kind::kTerminate) {
       shared.net->on_agent_terminated(id, here, shared.now());
+      ++shared.terminated;
       shared.bump();
       break;
     }
@@ -68,8 +130,28 @@ void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
       continue;
     }
 
-    // Move. Departure bookkeeping under the lock, the traversal itself
-    // outside it, arrival bookkeeping under the lock again. The Network's
+    // Move. One traversal decision = one fault opportunity.
+    const std::uint64_t move_index = moves++;
+    if (faultable && shared.faults.crash_at_node(id, move_index)) {
+      ++shared.degradation.crashes;
+      ++shared.protocol_crashed;
+      shared.crash(id, here, /*counted_at=*/true, "crash-stop at node");
+      shared.bump();
+      break;
+    }
+    const bool die_in_transit =
+        faultable && shared.faults.crash_in_transit(id, move_index);
+    if (die_in_transit) {
+      ++shared.degradation.crashes;
+      ++shared.degradation.crashes_in_transit;
+      ++shared.protocol_crashed;
+    }
+    const bool stalled =
+        faultable && shared.faults.stall_link(id, move_index);
+    if (stalled) ++shared.degradation.links_stalled;
+
+    // Departure bookkeeping under the lock, the traversal itself outside
+    // it, arrival bookkeeping under the lock again. The Network's
     // kAtomicArrival semantics keep the origin guarded during the
     // traversal.
     const graph::Vertex dest = decision.dest;
@@ -78,14 +160,32 @@ void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
     shared.bump();
     lock.unlock();
 
-    if (cfg.max_traversal_sleep_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(
-          rng.below(cfg.max_traversal_sleep_us + 1)));
+    std::uint64_t sleep_us =
+        cfg.max_traversal_sleep_us > 0
+            ? rng.below(cfg.max_traversal_sleep_us + 1)
+            : 0;
+    if (stalled) {
+      sleep_us = static_cast<std::uint64_t>(
+          static_cast<double>(sleep_us + 1) * shared.faults.stall_factor());
+    }
+    if (sleep_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
     } else {
       std::this_thread::yield();
     }
 
     lock.lock();
+    if (die_in_transit) {
+      // The agent dies mid-edge: it never arrives. Under kAtomicArrival it
+      // was still guarding the origin; under kVacateOnDeparture that guard
+      // was already released at departure.
+      shared.crash(id, here,
+                   shared.net->move_semantics() ==
+                       MoveSemantics::kAtomicArrival,
+                   "crash-stop in transit");
+      shared.bump();
+      break;
+    }
     shared.net->on_agent_arrived(id, dest, here, shared.now());
     here = dest;
     shared.bump();
@@ -94,10 +194,88 @@ void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
   shared.bump();
 }
 
+/// Synchronous reclean waves: the threaded analogue of the engine's
+/// recovery loop. Runs after the protocol threads drained, under the lock,
+/// walking fault::plan_reclean walks directly through the Network hooks
+/// with fresh agent ids (repair agents draw crash coins like everyone
+/// else). Returns kFaultUnrecoverable when the retry budget runs out with
+/// the network still dirty.
+AbortReason run_reclean_rounds(Shared& shared,
+                               const ThreadedRuntime::Config& cfg,
+                               std::size_t num_protocol_agents) {
+  Network& net = *shared.net;
+  std::uint64_t next_id = num_protocol_agents;
+  const SimTime t0 = shared.now();
+  while (!net.all_clean() || !shared.wb_journal.empty()) {
+    if (shared.degradation.recovery_rounds >= cfg.recovery.max_rounds) {
+      if (!net.all_clean()) return AbortReason::kFaultUnrecoverable;
+      break;
+    }
+    ++shared.degradation.recovery_rounds;
+    shared.degradation.crashes_detected = net.metrics().agents_crashed;
+
+    // Restore journaled whiteboard entries (the restore is itself a write
+    // and may be damaged again; the journal refills for the next round).
+    const auto journal = std::move(shared.wb_journal);
+    shared.wb_journal.clear();
+    for (const auto& [where, value] : journal) {
+      net.whiteboard(where.first).set(where.second, value);
+      ++shared.degradation.wb_faults_detected;
+    }
+    if (net.all_clean()) continue;
+
+    std::vector<bool> contaminated(net.num_nodes());
+    for (graph::Vertex v = 0; v < net.num_nodes(); ++v) {
+      contaminated[v] = net.status(v) == NodeStatus::kContaminated;
+    }
+    const fault::RecleanPlan plan =
+        fault::plan_reclean(net.graph(), net.homebase(), contaminated);
+    const std::uint64_t moves_before = net.metrics().total_moves;
+    for (const fault::RecleanWalk& walk : plan.walks) {
+      const auto id = static_cast<AgentId>(next_id++);
+      ++shared.degradation.repair_agents;
+      net.on_agent_placed(id, walk.path.front(), shared.now());
+      graph::Vertex at = walk.path.front();
+      bool dead = false;
+      for (std::size_t i = 1; i < walk.path.size(); ++i) {
+        const std::uint64_t k = i - 1;
+        if (shared.faults.crash_at_node(id, k)) {
+          ++shared.degradation.crashes;
+          shared.crash(id, at, /*counted_at=*/true, "crash-stop at node");
+          dead = true;
+          break;
+        }
+        const bool transit = shared.faults.crash_in_transit(id, k);
+        if (shared.faults.stall_link(id, k)) {
+          ++shared.degradation.links_stalled;
+        }
+        const graph::Vertex to = walk.path[i];
+        net.on_agent_departed(id, at, to, shared.now(), "repair");
+        if (transit) {
+          ++shared.degradation.crashes;
+          ++shared.degradation.crashes_in_transit;
+          shared.crash(id, at,
+                       net.move_semantics() == MoveSemantics::kAtomicArrival,
+                       "crash-stop in transit");
+          dead = true;
+          break;
+        }
+        net.on_agent_arrived(id, to, at, shared.now());
+        at = to;
+      }
+      if (!dead) net.on_agent_terminated(id, at, shared.now());
+    }
+    shared.degradation.recovery_moves +=
+        net.metrics().total_moves - moves_before;
+  }
+  shared.degradation.recovery_time = shared.now() - t0;
+  return AbortReason::kNone;
+}
+
 }  // namespace
 
 ThreadedRuntime::ThreadedRuntime(Network& net, Config cfg)
-    : net_(&net), cfg_(cfg) {}
+    : net_(&net), cfg_(std::move(cfg)) {}
 
 ThreadedRunReport ThreadedRuntime::run(std::size_t num_agents,
                                        const LocalRule& rule) {
@@ -106,6 +284,11 @@ ThreadedRunReport ThreadedRuntime::run(std::size_t num_agents,
   shared.net = net_;
   shared.start = Clock::now();
   shared.alive = num_agents;
+  shared.faults = fault::FaultSchedule(cfg_.faults);
+  if (shared.faults.active()) {
+    shared.wb_write_count.assign(net_->num_nodes(), 0);
+    install_wb_hooks(shared);
+  }
 
   Rng seeder(cfg_.seed);
   {
@@ -124,7 +307,9 @@ ThreadedRunReport ThreadedRuntime::run(std::size_t num_agents,
   }
 
   // Watchdog: declare deadlock if the change epoch stalls while agents are
-  // still alive.
+  // still alive. Under an active fault schedule this doubles as the
+  // heartbeat detector -- a crashed agent's partners block forever and the
+  // stall is what surfaces the death.
   bool deadlocked = false;
   {
     std::uint64_t last_epoch = ~std::uint64_t{0};
@@ -151,13 +336,42 @@ ThreadedRunReport ThreadedRuntime::run(std::size_t num_agents,
   for (std::thread& t : threads) t.join();
 
   std::lock_guard<std::mutex> lock(shared.mutex);
+  AbortReason abort_reason =
+      deadlocked ? AbortReason::kLivelock : AbortReason::kNone;
+
+  if (shared.faults.active() && cfg_.recovery.enabled) {
+    const AbortReason reclean =
+        run_reclean_rounds(shared, cfg_, num_agents);
+    if (reclean != AbortReason::kNone) {
+      abort_reason = reclean;
+    } else if (abort_reason == AbortReason::kLivelock &&
+               shared.degradation.injected_persistent() > 0 &&
+               net_->all_clean()) {
+      // The stall was fault-induced and the repair waves finished the
+      // sweep: graceful degradation, not a protocol deadlock.
+      abort_reason = AbortReason::kNone;
+    }
+  }
+  if (shared.faults.active()) {
+    shared.degradation.agents_stranded =
+        num_agents - shared.terminated - shared.protocol_crashed;
+    shared.degradation.faults_recovered = shared.degradation.wb_faults_detected;
+    if (net_->all_clean()) {
+      shared.degradation.faults_recovered +=
+          shared.degradation.crashes_detected;
+    }
+    clear_wb_hooks(*net_);
+  }
+
   net_->finalize_metrics();
   ThreadedRunReport report;
-  report.deadlocked = deadlocked;
-  report.all_terminated = !deadlocked;
+  report.abort_reason = abort_reason;
+  report.all_terminated = shared.terminated == num_agents &&
+                          abort_reason == AbortReason::kNone;
   report.total_moves = net_->metrics().total_moves;
   report.recontamination_events = net_->metrics().recontamination_events;
   report.all_clean = net_->all_clean();
+  report.degradation = shared.degradation;
   return report;
 }
 

@@ -17,11 +17,21 @@
 // State transitions reuse sim::Network (guarded by the global mutex), so
 // metrics, traces, and the contamination semantics are identical to the
 // event engine's.
+//
+// Fault injection: the runtime draws the same deterministic per-(agent,
+// move-index) and per-(node, write-index) decisions as the event engine
+// (fault/fault.hpp) -- the *schedule* is reproducible even though the
+// thread interleavings are not. Dropped wakes are engine-only: the
+// condition variable's broadcast cannot lose a subset of waiters. After
+// the protocol threads drain, a dirty network is repaired by synchronous
+// reclean waves (fault/reclean.hpp) under the same bounded retry budget as
+// the engine's recovery loop.
 
 #pragma once
 
 #include <functional>
 
+#include "fault/fault.hpp"
 #include "graph/graph.hpp"
 #include "sim/network.hpp"
 #include "sim/types.hpp"
@@ -43,10 +53,18 @@ using LocalRule = std::function<LocalDecision(const LocalView&)>;
 
 struct ThreadedRunReport {
   bool all_terminated = false;
-  bool deadlocked = false;  ///< watchdog fired while agents were waiting
+  /// kLivelock when the watchdog fired while agents were waiting,
+  /// kFaultUnrecoverable when the reclean retry budget ran out.
+  AbortReason abort_reason = AbortReason::kNone;
   std::uint64_t total_moves = 0;
   std::uint64_t recontamination_events = 0;
   bool all_clean = false;
+  /// Fault accounting; all zeros for fault-free runs.
+  fault::DegradationReport degradation;
+
+  [[nodiscard]] bool deadlocked() const {
+    return abort_reason == AbortReason::kLivelock;
+  }
 };
 
 class ThreadedRuntime {
@@ -59,13 +77,18 @@ class ThreadedRuntime {
     /// Watchdog: if nothing happens for this long the run is declared
     /// deadlocked.
     unsigned watchdog_ms = 5000;
+    /// Fault workload; an empty spec draws nothing and leaves the runtime
+    /// exactly as fault-free.
+    fault::FaultSpec faults;
+    /// Recovery policy for the post-drain reclean waves.
+    fault::RecoveryConfig recovery;
   };
 
   ThreadedRuntime(Network& net, Config cfg);
 
   /// Runs `num_agents` threads, all starting at the homebase, each
   /// executing `rule` until it returns terminate. Blocks until all threads
-  /// finish or the watchdog fires.
+  /// finish or the watchdog fires, then repairs fault damage if any.
   ThreadedRunReport run(std::size_t num_agents, const LocalRule& rule);
 
  private:

@@ -16,6 +16,7 @@ const char* kind_name(TraceKind k) {
     case TraceKind::kStatusChange: return "status";
     case TraceKind::kWhiteboard: return "whiteboard";
     case TraceKind::kTerminate: return "terminate";
+    case TraceKind::kFault: return "fault";
     case TraceKind::kCustom: return "note";
   }
   return "?";

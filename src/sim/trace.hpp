@@ -20,6 +20,7 @@ enum class TraceKind : std::uint8_t {
   kStatusChange,  ///< node status changed (detail = new status)
   kWhiteboard,    ///< whiteboard write (detail = key)
   kTerminate,     ///< agent finished
+  kFault,         ///< injected fault or recovery action (detail = which)
   kCustom,        ///< strategy-defined annotation
 };
 

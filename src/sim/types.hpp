@@ -37,6 +37,26 @@ enum class NodeStatus : std::uint8_t {
   return "?";
 }
 
+/// Why a run was cut off before reaching a clean quiescent end. Replaces
+/// the old boolean `aborted` flag so sweep output can distinguish a
+/// livelocked protocol from a fault the recovery layer could not repair.
+enum class AbortReason : std::uint8_t {
+  kNone,                ///< ran to quiescence
+  kStepCap,             ///< hit the max_agent_steps guard
+  kLivelock,            ///< agents kept stepping without making progress
+  kFaultUnrecoverable,  ///< recovery retry budget exhausted, still dirty
+};
+
+[[nodiscard]] constexpr const char* to_string(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kStepCap: return "step-cap";
+    case AbortReason::kLivelock: return "livelock";
+    case AbortReason::kFaultUnrecoverable: return "fault-unrecoverable";
+  }
+  return "?";
+}
+
 /// A protocol's atomic decision for one agent at its node: keep waiting,
 /// move to `dest`, or terminate. Shared vocabulary of the decision
 /// functions (e.g. the Section 4.2 visibility rule) and both runtimes: the

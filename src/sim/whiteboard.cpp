@@ -12,9 +12,20 @@ bool Whiteboard::has(const std::string& key) const {
   return values_.contains(key);
 }
 
+std::optional<std::int64_t> Whiteboard::try_get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
 void Whiteboard::set(const std::string& key, std::int64_t value) {
   values_[key] = value;
   if (values_.size() > peak_) peak_ = values_.size();
+  if (hook_ && !in_hook_) {
+    in_hook_ = true;
+    hook_(*this, key);
+    in_hook_ = false;
+  }
 }
 
 std::int64_t Whiteboard::add(const std::string& key, std::int64_t delta) {

@@ -15,16 +15,30 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 namespace hcs::sim {
 
 class Whiteboard {
  public:
+  /// Observer invoked after every committed set()/add(). The fault layer
+  /// installs these to model storage failures: the hook may erase or
+  /// overwrite the key it is told about (re-entrant writes from inside a
+  /// hook do not re-fire it). Protocol code never installs hooks.
+  using WriteHook = std::function<void(Whiteboard&, const std::string& key)>;
+
   /// Value of `key`, or `fallback` if never written.
   [[nodiscard]] std::int64_t get(const std::string& key,
                                  std::int64_t fallback = 0) const;
+
+  /// Value of `key`, or nullopt when absent -- the read that distinguishes
+  /// "never written / lost to a fault" from a legitimate zero. Readers must
+  /// never observe stale data for an entry the fault layer erased.
+  [[nodiscard]] std::optional<std::int64_t> try_get(
+      const std::string& key) const;
 
   [[nodiscard]] bool has(const std::string& key) const;
 
@@ -47,9 +61,14 @@ class Whiteboard {
 
   void clear();
 
+  /// Installs (or clears, with an empty function) the fault write hook.
+  void set_write_hook(WriteHook hook) { hook_ = std::move(hook); }
+
  private:
   std::map<std::string, std::int64_t> values_;
   std::size_t peak_ = 0;
+  WriteHook hook_;
+  bool in_hook_ = false;
 };
 
 }  // namespace hcs::sim

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -29,10 +30,21 @@ bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
       std::fputs(usage().c_str(), stdout);
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      // Negative numbers and the conventional bare "-" are positionals;
+      // anything else starting with "-" is a misspelled flag.
+      const bool dashed = arg.size() > 1 && arg[0] == '-' &&
+                          !(std::isdigit(static_cast<unsigned char>(arg[1])) ||
+                            arg[1] == '.');
+      if (dashed) {
+        std::fprintf(stderr, "unknown argument %s (flags take two dashes)\n\n%s",
+                     arg.c_str(), usage().c_str());
+        return false;
+      }
       positional_.push_back(std::move(arg));
       continue;
     }

@@ -25,8 +25,15 @@ class CliParser {
   void add_bool_flag(const std::string& name, const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) on `--help` or on a
-  /// malformed/unknown flag.
+  /// malformed/unknown flag. Any argument starting with `-` that is not a
+  /// registered flag is an error — a typo like `-dim 4` must not silently
+  /// become a positional. Negative numbers (`-3`, `-0.5`) and the
+  /// conventional bare `-` still parse as positionals.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// True when parse() returned false because of `--help`/`-h` rather than
+  /// an error, so callers can exit 0 for help and non-zero for mistakes.
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
 
   [[nodiscard]] std::string get(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
@@ -53,6 +60,7 @@ class CliParser {
   std::map<std::string, Flag> flags_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  bool help_requested_ = false;
 };
 
 }  // namespace hcs

@@ -197,7 +197,8 @@ TEST(Engine, LivelockGuardAborts) {
   Engine engine(net, cfg);
   engine.spawn(std::make_unique<SpinAgent>(), 0);
   const Engine::RunResult run = engine.run();
-  EXPECT_TRUE(run.aborted);
+  EXPECT_TRUE(run.aborted());
+  EXPECT_EQ(run.abort_reason, AbortReason::kStepCap);
   EXPECT_FALSE(run.all_terminated);
   EXPECT_EQ(net.metrics().agent_steps, 1000u);
 }

@@ -1,0 +1,111 @@
+// Randomized fault soak: unlike the rest of the suite this test draws its
+// fault seeds from std::random_device, so every run explores new crash
+// schedules. On failure it prints the seed so the run can be replayed
+// deterministically (FaultSpec::crashes(rate, seed) is the whole state).
+//
+// HCS_SOAK_ITERS controls the number of iterations per scenario (default 2
+// to keep the tier-1 suite fast; the nightly CI job raises it).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+#include "core/clean_visibility.hpp"
+#include "core/formulas.hpp"
+#include "core/strategy.hpp"
+#include "fault/fault.hpp"
+#include "graph/builders.hpp"
+#include "sim/threaded_runtime.hpp"
+
+namespace hcs {
+namespace {
+
+int soak_iters() {
+  const char* env = std::getenv("HCS_SOAK_ITERS");
+  if (env == nullptr || *env == '\0') return 2;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 2;
+}
+
+std::uint64_t fresh_seed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+TEST(FaultSoak, EngineCapturesUnderRandomCrashSchedules) {
+  for (int iter = 0; iter < soak_iters(); ++iter) {
+    const std::uint64_t seed = fresh_seed();
+    SCOPED_TRACE("replay with fault seed " + std::to_string(seed));
+    for (const auto kind :
+         {core::StrategyKind::kCleanSync, core::StrategyKind::kVisibility,
+          core::StrategyKind::kCloning, core::StrategyKind::kSynchronous}) {
+      core::SimRunConfig config;
+      config.faults = fault::FaultSpec::crashes(0.05, seed);
+      const core::SimOutcome out = core::run_strategy_sim(kind, 6, config);
+      EXPECT_TRUE(out.captured())
+          << out.strategy << " failed under fault seed " << seed
+          << " (verdict " << out.verdict() << ")";
+      EXPECT_EQ(out.degradation.faults_recovered,
+                out.degradation.crashes_detected +
+                    out.degradation.wb_faults_detected)
+          << out.strategy << " fault seed " << seed;
+    }
+  }
+}
+
+TEST(FaultSoak, EngineSurvivesMixedFaultWorkloads) {
+  for (int iter = 0; iter < soak_iters(); ++iter) {
+    const std::uint64_t seed = fresh_seed();
+    SCOPED_TRACE("replay with fault seed " + std::to_string(seed));
+    fault::FaultSpec spec;
+    spec.crash_rate = 0.02;
+    spec.wb_loss_rate = 0.01;
+    spec.wb_corrupt_rate = 0.01;
+    spec.wake_drop_rate = 0.01;
+    spec.link_stall_rate = 0.05;
+    spec.seed = seed;
+    core::SimRunConfig config;
+    config.faults = spec;
+    const core::SimOutcome out =
+        core::run_strategy_sim(core::StrategyKind::kVisibility, 6, config);
+    // Mixed workloads may or may not be recoverable; the invariants are:
+    // the run ends (no hang), the verdict is principled (never a bare
+    // abort), and a clean network is only ever claimed honestly.
+    EXPECT_TRUE(out.captured() ||
+                out.abort_reason == sim::AbortReason::kFaultUnrecoverable ||
+                out.degradation.agents_stranded > 0)
+        << "fault seed " << seed << " verdict " << out.verdict();
+    if (out.captured()) {
+      EXPECT_NE(out.verdict(), "failed(fault-unrecoverable)")
+          << "fault seed " << seed;
+    }
+  }
+}
+
+TEST(FaultSoak, ThreadedRuntimeRecleansUnderRandomCrashes) {
+  for (int iter = 0; iter < soak_iters(); ++iter) {
+    const std::uint64_t seed = fresh_seed();
+    SCOPED_TRACE("replay with fault seed " + std::to_string(seed));
+    const graph::Graph g = graph::make_hypercube(4);
+    sim::Network net(g, 0);
+    sim::ThreadedRuntime::Config cfg;
+    cfg.max_traversal_sleep_us = 30;
+    cfg.faults = fault::FaultSpec::crashes(0.03, seed);
+    sim::ThreadedRuntime runtime(net, cfg);
+    const auto report = runtime.run(core::visibility_team_size(4),
+                                    core::make_visibility_rule(4));
+    EXPECT_TRUE(report.all_clean ||
+                report.abort_reason ==
+                    sim::AbortReason::kFaultUnrecoverable)
+        << "fault seed " << seed;
+    if (report.degradation.crashes == 0) {
+      // No crash drawn this seed: the run must be exactly fault-free.
+      EXPECT_TRUE(report.all_terminated) << "fault seed " << seed;
+      EXPECT_TRUE(report.all_clean) << "fault seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcs

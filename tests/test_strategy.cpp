@@ -105,7 +105,8 @@ TEST(Strategy, LivelockGuardSurfacesInOutcome) {
   SimRunConfig config;
   config.max_agent_steps = 10;  // far below what CLEAN needs on H_4
   const SimOutcome out = run_strategy_sim(StrategyKind::kCleanSync, 4, config);
-  EXPECT_TRUE(out.aborted);
+  EXPECT_TRUE(out.aborted());
+  EXPECT_EQ(out.abort_reason, sim::AbortReason::kStepCap);
   EXPECT_FALSE(out.all_agents_terminated);
   EXPECT_FALSE(out.correct());
 }

@@ -163,7 +163,8 @@ TEST(Sweep, LivelockGuardSurfacesAsAborted) {
 
   ASSERT_EQ(result.cells.size(), 1u);
   const core::SimOutcome& o = result.cells[0].outcome;
-  EXPECT_TRUE(o.aborted);
+  EXPECT_TRUE(o.aborted());
+  EXPECT_EQ(o.abort_reason, sim::AbortReason::kStepCap);
   EXPECT_FALSE(o.correct());
   EXPECT_FALSE(o.all_agents_terminated);
   EXPECT_EQ(result.summarize()[0].aborted_cells, 1u);

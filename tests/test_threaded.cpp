@@ -28,7 +28,7 @@ TEST(ThreadedRuntime, VisibilityRuleCleansSmallCubes) {
   for (unsigned d = 1; d <= 5; ++d) {
     const auto report = run_threaded(d, 1, 50);
     EXPECT_TRUE(report.all_terminated) << "d=" << d;
-    EXPECT_FALSE(report.deadlocked);
+    EXPECT_FALSE(report.deadlocked());
     EXPECT_TRUE(report.all_clean);
     EXPECT_EQ(report.recontamination_events, 0u);
     EXPECT_EQ(report.total_moves, core::visibility_moves(d));
@@ -64,7 +64,7 @@ TEST(ThreadedRuntime, WatchdogDetectsDeadlock) {
   sim::ThreadedRuntime runtime(net, cfg);
   const auto report = runtime.run(
       2, [](const sim::LocalView&) { return sim::LocalDecision::wait(); });
-  EXPECT_TRUE(report.deadlocked);
+  EXPECT_TRUE(report.deadlocked());
   EXPECT_FALSE(report.all_terminated);
 }
 

@@ -168,6 +168,33 @@ TEST(Cli, DefaultsAndUnknownFlags) {
   cli2.add_flag("dim", "4", "dimension");
   const char* bad[] = {"prog", "--nope", "1"};
   EXPECT_FALSE(cli2.parse(3, bad));
+  EXPECT_FALSE(cli2.help_requested());
+}
+
+TEST(Cli, SingleDashTyposAreErrorsNotPositionals) {
+  // A `-dim 4` typo must fail loudly, not be swallowed as a positional
+  // leaving the flag silently at its default.
+  CliParser cli("test");
+  cli.add_flag("dim", "4", "dimension");
+  const char* bad[] = {"prog", "-dim", "7"};
+  EXPECT_FALSE(cli.parse(3, bad));
+  EXPECT_FALSE(cli.help_requested());
+  EXPECT_TRUE(cli.positional().empty());
+
+  // Negative numbers and bare "-" remain legitimate positionals.
+  CliParser cli2("test");
+  cli2.add_flag("dim", "4", "dimension");
+  const char* ok[] = {"prog", "-3", "-0.5", "-"};
+  ASSERT_TRUE(cli2.parse(4, ok));
+  ASSERT_EQ(cli2.positional().size(), 3u);
+  EXPECT_EQ(cli2.positional()[0], "-3");
+}
+
+TEST(Cli, HelpIsDistinguishableFromErrors) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
 }
 
 TEST(Log, LevelGating) {
