@@ -9,9 +9,7 @@
 
 #include "bench_common.hpp"
 #include "core/clean_sync.hpp"
-#include "core/formulas.hpp"
-#include "core/strategy_registry.hpp"
-#include "run/sweep.hpp"
+#include "hcs.hpp"
 #include "util/fit.hpp"
 
 namespace hcs {
@@ -102,13 +100,15 @@ void print_tables() {
 }
 
 void BM_FullRun(benchmark::State& state) {
-  // Strategies resolve by registry name, same as the sweep runner.
+  // Strategies resolve by registry name, same as the sweep runner; the
+  // session is reused across iterations (each run is independent).
   const std::vector<std::string> names =
       core::StrategyRegistry::instance().names();
   const std::string& name = names[static_cast<std::size_t>(state.range(0))];
   const auto d = static_cast<unsigned>(state.range(1));
+  Session session({.dimension = d});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_strategy_sim(name, d).total_moves);
+    benchmark::DoNotOptimize(session.run(name).total_moves);
   }
   state.SetLabel(name);
 }

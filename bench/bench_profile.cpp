@@ -1,0 +1,113 @@
+// bench_profile: the observability layer end-to-end.
+//
+// Runs CLEAN and CLEAN WITH VISIBILITY on H_4..H_8 with metrics and
+// per-phase spans enabled, and writes BENCH_profile.json: one profile
+// object per dimension holding the obs snapshot of both runs -- engine
+// event counts, per-level phase spans ("clean_sync" / "clean_visibility"
+// sim-time tracks plus the trace-derived "sim/levels" track), and the
+// span-duration histograms.
+//
+// Optionally also writes a Chrome trace_event file for one dimension;
+// load it in about:tracing or https://ui.perfetto.dev.
+//
+//   $ ./bench_profile                         # writes BENCH_profile.json
+//   $ ./bench_profile --chrome trace.json     # + Chrome trace of H_4
+//   $ ./bench_profile --min-dim 4 --max-dim 6 --out prof.json
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "hcs.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+/// snapshot_json ends with a newline; trim it so the document embeds
+/// cleanly as a JSON value.
+std::string trimmed_snapshot_json(const hcs::obs::Snapshot& snap) {
+  std::string json = hcs::obs::snapshot_json(snap);
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) {
+    json.pop_back();
+  }
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hcs;
+
+  CliParser cli("bench_profile: per-phase profiles of the paper strategies");
+  cli.add_flag("out", "BENCH_profile.json", "output profile path");
+  cli.add_flag("chrome", "",
+               "also write a Chrome trace_event JSON of the --chrome-dim "
+               "runs to this path");
+  cli.add_flag("chrome-dim", "4", "dimension exported to the Chrome trace");
+  cli.add_flag("min-dim", "4", "smallest hypercube dimension profiled");
+  cli.add_flag("max-dim", "8", "largest hypercube dimension profiled");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const auto min_dim = static_cast<unsigned>(cli.get_uint("min-dim"));
+  const auto max_dim = static_cast<unsigned>(cli.get_uint("max-dim"));
+  const auto chrome_dim = static_cast<unsigned>(cli.get_uint("chrome-dim"));
+  if (min_dim < 1 || max_dim < min_dim) {
+    std::fputs(cli.usage().c_str(), stderr);
+    return 1;
+  }
+  if (!obs::kEnabled) {
+    std::fprintf(stderr,
+                 "built with HCS_OBS_OFF: profiles would be empty.\n");
+  }
+
+  const char* const strategies[] = {"CLEAN", "CLEAN-WITH-VISIBILITY"};
+
+  std::string out = "{\n  \"benchmark\": \"bench_profile\",\n  \"runs\": [";
+  bool first = true;
+  for (unsigned d = min_dim; d <= max_dim; ++d) {
+    // One registry per dimension: both strategies land in it, on separate
+    // sim-time tracks, so a dimension's profile reads as one document.
+    obs::Registry registry;
+    for (const char* name : strategies) {
+      Session session(
+          {.dimension = d, .options = {.trace = true, .obs = &registry}});
+      const core::SimOutcome outcome = session.run(name);
+      std::printf("H_%u %-22s  moves %8llu  makespan %8.0f  %s\n", d, name,
+                  static_cast<unsigned long long>(outcome.total_moves),
+                  outcome.makespan, outcome.verdict().c_str());
+    }
+    const obs::Snapshot snap = registry.snapshot();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"dimension\": " + std::to_string(d) +
+           ", \"profile\": " + trimmed_snapshot_json(snap) + "}";
+
+    if (d == chrome_dim && !cli.get("chrome").empty()) {
+      if (obs::write_chrome_trace(snap, cli.get("chrome"))) {
+        std::printf("wrote Chrome trace %s (H_%u)\n",
+                    cli.get("chrome").c_str(), d);
+      } else {
+        std::fprintf(stderr, "could not write %s\n",
+                     cli.get("chrome").c_str());
+        return 1;
+      }
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+
+  if (!obs::json_well_formed(out)) {
+    std::fprintf(stderr, "internal error: profile JSON is malformed\n");
+    return 1;
+  }
+  std::ofstream sink(cli.get("out"), std::ios::binary | std::ios::trunc);
+  sink << out;
+  if (!sink) {
+    std::fprintf(stderr, "could not write %s\n", cli.get("out").c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu bytes, H_%u..H_%u x %zu strategies)\n",
+              cli.get("out").c_str(), out.size(), min_dim, max_dim,
+              std::size(strategies));
+  return 0;
+}

@@ -12,8 +12,7 @@
 // grid (delay model x seed) for Theorem 6.
 
 #include "bench_common.hpp"
-#include "core/formulas.hpp"
-#include "run/sweep.hpp"
+#include "hcs.hpp"
 
 namespace hcs {
 namespace {
@@ -77,17 +76,18 @@ void print_tables() {
 
 void BM_SimCleanSync(benchmark::State& state) {
   const auto d = static_cast<unsigned>(state.range(0));
+  Session session({.dimension = d});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_strategy_sim("CLEAN", d).makespan);
+    benchmark::DoNotOptimize(session.run("CLEAN").makespan);
   }
 }
 BENCHMARK(BM_SimCleanSync)->DenseRange(4, 8, 2);
 
 void BM_SimVisibility(benchmark::State& state) {
   const auto d = static_cast<unsigned>(state.range(0));
+  Session session({.dimension = d});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::run_strategy_sim("CLEAN-WITH-VISIBILITY", d).makespan);
+    benchmark::DoNotOptimize(session.run("CLEAN-WITH-VISIBILITY").makespan);
   }
 }
 BENCHMARK(BM_SimVisibility)->DenseRange(4, 10, 2);

@@ -16,11 +16,7 @@
 
 #include <cstdio>
 
-#include "core/baselines.hpp"
-#include "core/optimal.hpp"
-#include "core/plan.hpp"
-#include "graph/builders.hpp"
-#include "graph/spanning_tree.hpp"
+#include "hcs.hpp"
 #include "util/cli.hpp"
 #include "util/strfmt.hpp"
 #include "util/table.hpp"

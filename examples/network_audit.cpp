@@ -22,10 +22,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/audit.hpp"
-#include "core/audit_timeline.hpp"
-#include "run/sweep.hpp"
-#include "run/sweep_io.hpp"
+#include "hcs.hpp"
 #include "util/cli.hpp"
 #include "util/strfmt.hpp"
 #include "util/table.hpp"

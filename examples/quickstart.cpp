@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "core/formulas.hpp"
-#include "core/strategy.hpp"
+#include "hcs.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -18,8 +17,8 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
   const auto d = static_cast<unsigned>(cli.get_uint("dim"));
 
-  const hcs::core::SimOutcome out =
-      hcs::core::run_strategy_sim(hcs::core::StrategyKind::kVisibility, d);
+  hcs::Session session({.dimension = d});
+  const hcs::core::SimOutcome out = session.run("CLEAN-WITH-VISIBILITY");
 
   std::printf("swept H_%u (n = %llu nodes) with %s\n", d, 1ull << d,
               out.strategy.c_str());

@@ -7,6 +7,9 @@
 // asynchrony of the links; the program narrates the hunt from the event
 // trace and reports the capture.
 //
+// The whole run goes through hcs::Session: the intruder is attached via
+// the `setup` hook, and the narration reads the session's retained trace.
+//
 //   $ ./virus_hunt --dim 6 --strategy visibility --intruder greedy
 //   $ ./virus_hunt --dim 4 --strategy clean --intruder random --seed 7
 //   $ ./virus_hunt --dim 5 --async --trace
@@ -14,12 +17,9 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
-#include "core/clean_sync.hpp"
-#include "core/clean_visibility.hpp"
-#include "core/strategy.hpp"
-#include "graph/builders.hpp"
-#include "intruder/intruder.hpp"
+#include "hcs.hpp"
 #include "util/cli.hpp"
 #include "util/strfmt.hpp"
 
@@ -62,56 +62,54 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Names for the narration; the session builds its own identical H_d.
   const graph::Graph g = graph::make_hypercube(d);
-  sim::Network net(g, /*homebase=*/0);
-  net.trace().enable(true);
-  virus->attach(net);
 
-  sim::Engine::Config cfg;
-  cfg.visibility = strategy == "visibility";
-  cfg.seed = seed;
+  SessionConfig config;
+  config.dimension = d;
+  config.options.trace = true;
+  config.options.seed = seed;
   if (cli.get_bool("async")) {
-    cfg.delay = sim::DelayModel::uniform(0.2, 3.0);
-    cfg.policy = sim::Engine::WakePolicy::kRandom;
+    config.options.delay = sim::DelayModel::uniform(0.2, 3.0);
+    config.options.policy = sim::WakePolicy::kRandom;
   }
   const double fault_rate = cli.get_double("fault-rate");
   if (fault_rate > 0.0) {
-    cfg.faults = fault::FaultSpec::crashes(fault_rate,
-                                           cli.get_uint("fault-seed"));
+    config.options.faults =
+        fault::FaultSpec::crashes(fault_rate, cli.get_uint("fault-seed"));
   }
-  sim::Engine engine(net, cfg);
-
-  std::uint64_t team;
-  if (strategy == "clean") {
-    team = core::spawn_clean_sync_team(engine, d);
-  } else {
-    team = core::spawn_visibility_team(engine, d);
-  }
+  config.setup = [&](sim::Network& net, sim::Engine&) {
+    virus->attach(net);
+    std::printf("virus   : %s model, released at host %s\n",
+                virus->name().c_str(),
+                g.node_name(virus->position()).c_str());
+  };
 
   std::printf("network : H_%u, %s hosts, homebase %s\n", d,
-              with_commas(net.num_nodes()).c_str(),
+              with_commas(std::uint64_t{1} << d).c_str(),
               g.node_name(0).c_str());
-  std::printf("virus   : %s model, released at host %s\n",
-              virus->name().c_str(),
-              g.node_name(virus->position()).c_str());
+
+  Session session(std::move(config));
+  const core::SimOutcome out =
+      session.run(strategy == "clean" ? "CLEAN" : "CLEAN-WITH-VISIBILITY");
+  const sim::Trace& trace = session.trace();
+
   std::printf("team    : %s agents running %s\n\n",
-              with_commas(team).c_str(),
+              with_commas(out.team_size).c_str(),
               strategy == "clean" ? "Algorithm CLEAN (synchronizer)"
                                   : "Algorithm CLEAN WITH VISIBILITY");
-
-  const auto result = engine.run();
 
   // Narrate the virus's flight from the trace.
   std::printf("the hunt:\n");
   int flights = 0;
-  for (const auto& event : net.trace().events()) {
+  for (const auto& event : trace.events()) {
     if (event.kind != sim::TraceKind::kCustom) continue;
     if (event.detail.find("intruder") == std::string::npos) continue;
     std::printf("  t=%7.2f  host %-8s %s\n", event.time,
                 g.node_name(event.node).c_str(), event.detail.c_str());
     if (++flights > 25) {
       std::printf("  ... (%s more trace events)\n",
-                  with_commas(net.trace().size()).c_str());
+                  with_commas(trace.size()).c_str());
       break;
     }
   }
@@ -119,18 +117,17 @@ int main(int argc, char** argv) {
   std::printf("\noutcome:\n");
   std::printf("  captured        : %s (t = %.2f, network clean at %.2f)\n",
               virus->captured() ? "yes" : "NO", virus->capture_time(),
-              result.capture_time);
+              out.capture_time);
   std::printf("  moves           : %s (agents %s, synchronizer %s)\n",
-              with_commas(net.metrics().total_moves).c_str(),
-              with_commas(net.metrics().moves_of("agent")).c_str(),
-              with_commas(net.metrics().moves_of("synchronizer")).c_str());
-  std::printf("  makespan        : %.2f time units\n",
-              net.metrics().makespan);
+              with_commas(out.total_moves).c_str(),
+              with_commas(out.agent_moves).c_str(),
+              with_commas(out.synchronizer_moves).c_str());
+  std::printf("  makespan        : %.2f time units\n", out.makespan);
   std::printf("  recontaminated  : %s host-events (0 = monotone, as proved)\n",
-              with_commas(net.metrics().recontamination_events).c_str());
+              with_commas(out.recontaminations).c_str());
 
-  if (!result.degradation.empty()) {
-    const auto& deg = result.degradation;
+  if (!out.degradation.empty()) {
+    const auto& deg = out.degradation;
     std::printf("  faults          : %s\n", deg.summary().c_str());
     std::printf("  recovery        : %llu rounds, %llu repair agents, "
                 "%llu extra moves\n",
@@ -140,14 +137,13 @@ int main(int argc, char** argv) {
   }
 
   if (cli.get_bool("trace")) {
-    std::printf("\nfull event trace:\n%s", net.trace().render().c_str());
+    std::printf("\nfull event trace:\n%s", trace.render().c_str());
   }
   // Fault-free hunts must be monotone; under injected faults the bar is
   // graceful degradation — the virus is caught and the network ends clean,
   // with any recontamination attributed to the injected faults.
   if (fault_rate > 0.0) {
-    return virus->captured() && net.all_clean() && !result.aborted() ? 0 : 1;
+    return virus->captured() && out.all_clean && !out.aborted() ? 0 : 1;
   }
-  return virus->captured() && net.metrics().recontamination_events == 0 ? 0
-                                                                        : 1;
+  return virus->captured() && out.recontaminations == 0 ? 0 : 1;
 }

@@ -12,10 +12,7 @@
 #include <fstream>
 #include <vector>
 
-#include "core/strategy.hpp"
-#include "graph/builders.hpp"
-#include "graph/dot.hpp"
-#include "hypercube/broadcast_tree.hpp"
+#include "hcs.hpp"
 #include "util/cli.hpp"
 #include "util/strfmt.hpp"
 
@@ -71,11 +68,9 @@ void figure2(unsigned d) {
               d);
   std::printf("(#k = k-th node reached by the team; the synchronizer sweeps "
               "each level\nin lexicographic order)\n\n");
-  sim::Trace trace;
-  core::SimRunConfig cfg;
-  cfg.trace = true;
-  (void)core::run_strategy_sim(core::StrategyKind::kCleanSync, d, cfg, &trace);
-  print_cleaning_order(trace, d);
+  Session session({.dimension = d, .options = {.trace = true}});
+  (void)session.run("CLEAN");
+  print_cleaning_order(session.trace(), d);
   std::printf("\n");
 }
 
@@ -106,11 +101,9 @@ void figure4(unsigned d) {
       d);
   std::printf("(w=t: node released by wave t; all of class C_t moves at "
               "time t, Theorem 7)\n\n");
-  sim::Trace trace;
-  core::SimRunConfig cfg;
-  cfg.trace = true;
-  (void)core::run_strategy_sim(core::StrategyKind::kVisibility, d, cfg,
-                               &trace);
+  Session session({.dimension = d, .options = {.trace = true}});
+  (void)session.run("CLEAN-WITH-VISIBILITY");
+  const sim::Trace trace = session.take_trace();
   const Hypercube cube(d);
   // First-guarded time per node, from the trace.
   std::vector<double> guarded_at(cube.num_nodes(), -1.0);

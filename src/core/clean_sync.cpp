@@ -40,6 +40,7 @@ class CleanProtocolDriver {
     const unsigned d = cube_.dimension();
 
     // Step 1: one agent from the root to each of its d children, escorted.
+    phase_mark(0);
     for (BitPos j = 1; j <= d; ++j) {
       const NodeId child = bit_value(j);
       order_move_from(BroadcastTree::root(), child);
@@ -48,6 +49,7 @@ class CleanProtocolDriver {
 
     // Step 2: sweep levels 1 .. d-1.
     for (unsigned l = 1; l + 1 <= d; ++l) {
+      phase_mark(l);
       if (level_needs_extras(l)) {
         if (sync_pos_ != BroadcastTree::root()) {
           walk_sync(BroadcastTree::root(), SyncComponent::kCollect);
@@ -80,6 +82,7 @@ class CleanProtocolDriver {
     // Final phase: collect the guard of the all-ones node (the unique
     // level-d leaf) so that every leaf's agent performs the root-leaf-root
     // round trip of Theorem 3's accounting, then go home.
+    phase_mark(d);
     const NodeId last = all_ones(d);
     walk_sync(last, SyncComponent::kCollect);
     sync_await_present(last, 1);
@@ -119,6 +122,10 @@ class CleanProtocolDriver {
   virtual void sync_goto(NodeId dest, SyncComponent component) = 0;
   virtual void sync_await_present(NodeId x, unsigned count) = 0;
   virtual void finish() = 0;
+  /// Protocol phase boundary: entering the sweep of level `l` (0 = the
+  /// root fan-out of step 1, d = the final collection). Default: ignored;
+  /// the tape builder turns it into an observability marker.
+  virtual void phase_mark(unsigned /*l*/) {}
 
   Hypercube cube_;
   BroadcastTree tree_;
@@ -363,11 +370,11 @@ class SweepAgent final : public sim::Agent {
 // ------------------------------------------- Distributed: synchronizer
 
 struct SyncInstr {
-  enum class Op : std::uint8_t { kMove, kWrite, kAwaitGe, kAwaitEq };
+  enum class Op : std::uint8_t { kMove, kWrite, kAwaitGe, kAwaitEq, kPhase };
   Op op;
   graph::Vertex node = 0;   // kMove destination
   const char* key = nullptr;
-  std::int64_t value = 0;
+  std::int64_t value = 0;   // also the level for kPhase
 };
 
 /// Builds the synchronizer's instruction tape with the shared driver.
@@ -414,6 +421,11 @@ class TapeBuilder final : public CleanProtocolDriver {
                      static_cast<std::int64_t>(count)});
   }
 
+  void phase_mark(unsigned l) override {
+    tape_.push_back({SyncInstr::Op::kPhase, 0, nullptr,
+                     static_cast<std::int64_t>(l)});
+  }
+
   void finish() override {
     const std::int64_t workers =
         static_cast<std::int64_t>(clean_team_size(cube_.dimension())) - 1;
@@ -454,6 +466,15 @@ class SynchronizerAgent final : public sim::Agent {
             break;
           }
           return sim::Action::wait();
+        case SyncInstr::Op::kPhase:
+          // Phase boundaries reach the trace as level markers; instant and
+          // free when no registry is attached.
+          if (ctx.obs_enabled()) {
+            ctx.obs_phase("clean_sync",
+                          "level " + std::to_string(ins.value));
+          }
+          ++pc_;
+          break;
       }
     }
     return sim::Action::finished();

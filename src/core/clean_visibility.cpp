@@ -1,6 +1,8 @@
 #include "core/clean_visibility.hpp"
 
+#include <bit>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/formulas.hpp"
@@ -69,7 +71,17 @@ class VisibilityAgent final : public sim::Agent {
   std::string role() const override { return "agent"; }
 
   sim::Action step(sim::AgentContext& ctx) override {
+    // Release detection: the kReleased latch fires exactly once per node,
+    // when its wave condition (full complement + clean smaller neighbours)
+    // was first observed. Count it and mark the level's phase.
+    const bool watch_release = ctx.obs_enabled() && ctx.wb_get(kReleased) == 0;
     const sim::LocalDecision decision = visibility_decide(d_, ctx);
+    if (watch_release && ctx.wb_get(kReleased) != 0) {
+      const auto level =
+          std::popcount(static_cast<std::uint64_t>(ctx.here()));
+      ctx.obs_count("visibility.releases");
+      ctx.obs_phase("clean_visibility", "level " + std::to_string(level));
+    }
     switch (decision.kind) {
       case sim::LocalDecision::Kind::kWait:
         return sim::Action::wait();

@@ -1,0 +1,107 @@
+#include "core/session.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/strategy_registry.hpp"
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+namespace hcs {
+
+namespace {
+
+/// Derives per-level sim-time spans from the status-change events: for
+/// each Hamming level k, the window from the first to the last status
+/// transition of a level-k node. Only meaningful when vertex ids are cube
+/// coordinates, so non-power-of-two topologies are skipped.
+void derive_level_spans(const sim::Trace& trace, unsigned d,
+                        std::uint64_t num_nodes, obs::Registry* obs) {
+  if (!obs::kEnabled || obs == nullptr) return;
+  if (num_nodes != (std::uint64_t{1} << d)) return;
+  struct Window {
+    bool seen = false;
+    double first = 0.0;
+    double last = 0.0;
+  };
+  std::vector<Window> levels(d + 1);
+  for (const sim::TraceEvent& e : trace.events()) {
+    if (e.kind != sim::TraceKind::kStatusChange) continue;
+    const auto l = static_cast<std::size_t>(
+        std::popcount(static_cast<std::uint64_t>(e.node)));
+    Window& w = levels[l];
+    if (!w.seen) {
+      w.seen = true;
+      w.first = e.time;
+    }
+    w.last = e.time;
+  }
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const Window& w = levels[l];
+    if (!w.seen) continue;
+    obs->sim_span("level " + std::to_string(l), "sim/levels", w.first,
+                  w.last);
+  }
+}
+
+}  // namespace
+
+core::SimOutcome Session::run(std::string_view strategy_name) {
+  const unsigned d = config_.dimension;
+  HCS_EXPECTS(d >= 1);
+  const core::Strategy& strategy =
+      core::StrategyRegistry::instance().get(strategy_name);
+
+  obs::Registry* const obs = config_.options.obs;
+  obs::ScopedSink obs_sink(obs);
+  obs::Span session_span(obs, "session.run");
+
+  const graph::Graph g = strategy.build_graph(d);
+  sim::Network net(g, /*homebase=*/0);
+  net.set_move_semantics(config_.options.semantics);
+  net.trace().enable(config_.options.trace);
+
+  sim::RunOptions engine_config = config_.options;
+  engine_config.visibility =
+      config_.options.visibility || strategy.needs_visibility();
+  sim::Engine engine(net, engine_config);
+
+  strategy.spawn_team(engine, d);
+  if (config_.setup) config_.setup(net, engine);
+
+  const sim::Engine::RunResult run = engine.run();
+  const sim::Metrics& m = net.metrics();
+
+  core::SimOutcome outcome;
+  outcome.strategy = strategy.name();
+  outcome.dimension = d;
+  outcome.team_size = m.agents_spawned;
+  outcome.total_moves = m.total_moves;
+  outcome.agent_moves = m.moves_of("agent");
+  outcome.synchronizer_moves = m.moves_of("synchronizer");
+  outcome.makespan = m.makespan;
+  outcome.capture_time = run.capture_time;
+  outcome.recontaminations = m.recontamination_events;
+  outcome.all_clean = net.all_clean();
+  outcome.clean_region_connected = net.clean_region_connected();
+  outcome.all_agents_terminated = run.all_terminated;
+  outcome.abort_reason = run.abort_reason;
+  outcome.degradation = run.degradation;
+  outcome.peak_whiteboard_bits = m.peak_whiteboard_bits;
+
+  if (obs::kEnabled && obs != nullptr) {
+    obs->counter_add("run.sessions");
+    if (outcome.correct()) obs->counter_add("run.correct");
+    if (outcome.aborted()) obs->counter_add("run.aborted");
+    derive_level_spans(net.trace(), d, net.num_nodes(), obs);
+  }
+
+  trace_ = std::move(net.trace());
+  if (!config_.options.trace) trace_.clear();
+  return outcome;
+}
+
+}  // namespace hcs

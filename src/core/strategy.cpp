@@ -1,5 +1,6 @@
 #include "core/strategy.hpp"
 
+#include "core/session.hpp"
 #include "core/strategy_registry.hpp"
 #include "util/assert.hpp"
 
@@ -32,47 +33,9 @@ std::string SimOutcome::verdict() const {
 SimOutcome run_strategy_sim(std::string_view name, unsigned d,
                             const SimRunConfig& config,
                             sim::Trace* trace_out) {
-  HCS_EXPECTS(d >= 1);
-  const Strategy& strategy = StrategyRegistry::instance().get(name);
-
-  const graph::Graph g = strategy.build_graph(d);
-  sim::Network net(g, /*homebase=*/0);
-  net.set_move_semantics(config.semantics);
-  net.trace().enable(config.trace);
-
-  sim::Engine::Config engine_config;
-  engine_config.delay = config.delay;
-  engine_config.policy = config.policy;
-  engine_config.seed = config.seed;
-  engine_config.visibility = strategy.needs_visibility();
-  engine_config.max_agent_steps = config.max_agent_steps;
-  engine_config.faults = config.faults;
-  engine_config.recovery = config.recovery;
-  sim::Engine engine(net, engine_config);
-
-  strategy.spawn_team(engine, d);
-
-  const sim::Engine::RunResult run = engine.run();
-  const sim::Metrics& m = net.metrics();
-
-  SimOutcome outcome;
-  outcome.strategy = strategy.name();
-  outcome.dimension = d;
-  outcome.team_size = m.agents_spawned;
-  outcome.total_moves = m.total_moves;
-  outcome.agent_moves = m.moves_of("agent");
-  outcome.synchronizer_moves = m.moves_of("synchronizer");
-  outcome.makespan = m.makespan;
-  outcome.capture_time = run.capture_time;
-  outcome.recontaminations = m.recontamination_events;
-  outcome.all_clean = net.all_clean();
-  outcome.clean_region_connected = net.clean_region_connected();
-  outcome.all_agents_terminated = run.all_terminated;
-  outcome.abort_reason = run.abort_reason;
-  outcome.degradation = run.degradation;
-  outcome.peak_whiteboard_bits = m.peak_whiteboard_bits;
-
-  if (trace_out != nullptr) *trace_out = std::move(net.trace());
+  Session session(SessionConfig{.dimension = d, .options = config});
+  SimOutcome outcome = session.run(name);
+  if (trace_out != nullptr) *trace_out = session.take_trace();
   return outcome;
 }
 

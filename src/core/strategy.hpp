@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "sim/engine.hpp"
+#include "sim/options.hpp"
 
 namespace hcs::core {
 
@@ -73,31 +74,27 @@ struct SimOutcome {
   [[nodiscard]] std::string verdict() const;
 };
 
-struct SimRunConfig {
-  sim::DelayModel delay = sim::DelayModel::unit();
-  sim::Engine::WakePolicy policy = sim::Engine::WakePolicy::kFifo;
-  std::uint64_t seed = 1;
-  bool trace = false;
-  sim::MoveSemantics semantics = sim::MoveSemantics::kAtomicArrival;
-  /// Livelock guard, surfaced as SimOutcome::abort_reason when exceeded.
-  std::uint64_t max_agent_steps = 200'000'000;
-  /// Fault workload injected into the run (empty = fault-free) and the
-  /// recovery policy applied when it is active.
-  fault::FaultSpec faults;
-  fault::RecoveryConfig recovery;
-};
+/// Historical name for the unified run-option struct. The old standalone
+/// SimRunConfig's field order is a subsequence of sim::RunOptions, so
+/// existing designated initializers compile unchanged.
+using SimRunConfig = sim::RunOptions;
 
 /// Builds the strategy's topology (H_d for all but the tree-only baseline),
 /// spawns its team, runs the engine to quiescence, and reports. `name` is a
 /// StrategyRegistry key (case-insensitive); unknown names abort. When
 /// `trace_out` is non-null the full event trace is moved into it.
+/// Implemented as a thin forwarder over hcs::Session (core/session.hpp),
+/// the preferred entry point.
 [[nodiscard]] SimOutcome run_strategy_sim(std::string_view name, unsigned d,
                                           const SimRunConfig& config = {},
                                           sim::Trace* trace_out = nullptr);
 
 /// Enum convenience overload for the paper's four strategies.
-[[nodiscard]] SimOutcome run_strategy_sim(StrategyKind kind, unsigned d,
-                                          const SimRunConfig& config = {},
-                                          sim::Trace* trace_out = nullptr);
+[[deprecated(
+    "use hcs::Session (src/hcs.hpp) or the string overload with "
+    "strategy_name(kind)")]] [[nodiscard]] SimOutcome
+run_strategy_sim(StrategyKind kind, unsigned d,
+                 const SimRunConfig& config = {},
+                 sim::Trace* trace_out = nullptr);
 
 }  // namespace hcs::core

@@ -1,0 +1,59 @@
+// The public umbrella header: everything an application needs to run the
+// paper's strategies and measure them.
+//
+//   #include "hcs.hpp"
+//
+//   hcs::Session session({.dimension = 6, .options = {.trace = true}});
+//   hcs::core::SimOutcome outcome = session.run("CLEAN");
+//
+// Surface map (each group's headers stay individually includable; this
+// header is convenience, not a wall):
+//
+//   hcs::graph      -- adjacency-list graphs, builders, traversal, DOT
+//   hcs::hypercube  -- H_d structure, broadcast trees, routing, symmetry
+//   hcs::sim        -- the event engine, network state, traces, RunOptions,
+//                      the real-thread runtime
+//   hcs::core       -- the four paper strategies + baselines, the strategy
+//                      registry, closed-form cost formulas, Session
+//   hcs::run        -- parameter sweeps across a worker pool + CSV/JSON IO
+//   hcs::fault      -- fault injection specs and recovery policies
+//   hcs::intruder   -- adversarial intruder models for capture checks
+//   hcs::obs        -- counters/gauges/histograms/spans + trace exporters
+//
+// Entry points, preferred first:
+//   hcs::Session               one configured run, any registered strategy
+//   hcs::run::SweepRunner      a grid of runs across worker threads
+//   hcs::core::run_strategy_sim  historical one-call harness (forwards to
+//                                Session; the enum overload is deprecated)
+
+#pragma once
+
+#include "core/audit.hpp"
+#include "core/audit_timeline.hpp"
+#include "core/baselines.hpp"
+#include "core/formulas.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/optimal.hpp"
+#include "core/plan.hpp"
+#include "core/session.hpp"
+#include "core/strategy.hpp"
+#include "core/strategy_registry.hpp"
+#include "fault/fault.hpp"
+#include "graph/builders.hpp"
+#include "graph/dot.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+#include "graph/traversal.hpp"
+#include "hypercube/broadcast_tree.hpp"
+#include "hypercube/hypercube.hpp"
+#include "hypercube/properties.hpp"
+#include "intruder/intruder.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "run/sweep.hpp"
+#include "run/sweep_io.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/options.hpp"
+#include "sim/threaded_runtime.hpp"
+#include "sim/trace.hpp"

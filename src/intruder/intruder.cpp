@@ -74,9 +74,9 @@ void Intruder::attach(sim::Network& net) {
   HCS_EXPECTS(net_ == nullptr && "attach() must be called exactly once");
   net_ = &net;
   position_ = choose_start(net);
-  net.trace().record({sim::kTimeZero, sim::TraceKind::kCustom, sim::kNoAgent,
-                      position_, position_,
-                      str_cat("intruder(", name(), ") starts here")});
+  net.trace().record_lazy(
+      sim::kTimeZero, sim::TraceKind::kCustom, sim::kNoAgent, position_,
+      position_, [&] { return str_cat("intruder(", name(), ") starts here"); });
   net.add_status_callback(
       [this](graph::Vertex v, sim::NodeStatus s, sim::SimTime t) {
         if (!captured_) on_status(v, s, t);
@@ -101,17 +101,18 @@ void Intruder::relocate(graph::Vertex v, sim::SimTime t) {
   if (v == position_) return;
   position_ = v;
   ++moves_;
-  net_->trace().record({t, sim::TraceKind::kCustom, sim::kNoAgent, v, v,
-                        str_cat("intruder(", name(), ") flees here")});
+  net_->trace().record_lazy(
+      t, sim::TraceKind::kCustom, sim::kNoAgent, v, v,
+      [&] { return str_cat("intruder(", name(), ") flees here"); });
 }
 
 void Intruder::mark_captured(sim::SimTime t) {
   if (captured_) return;
   captured_ = true;
   capture_time_ = t;
-  net_->trace().record({t, sim::TraceKind::kCustom, sim::kNoAgent, position_,
-                        position_,
-                        str_cat("intruder(", name(), ") captured")});
+  net_->trace().record_lazy(
+      t, sim::TraceKind::kCustom, sim::kNoAgent, position_, position_,
+      [&] { return str_cat("intruder(", name(), ") captured"); });
 }
 
 // ---------------------------------------------------------- WorstCase

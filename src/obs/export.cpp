@@ -1,0 +1,333 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+
+namespace hcs::obs {
+
+namespace {
+
+// Shortest round-trip-stable rendering; "%.17g" would be exact but noisy,
+// and every value we export is either integral or a microsecond reading,
+// so 12 significant digits are already byte-stable across platforms.
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+void append_hist_fields(std::string& out, const HistogramSnapshot& h) {
+  out += "\"count\":" + fmt_u64(h.count);
+  out += ",\"sum\":" + fmt_double(h.sum);
+  out += ",\"min\":" + fmt_double(h.min);
+  out += ",\"max\":" + fmt_double(h.max);
+  out += ",\"mean\":" + fmt_double(h.mean());
+  out += ",\"p50\":" + fmt_double(h.percentile(0.50));
+  out += ",\"p99\":" + fmt_double(h.percentile(0.99));
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const Snapshot& snapshot) {
+  // Sim-time tracks get one tid each on pid 1; wall spans keep their sink
+  // lane as tid on pid 0. 1 sim unit renders as 1ms.
+  constexpr double kSimScaleUs = 1000.0;
+  std::map<std::string, int> sim_tids;
+  for (const SpanRecord& span : snapshot.spans) {
+    if (span.sim_time && sim_tids.find(span.track) == sim_tids.end()) {
+      const int next = static_cast<int>(sim_tids.size()) + 1;
+      sim_tids[span.track] = next;
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+
+  comma();
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"wall\"}}";
+  comma();
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"sim-time\"}}";
+  for (const auto& [track, tid] : sim_tids) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" +
+           json_escape(track) + "\"}}";
+  }
+
+  for (const SpanRecord& span : snapshot.spans) {
+    comma();
+    const double scale = span.sim_time ? kSimScaleUs : 1.0;
+    const int pid = span.sim_time ? 1 : 0;
+    const int tid =
+        span.sim_time ? sim_tids[span.track] : static_cast<int>(span.tid);
+    out += "{\"name\":\"" + json_escape(span.name) + "\",\"cat\":\"" +
+           json_escape(span.track) + "\",\"ph\":\"X\",\"ts\":" +
+           fmt_double(span.start * scale) + ",\"dur\":" +
+           fmt_double(span.duration * scale) + ",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":" + std::to_string(tid) + "}";
+  }
+
+  // Scalars ride along as args of one zero-length metadata event so the
+  // whole registry round-trips through a single file.
+  comma();
+  out += "{\"name\":\"metrics\",\"ph\":\"I\",\"ts\":0,\"pid\":0,\"tid\":0,"
+         "\"s\":\"g\",\"args\":{";
+  bool first_arg = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first_arg) out += ",";
+    first_arg = false;
+    out += "\"" + json_escape(name) + "\":" + fmt_u64(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first_arg) out += ",";
+    first_arg = false;
+    out += "\"" + json_escape(name) + "\":" + fmt_double(value);
+  }
+  out += "}}";
+
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string snapshot_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + fmt_u64(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + fmt_double(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {";
+    append_hist_fields(out, hist);
+    out += "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": [";
+  first = true;
+  for (const SpanRecord& span : snapshot.spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(span.name) + "\", \"track\": \"" +
+           json_escape(span.track) + "\", \"start\": " +
+           fmt_double(span.start) + ", \"duration\": " +
+           fmt_double(span.duration) + ", \"depth\": " +
+           std::to_string(span.depth) + ", \"sim_time\": " +
+           (span.sim_time ? "true" : "false") + "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string snapshot_csv(const Snapshot& snapshot) {
+  std::string out =
+      "kind,name,track,value,count,sum,min,max,mean,p50,p99,start,duration\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "counter," + name + ",," + fmt_u64(value) + ",,,,,,,,,\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += "gauge," + name + ",," + fmt_double(value) + ",,,,,,,,,\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += "histogram," + name + ",,," + fmt_u64(h.count) + "," +
+           fmt_double(h.sum) + "," + fmt_double(h.min) + "," +
+           fmt_double(h.max) + "," + fmt_double(h.mean()) + "," +
+           fmt_double(h.percentile(0.50)) + "," +
+           fmt_double(h.percentile(0.99)) + ",,\n";
+  }
+  for (const SpanRecord& span : snapshot.spans) {
+    out += std::string(span.sim_time ? "sim_span" : "span") + "," +
+           span.name + "," + span.track + ",,,,,,,,," +
+           fmt_double(span.start) + "," + fmt_double(span.duration) + "\n";
+  }
+  return out;
+}
+
+bool json_well_formed(std::string_view text) {
+  // Recursive-descent structural check; no value materialisation.
+  std::size_t pos = 0;
+  const auto peek = [&]() -> int {
+    return pos < text.size() ? static_cast<unsigned char>(text[pos]) : -1;
+  };
+  const auto skip_ws = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  const auto parse_string = [&]() -> bool {
+    if (peek() != '"') return false;
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '\\') {
+        pos += 2;
+        continue;
+      }
+      ++pos;
+      if (c == '"') return true;
+    }
+    return false;
+  };
+
+  std::function<bool(int)> parse_value = [&](int depth) -> bool {
+    if (depth > 256) return false;
+    skip_ws();
+    const int c = peek();
+    if (c == '{') {
+      ++pos;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        if (!parse_string()) return false;
+        skip_ws();
+        if (peek() != ':') return false;
+        ++pos;
+        if (!parse_value(depth + 1)) return false;
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (peek() == '}') {
+          ++pos;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        if (!parse_value(depth + 1)) return false;
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (peek() == ']') {
+          ++pos;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') return parse_string();
+    if (c == 't') {
+      if (text.substr(pos, 4) != "true") return false;
+      pos += 4;
+      return true;
+    }
+    if (c == 'f') {
+      if (text.substr(pos, 5) != "false") return false;
+      pos += 5;
+      return true;
+    }
+    if (c == 'n') {
+      if (text.substr(pos, 4) != "null") return false;
+      pos += 4;
+      return true;
+    }
+    // number
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    return pos > start;
+  };
+
+  if (!parse_value(0)) return false;
+  skip_ws();
+  return pos == text.size();
+}
+
+bool write_chrome_trace(const Snapshot& snapshot, const std::string& path) {
+  return write_file(path, chrome_trace_json(snapshot));
+}
+
+bool write_snapshot_json(const Snapshot& snapshot, const std::string& path) {
+  return write_file(path, snapshot_json(snapshot));
+}
+
+bool write_snapshot_csv(const Snapshot& snapshot, const std::string& path) {
+  return write_file(path, snapshot_csv(snapshot));
+}
+
+}  // namespace hcs::obs

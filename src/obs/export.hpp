@@ -1,0 +1,41 @@
+// Exporters for obs::Snapshot: Chrome trace_event JSON (loads in
+// about:tracing / Perfetto) and stable JSON / CSV snapshot dumps. Pure
+// functions of the Snapshot -- available in both HCS_OBS_OFF modes.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/obs.hpp"
+
+namespace hcs::obs {
+
+/// Chrome trace_event format: a {"traceEvents": [...]} object of "X"
+/// (complete) events. Wall spans land on pid 0 with their sink lane as
+/// tid; sim-time spans land on pid 1, one tid per track, with logical
+/// time scaled 1 sim unit = 1ms so phase bars are visible next to wall
+/// time. Counters/gauges are attached as metadata on a final event.
+[[nodiscard]] std::string chrome_trace_json(const Snapshot& snapshot);
+
+/// Stable JSON snapshot: counters, gauges, histograms (count/sum/min/max/
+/// mean/p50/p99), spans. Keys sorted; byte-identical for equal snapshots.
+[[nodiscard]] std::string snapshot_json(const Snapshot& snapshot);
+
+/// CSV with one row per metric: kind,name,track,value,count,sum,min,max,
+/// mean,p50,p99,start,duration.
+[[nodiscard]] std::string snapshot_csv(const Snapshot& snapshot);
+
+/// JSON string escaping (exposed for the other JSON writers in run/).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Minimal structural JSON validator (objects/arrays/strings/numbers/
+/// bool/null, nesting, commas). Used by tests to schema-check exports
+/// without a JSON dependency.
+[[nodiscard]] bool json_well_formed(std::string_view text);
+
+bool write_chrome_trace(const Snapshot& snapshot, const std::string& path);
+bool write_snapshot_json(const Snapshot& snapshot, const std::string& path);
+bool write_snapshot_csv(const Snapshot& snapshot, const std::string& path);
+
+}  // namespace hcs::obs

@@ -1,0 +1,264 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcs::obs {
+
+std::size_t histogram_bucket(double value) {
+  if (!(value > 1.0)) return 0;  // also catches NaN and negatives
+  const double lg = std::ceil(std::log2(value));
+  const auto b = static_cast<std::size_t>(lg < 0.0 ? 0.0 : lg);
+  return b >= kHistogramBuckets ? kHistogramBuckets - 1 : b;
+}
+
+double histogram_bucket_upper(std::size_t bucket) {
+  if (bucket >= kHistogramBuckets) bucket = kHistogramBuckets - 1;
+  return std::ldexp(1.0, static_cast<int>(bucket));
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank && seen > 0) {
+      return std::min(histogram_bucket_upper(b), max);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::record(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  ++buckets[histogram_bucket(value)];
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
+#ifndef HCS_OBS_OFF
+
+struct Registry::SinkData {
+  Registry* owner = nullptr;
+  std::uint32_t tid = 0;
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges_set;
+  std::map<std::string, double, std::less<>> gauges_max;
+  std::map<std::string, HistogramSnapshot, std::less<>> histograms;
+  std::vector<SpanRecord> spans;
+};
+
+namespace {
+
+// The innermost active sink on this thread. Sinks nest (a Session sink can
+// wrap an Engine sink); only the innermost one attached to the *matching*
+// registry absorbs a call, otherwise the call locks the registry directly.
+thread_local Registry::SinkData* tls_sink = nullptr;
+
+// Span nesting depth for the current thread (display hint only).
+thread_local std::uint32_t tls_span_depth = 0;
+
+Registry::SinkData* active_sink(const Registry* registry) {
+  return (tls_sink != nullptr && tls_sink->owner == registry) ? tls_sink
+                                                              : nullptr;
+}
+
+template <typename Map, typename Fn>
+void upsert(Map& map, std::string_view name, Fn&& apply) {
+  const auto it = map.find(name);
+  if (it != map.end()) {
+    apply(it->second);
+  } else {
+    apply(map[std::string(name)]);
+  }
+}
+
+}  // namespace
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::counter_add(std::string_view name, std::uint64_t delta) {
+  if (SinkData* sink = active_sink(this)) {
+    upsert(sink->counters, name, [&](std::uint64_t& c) { c += delta; });
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  upsert(counters_, name, [&](std::uint64_t& c) { c += delta; });
+}
+
+void Registry::gauge_set(std::string_view name, double value) {
+  if (SinkData* sink = active_sink(this)) {
+    upsert(sink->gauges_set, name, [&](double& g) { g = value; });
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  upsert(gauges_, name, [&](double& g) { g = value; });
+}
+
+void Registry::gauge_max(std::string_view name, double value) {
+  if (SinkData* sink = active_sink(this)) {
+    upsert(sink->gauges_max, name,
+           [&](double& g) { g = std::max(g, value); });
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  upsert(gauges_, name, [&](double& g) { g = std::max(g, value); });
+}
+
+void Registry::hist_record(std::string_view name, double value) {
+  if (SinkData* sink = active_sink(this)) {
+    upsert(sink->histograms, name,
+           [&](HistogramSnapshot& h) { h.record(value); });
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  upsert(histograms_, name, [&](HistogramSnapshot& h) { h.record(value); });
+}
+
+void Registry::record_span(SpanRecord rec) {
+  if (SinkData* sink = active_sink(this)) {
+    rec.tid = sink->tid;
+    sink->spans.push_back(std::move(rec));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(rec));
+}
+
+void Registry::sim_span(std::string_view name, std::string_view track,
+                        double sim_begin, double sim_end) {
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.track = std::string(track);
+  rec.start = sim_begin;
+  rec.duration = std::max(0.0, sim_end - sim_begin);
+  rec.sim_time = true;
+  record_span(std::move(rec));
+}
+
+double Registry::now_us() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.counters.insert(counters_.begin(), counters_.end());
+    snap.gauges.insert(gauges_.begin(), gauges_.end());
+    snap.histograms.insert(histograms_.begin(), histograms_.end());
+    snap.spans = spans_;
+  }
+  std::stable_sort(snap.spans.begin(), snap.spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.sim_time != b.sim_time) return !a.sim_time;
+                     if (a.track != b.track) return a.track < b.track;
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.name < b.name;
+                   });
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+  next_tid_ = 1;
+}
+
+void Registry::merge_sink(SinkData& data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, delta] : data.counters) counters_[name] += delta;
+  for (const auto& [name, value] : data.gauges_set) gauges_[name] = value;
+  for (const auto& [name, value] : data.gauges_max) {
+    auto& g = gauges_[name];
+    g = std::max(g, value);
+  }
+  for (const auto& [name, hist] : data.histograms) {
+    histograms_[name].merge(hist);
+  }
+  spans_.insert(spans_.end(), std::make_move_iterator(data.spans.begin()),
+                std::make_move_iterator(data.spans.end()));
+}
+
+ScopedSink::ScopedSink(Registry* registry)
+    : registry_(registry), data_(nullptr), prev_(nullptr) {
+  if (registry_ == nullptr) return;
+  auto* data = new Registry::SinkData();
+  data->owner = registry_;
+  {
+    std::lock_guard<std::mutex> lock(registry_->mutex_);
+    data->tid = registry_->next_tid_++;
+  }
+  prev_ = tls_sink;
+  tls_sink = data;
+  data_ = data;
+}
+
+ScopedSink::~ScopedSink() {
+  if (data_ == nullptr) return;
+  auto* data = static_cast<Registry::SinkData*>(data_);
+  tls_sink = static_cast<Registry::SinkData*>(prev_);
+  registry_->merge_sink(*data);
+  delete data;
+}
+
+Span::Span(Registry* registry, std::string name)
+    : registry_(registry), name_(std::move(name)) {
+  if (registry_ == nullptr) return;
+  start_us_ = registry_->now_us();
+  ++tls_span_depth;
+}
+
+double Span::finish() {
+  if (registry_ == nullptr) return 0.0;
+  Registry* registry = registry_;
+  registry_ = nullptr;
+  const std::uint32_t depth = tls_span_depth > 0 ? --tls_span_depth : 0;
+  const double end_us = registry->now_us();
+  registry->hist_record(name_ + ".us", end_us - start_us_);
+  SpanRecord rec;
+  rec.name = std::move(name_);
+  rec.track = "wall";
+  rec.start = start_us_;
+  rec.duration = end_us - start_us_;
+  rec.depth = depth;
+  registry->record_span(std::move(rec));
+  return end_us - start_us_;
+}
+
+#endif  // HCS_OBS_OFF
+
+}  // namespace hcs::obs

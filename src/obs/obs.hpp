@@ -1,0 +1,233 @@
+// hcs::obs -- the observability layer: named counters, gauges, fixed-bucket
+// histograms, and RAII spans (steady-clock wall time plus logical sim-time
+// phases), collected into a Registry and exported via obs/export.hpp
+// (Chrome trace_event JSON for about:tracing/Perfetto, stable JSON/CSV
+// snapshots for the perf trajectory).
+//
+// Threading model: the hot path never touches a shared lock. Worker code
+// opens a ScopedSink at the top of its task (one per thread); every
+// counter/gauge/histogram/span call made on that thread lands in the
+// sink's thread-local storage, and the sink merges into the Registry --
+// under the registry mutex -- exactly once, at scope exit. Calls made with
+// no active sink fall back to locking the registry directly (fine for
+// single-threaded runs). Merge totals are therefore independent of thread
+// scheduling: tests assert bit-identical counters at any worker count.
+//
+// Compile-out: building with -DHCS_OBS_OFF (CMake option HCS_OBS_OFF)
+// replaces Registry/Span/ScopedSink with inline no-ops; instrumented code
+// compiles unchanged and the snapshot is empty. The plain-data Snapshot /
+// SpanRecord / HistogramSnapshot types and the exporters stay available in
+// both modes.
+
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hcs::obs {
+
+#ifndef HCS_OBS_OFF
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Histograms use fixed power-of-two buckets: bucket b holds values in
+/// (2^(b-1), 2^b], bucket 0 holds values <= 1. Good enough for latency
+/// (microseconds) and size distributions across nine decades.
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+[[nodiscard]] std::size_t histogram_bucket(double value);
+[[nodiscard]] double histogram_bucket_upper(std::size_t bucket);
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
+  [[nodiscard]] double percentile(double p) const;
+
+  void record(double value);
+  void merge(const HistogramSnapshot& other);
+};
+
+/// One finished span. Wall spans: start/duration in microseconds since the
+/// registry's epoch. Sim spans (sim_time == true): start/duration in
+/// logical simulation time units.
+struct SpanRecord {
+  std::string name;
+  std::string track;  ///< grouping label ("wall", "sim/<strategy>", ...)
+  double start = 0.0;
+  double duration = 0.0;
+  std::uint32_t tid = 0;    ///< merge lane (sink index; 0 = direct)
+  std::uint32_t depth = 0;  ///< nesting depth at record time
+  bool sim_time = false;
+};
+
+/// A copied-out view of everything a Registry holds. Maps are ordered so
+/// two snapshots with equal content render identically.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  /// Sorted by (start, name) at snapshot time for deterministic export.
+  std::vector<SpanRecord> spans;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           spans.empty();
+  }
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+#ifndef HCS_OBS_OFF
+
+class ScopedSink;
+
+class Registry {
+ public:
+  Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide default registry (examples and ad-hoc instrumentation;
+  /// harness code prefers an explicitly owned registry per run).
+  [[nodiscard]] static Registry& global();
+
+  void counter_add(std::string_view name, std::uint64_t delta = 1);
+  /// Last write wins; prefer gauge_max for values merged across threads.
+  void gauge_set(std::string_view name, double value);
+  void gauge_max(std::string_view name, double value);
+  void hist_record(std::string_view name, double value);
+  void record_span(SpanRecord rec);
+  /// Records a logical sim-time span [sim_begin, sim_end].
+  void sim_span(std::string_view name, std::string_view track,
+                double sim_begin, double sim_end);
+
+  /// Microseconds of steady-clock wall time since this registry was
+  /// created; the time base of every wall span.
+  [[nodiscard]] double now_us() const;
+
+  /// Copies the merged state out. Only data merged so far is visible:
+  /// still-open ScopedSinks contribute nothing until they exit.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  void reset();
+
+  /// Per-thread accumulation buffer (defined in obs.cpp; owned by
+  /// ScopedSink, named here so the TLS plumbing can refer to it).
+  struct SinkData;
+
+ private:
+  friend class ScopedSink;
+
+  void merge_sink(SinkData& data);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramSnapshot, std::less<>> histograms_;
+  std::vector<SpanRecord> spans_;
+  std::uint32_t next_tid_ = 1;  // 0 = direct (sink-less) records
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII thread-local collection buffer: while alive, every obs call made
+/// from this thread against the same registry accumulates lock-free in the
+/// sink; the destructor merges into the registry under its mutex. Nullptr
+/// registry = inert (so call sites can pass an optional registry through).
+class ScopedSink {
+ public:
+  explicit ScopedSink(Registry* registry);
+  explicit ScopedSink(Registry& registry) : ScopedSink(&registry) {}
+  ~ScopedSink();
+
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  Registry* registry_;
+  void* data_;   // owned SinkData, opaque to keep the header light
+  void* prev_;   // previously active sink on this thread (restored on exit)
+};
+
+/// RAII wall-time phase timer. Records a SpanRecord plus a "<name>.us"
+/// histogram entry on destruction. Nullptr registry = disabled.
+class Span {
+ public:
+  Span(Registry* registry, std::string name);
+  Span(Registry& registry, std::string name) : Span(&registry, std::move(name)) {}
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span early (idempotent); returns the elapsed wall
+  /// microseconds (0 when already finished or disabled).
+  double finish();
+
+ private:
+  Registry* registry_;
+  std::string name_;
+  double start_us_ = 0.0;
+};
+
+#else  // HCS_OBS_OFF: inline no-op surface, identical signatures.
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  [[nodiscard]] static Registry& global() {
+    static Registry r;
+    return r;
+  }
+  void counter_add(std::string_view, std::uint64_t = 1) {}
+  void gauge_set(std::string_view, double) {}
+  void gauge_max(std::string_view, double) {}
+  void hist_record(std::string_view, double) {}
+  void record_span(SpanRecord) {}
+  void sim_span(std::string_view, std::string_view, double, double) {}
+  [[nodiscard]] double now_us() const { return 0.0; }
+  [[nodiscard]] Snapshot snapshot() const { return {}; }
+  void reset() {}
+};
+
+class ScopedSink {
+ public:
+  explicit ScopedSink(Registry*) {}
+  explicit ScopedSink(Registry&) {}
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+};
+
+class Span {
+ public:
+  Span(Registry*, std::string) {}
+  Span(Registry&, std::string) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  double finish() { return 0.0; }
+};
+
+#endif  // HCS_OBS_OFF
+
+}  // namespace hcs::obs

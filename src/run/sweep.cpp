@@ -80,7 +80,8 @@ SweepCell sweep_cell_at(const SweepSpec& spec, std::size_t index) {
   return cell;
 }
 
-SweepCell run_sweep_cell(const SweepSpec& spec, std::size_t index) {
+SweepCell run_sweep_cell(const SweepSpec& spec, std::size_t index,
+                         obs::Registry* obs) {
   SweepCell cell = sweep_cell_at(spec, index);
   core::SimRunConfig config;
   config.delay = cell.delay.make();
@@ -90,7 +91,18 @@ SweepCell run_sweep_cell(const SweepSpec& spec, std::size_t index) {
   config.max_agent_steps = spec.max_agent_steps;
   config.faults = cell.faults;
   config.recovery = spec.recovery;
+
+  obs::ScopedSink sink(obs);
+  obs::Span cell_span(obs, "sweep.cell");
   cell.outcome = core::run_strategy_sim(cell.strategy, cell.dimension, config);
+  if (obs::kEnabled && obs != nullptr) {
+    const double cell_us = cell_span.finish();
+    obs->hist_record("sweep.cell_us", cell_us);
+    obs->hist_record("sweep.cell_us." + cell.outcome.strategy, cell_us);
+    obs->counter_add("sweep.cells");
+    if (cell.outcome.correct()) obs->counter_add("sweep.cells.correct");
+    if (cell.outcome.aborted()) obs->counter_add("sweep.cells.aborted");
+  }
   return cell;
 }
 
@@ -110,9 +122,10 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
   result.spec = spec;
   result.cells.resize(spec.num_cells());
 
+  obs::Span sweep_span(config_.obs, "sweep.run");
   ThreadPool pool(config_.threads);
   pool.parallel_for(result.cells.size(), [&](std::size_t i) {
-    result.cells[i] = run_sweep_cell(spec, i);
+    result.cells[i] = run_sweep_cell(spec, i, config_.obs);
   });
   return result;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/strategy.hpp"
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
 
 namespace hcs::run {
@@ -121,6 +122,14 @@ class SweepRunner {
   struct Config {
     /// Worker threads; 0 = hardware concurrency.
     unsigned threads = 0;
+    /// Observability sink (non-owning; nullptr disables collection). Each
+    /// cell records its wall duration into the "sweep.cell_us" and
+    /// per-strategy "sweep.cell_us.<strategy>" histograms plus the
+    /// "sweep.cells" / "sweep.cells.correct" / "sweep.cells.aborted"
+    /// counters. Workers accumulate into per-thread sinks, so counter and
+    /// histogram totals are identical at any thread count (only span
+    /// interleaving varies).
+    obs::Registry* obs = nullptr;
   };
 
   SweepRunner() = default;
@@ -138,7 +147,10 @@ class SweepRunner {
                                       std::size_t index);
 
 /// Runs one cell directly (no pool): exactly what the runner executes.
+/// `obs` (optional) receives the cell's duration histogram and outcome
+/// counters as described on SweepRunner::Config.
 [[nodiscard]] SweepCell run_sweep_cell(const SweepSpec& spec,
-                                       std::size_t index);
+                                       std::size_t index,
+                                       obs::Registry* obs = nullptr);
 
 }  // namespace hcs::run

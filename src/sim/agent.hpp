@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "graph/graph.hpp"
 #include "sim/types.hpp"
@@ -123,6 +124,15 @@ class AgentContext {
   /// primitive (used by the plan replayer's round barriers), not part of
   /// the paper's whiteboard model.
   void broadcast_signal();
+
+  // Observability (RunOptions::obs). All no-ops when no registry is
+  // attached; obs_enabled() lets protocols skip the work of computing a
+  // metric at all.
+  [[nodiscard]] bool obs_enabled() const;
+  void obs_count(std::string_view name, std::uint64_t delta = 1);
+  /// Marks a strategy phase transition on a logical sim-time track (the
+  /// previous phase on that track closes at now()).
+  void obs_phase(const std::string& track, const std::string& name);
 
  private:
   Engine& engine_;

@@ -46,14 +46,14 @@ void Engine::install_wb_hooks() {
             wb_journal_[{v, key}] = wb.get(key);
             wb.erase(key);
             ++degradation_.wb_entries_lost;
-            net_->trace().record(
-                {now_, TraceKind::kFault, kNoAgent, v, v, "wb lost: " + key});
+            net_->trace().record_lazy(now_, TraceKind::kFault, kNoAgent, v, v,
+                                      [&] { return "wb lost: " + key; });
           } else if (fault_sched_.corrupt_write(node, idx)) {
             wb_journal_[{v, key}] = wb.get(key);
             wb.set(key, fault_sched_.corrupt_value(node, idx));
             ++degradation_.wb_entries_corrupted;
-            net_->trace().record({now_, TraceKind::kFault, kNoAgent, v, v,
-                                  "wb corrupted: " + key});
+            net_->trace().record_lazy(now_, TraceKind::kFault, kNoAgent, v, v,
+                                      [&] { return "wb corrupted: " + key; });
           } else {
             // A good write supersedes any pending repair of this entry.
             wb_journal_.erase({v, key});
@@ -73,6 +73,7 @@ AgentId Engine::spawn(std::unique_ptr<Agent> agent, graph::Vertex at) {
   rec.state = AgentState::kRunnable;
   agents_.push_back(std::move(rec));
   runnable_.push_back(id);
+  ++obs_tallies_.spawns;
   net_->on_agent_placed(id, at, now_);
   wake_node(at);
   return id;
@@ -103,14 +104,21 @@ void Engine::run_to_quiescence() {
     HCS_ASSERT(e.time >= now_);
     now_ = e.time;
     ++net_->metrics().events_processed;
+    ++obs_tallies_.events;
     handle_event(e);
   }
 }
 
 Engine::RunResult Engine::run() {
+  // One sink for the whole run: dispatch-loop tallies stay thread-local
+  // plain increments and hit the registry exactly once, in obs_flush().
+  obs::ScopedSink obs_sink(cfg_.obs);
+  obs::Span run_span(cfg_.obs, "engine.run");
+
   run_to_quiescence();
   if (fault_sched_.active() && cfg_.recovery.enabled) run_recovery();
 
+  obs_flush();
   net_->finalize_metrics();
 
   RunResult result;
@@ -160,8 +168,9 @@ void Engine::restore_whiteboards() {
   const auto journal = std::move(wb_journal_);
   wb_journal_.clear();
   for (const auto& [where, value] : journal) {
-    net_->trace().record({now_, TraceKind::kFault, kNoAgent, where.first,
-                          where.first, "wb restored: " + where.second});
+    net_->trace().record_lazy(
+        now_, TraceKind::kFault, kNoAgent, where.first, where.first,
+        [&] { return "wb restored: " + where.second; });
     net_->whiteboard(where.first).set(where.second, value);
     ++degradation_.wb_faults_detected;
     wake_node(where.first);
@@ -173,8 +182,9 @@ void Engine::redeliver_wakes() {
   std::vector<graph::Vertex> nodes;
   nodes.swap(dropped_wake_nodes_);
   for (graph::Vertex v : nodes) {
-    net_->trace().record(
-        {now_, TraceKind::kFault, kNoAgent, v, v, "wake re-delivered"});
+    net_->trace().record_lazy(
+        now_, TraceKind::kFault, kNoAgent, v, v,
+        [] { return std::string("wake re-delivered"); });
     wake_node(v);
   }
 }
@@ -185,6 +195,7 @@ void Engine::run_recovery() {
   // restores journaled whiteboard entries, re-delivers dropped wakes, and
   // dispatches one repair wave over the dirty region; the retry budget is
   // bounded and the timeout backs off every round.
+  obs::Span recovery_span(cfg_.obs, "engine.recovery");
   double timeout = cfg_.recovery.detect_timeout;
   while (abort_reason_ == AbortReason::kNone &&
          (!net_->all_clean() || !dropped_wake_nodes_.empty() ||
@@ -200,6 +211,11 @@ void Engine::run_recovery() {
     const std::uint64_t moves_before = net_->metrics().total_moves;
 
     now_ += timeout;
+    if (cfg_.obs != nullptr) {
+      // Detection latency is the heartbeat timeout actually charged this
+      // round (it backs off), in sim-time units.
+      cfg_.obs->hist_record("recovery.detect_latency", timeout);
+    }
     timeout *= cfg_.recovery.backoff;
     degradation_.crashes_detected = net_->metrics().agents_crashed;
 
@@ -213,7 +229,13 @@ void Engine::run_recovery() {
       }
       const fault::RecleanPlan plan =
           fault::plan_reclean(net_->graph(), net_->homebase(), contaminated);
-      degradation_.repair_agents += spawn_repair_wave(*this, plan);
+      const std::size_t wave = spawn_repair_wave(*this, plan);
+      degradation_.repair_agents += wave;
+      if (cfg_.obs != nullptr) {
+        cfg_.obs->hist_record("recovery.wave_size",
+                              static_cast<double>(wave));
+        cfg_.obs->counter_add("recovery.waves");
+      }
     }
 
     run_to_quiescence();
@@ -221,6 +243,9 @@ void Engine::run_recovery() {
     degradation_.recovery_moves +=
         net_->metrics().total_moves - moves_before;
     degradation_.recovery_time += now_ - round_start;
+    if (cfg_.obs != nullptr) {
+      cfg_.obs->hist_record("recovery.round_sim_time", now_ - round_start);
+    }
   }
   // Persistent faults count as recovered when their damage is provably
   // gone: restored whiteboard entries always, detected crashes only when
@@ -284,6 +309,7 @@ void Engine::step_agent(AgentId a) {
         ++degradation_.crashes_in_transit;
         rec.crash_on_arrival = true;
       }
+      ++obs_tallies_.move_starts;
       net_->on_agent_departed(a, from, to, now_, rec.role);
       wake_node(from);
       SimTime dt = cfg_.delay.sample(rng_);
@@ -312,6 +338,7 @@ void Engine::step_agent(AgentId a) {
       break;
     case Action::Kind::kTerminate:
       rec.state = AgentState::kDone;
+      ++obs_tallies_.terminations;
       net_->on_agent_terminated(a, rec.at, now_);
       last_progress_step_ = steps_taken_;
       break;
@@ -336,14 +363,16 @@ void Engine::handle_event(const Event& e) {
       rec.at = rec.moving_to;
       rec.state = AgentState::kRunnable;
       runnable_.push_back(e.agent);
+      ++obs_tallies_.move_ends;
       net_->on_agent_arrived(e.agent, rec.at, from, now_);
       wake_node(rec.at);
       wake_node(from);
       if (!captured_ && net_->all_clean()) {
         captured_ = true;
         capture_time_ = now_;
-        net_->trace().record({now_, TraceKind::kCustom, e.agent, rec.at,
-                              rec.at, "network clean: intruder captured"});
+        net_->trace().record_lazy(
+            now_, TraceKind::kCustom, e.agent, rec.at, rec.at,
+            [] { return std::string("network clean: intruder captured"); });
       }
       break;
     }
@@ -375,6 +404,7 @@ void Engine::make_runnable(AgentId a) {
 void Engine::wake_node(graph::Vertex v) {
   auto& waiters = waiting_at_[v];
   if (waiters.empty()) return;
+  ++obs_tallies_.node_wakes;
   if (fault_sched_.active()) {
     // Only wakes with someone listening count as fault opportunities, so
     // the logical index is runtime-independent.
@@ -396,6 +426,7 @@ void Engine::wake_node(graph::Vertex v) {
 }
 
 void Engine::wake_global() {
+  ++obs_tallies_.global_wakes;
   std::vector<AgentId> to_wake;
   to_wake.swap(waiting_global_);
   for (AgentId a : to_wake) make_runnable(a);
@@ -403,6 +434,7 @@ void Engine::wake_global() {
 
 void Engine::on_status_change(graph::Vertex v, NodeStatus /*s*/,
                               SimTime /*t*/) {
+  ++obs_tallies_.status_changes;
   wake_node(v);
   if (cfg_.visibility) {
     for (const graph::HalfEdge& he : net_->graph().neighbors(v)) {
@@ -413,6 +445,50 @@ void Engine::on_status_change(graph::Vertex v, NodeStatus /*s*/,
 
 void Engine::schedule(AgentId a, SimTime at) {
   events_.push(Event{at, next_seq_++, a});
+  if (events_.size() > obs_tallies_.peak_queue) {
+    obs_tallies_.peak_queue = events_.size();
+  }
+}
+
+void Engine::obs_sim_phase(const std::string& track, std::string name) {
+  if (cfg_.obs == nullptr) return;
+  auto& open = obs_phases_[track];
+  if (!open.first.empty()) {
+    cfg_.obs->sim_span(open.first, track, open.second, now_);
+  }
+  open = {std::move(name), now_};
+}
+
+void Engine::obs_flush() {
+  if constexpr (!obs::kEnabled) return;
+  obs::Registry* obs = cfg_.obs;
+  if (obs == nullptr) return;
+
+  // Per-TraceKind dispatch counts (live even when tracing is off).
+  obs->counter_add("engine.trace.spawn", obs_tallies_.spawns);
+  obs->counter_add("engine.trace.move_start", obs_tallies_.move_starts);
+  obs->counter_add("engine.trace.move_end", obs_tallies_.move_ends);
+  obs->counter_add("engine.trace.status_change", obs_tallies_.status_changes);
+  obs->counter_add("engine.trace.whiteboard", obs_tallies_.wb_writes);
+  obs->counter_add("engine.trace.terminate", obs_tallies_.terminations);
+  obs->counter_add("engine.trace.custom", obs_tallies_.customs);
+  obs->counter_add("engine.trace.fault", degradation_.injected_total());
+
+  obs->counter_add("engine.steps", steps_taken_);
+  obs->counter_add("engine.events", obs_tallies_.events);
+  obs->counter_add("engine.wakes.node", obs_tallies_.node_wakes);
+  obs->counter_add("engine.wakes.global", obs_tallies_.global_wakes);
+  obs->gauge_max("engine.queue_depth.peak",
+                 static_cast<double>(obs_tallies_.peak_queue));
+
+  // Close any strategy phase still open at the end of the run.
+  for (auto& [track, open] : obs_phases_) {
+    if (!open.first.empty()) {
+      obs->sim_span(open.first, track, open.second, now_);
+      open.first.clear();
+    }
+  }
+  obs_tallies_ = {};
 }
 
 // --------------------------------------------------------- AgentContext
@@ -448,16 +524,22 @@ std::int64_t AgentContext::wb_get(const std::string& key,
 
 void AgentContext::wb_set(const std::string& key, std::int64_t value) {
   engine_.network().whiteboard(here_).set(key, value);
-  engine_.network().trace().record(
-      {now(), TraceKind::kWhiteboard, self_, here_, here_, key});
+  ++engine_.obs_tallies_.wb_writes;
+  // Guard before building the event: the detail string copy must not be
+  // paid when tracing is off (asserted in test_trace.cpp).
+  if (Trace& trace = engine_.network().trace(); trace.enabled()) {
+    trace.record({now(), TraceKind::kWhiteboard, self_, here_, here_, key});
+  }
   engine_.wake_node(here_);
 }
 
 std::int64_t AgentContext::wb_add(const std::string& key,
                                   std::int64_t delta) {
   const std::int64_t v = engine_.network().whiteboard(here_).add(key, delta);
-  engine_.network().trace().record(
-      {now(), TraceKind::kWhiteboard, self_, here_, here_, key});
+  ++engine_.obs_tallies_.wb_writes;
+  if (Trace& trace = engine_.network().trace(); trace.enabled()) {
+    trace.record({now(), TraceKind::kWhiteboard, self_, here_, here_, key});
+  }
   engine_.wake_node(here_);
   return v;
 }
@@ -485,14 +567,18 @@ void AgentContext::wb_set_at(graph::Vertex v, const std::string& key,
     HCS_EXPECTS(engine_.network().graph().has_edge(here_, v));
   }
   engine_.network().whiteboard(v).set(key, value);
-  engine_.network().trace().record(
-      {now(), TraceKind::kWhiteboard, self_, v, v, key});
+  ++engine_.obs_tallies_.wb_writes;
+  if (Trace& trace = engine_.network().trace(); trace.enabled()) {
+    trace.record({now(), TraceKind::kWhiteboard, self_, v, v, key});
+  }
   engine_.wake_node(v);
 }
 
 void AgentContext::note(const std::string& detail) {
-  engine_.network().trace().record(
-      {now(), TraceKind::kCustom, self_, here_, here_, detail});
+  ++engine_.obs_tallies_.customs;
+  if (Trace& trace = engine_.network().trace(); trace.enabled()) {
+    trace.record({now(), TraceKind::kCustom, self_, here_, here_, detail});
+  }
 }
 
 AgentId AgentContext::clone(std::unique_ptr<Agent> copy) {
@@ -500,5 +586,18 @@ AgentId AgentContext::clone(std::unique_ptr<Agent> copy) {
 }
 
 void AgentContext::broadcast_signal() { engine_.wake_global(); }
+
+bool AgentContext::obs_enabled() const {
+  return obs::kEnabled && engine_.config().obs != nullptr;
+}
+
+void AgentContext::obs_count(std::string_view name, std::uint64_t delta) {
+  if (obs::Registry* obs = engine_.config().obs) obs->counter_add(name, delta);
+}
+
+void AgentContext::obs_phase(const std::string& track,
+                             const std::string& name) {
+  engine_.obs_sim_phase(track, name);
+}
 
 }  // namespace hcs::sim

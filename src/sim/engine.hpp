@@ -28,9 +28,11 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "sim/agent.hpp"
 #include "sim/delay.hpp"
 #include "sim/network.hpp"
+#include "sim/options.hpp"
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 
@@ -38,26 +40,15 @@ namespace hcs::sim {
 
 class Engine {
  public:
-  enum class WakePolicy : std::uint8_t { kFifo, kRandom };
+  /// Back-compat alias: the policy enum moved to namespace scope
+  /// (sim/options.hpp) with the RunOptions redesign.
+  using WakePolicy = sim::WakePolicy;
 
-  struct Config {
-    DelayModel delay = DelayModel::unit();
-    WakePolicy policy = WakePolicy::kFifo;
-    std::uint64_t seed = 1;
-    /// Enables the Section 4 model: neighbour status/whiteboard reads and
-    /// neighbour-change wake-ups.
-    bool visibility = false;
-    /// Abort guard against pathologically slow protocols.
-    std::uint64_t max_agent_steps = 200'000'000;
-    /// Livelock guard: abort when this many consecutive agent steps pass
-    /// without progress (no departure, no crash, no termination).
-    std::uint64_t livelock_window = 1'000'000;
-    /// Fault workload injected into this run. An empty spec never draws a
-    /// decision and leaves the run byte-identical to the fault-free engine.
-    fault::FaultSpec faults;
-    /// Recovery policy applied when the fault schedule is active.
-    fault::RecoveryConfig recovery;
-  };
+  /// The engine consumes the unified options struct directly. Note that
+  /// `trace` and `semantics` are harness-level options: the engine never
+  /// touches the Network's trace switch or move semantics (direct-engine
+  /// callers configure the Network themselves; Session applies them).
+  using Config = RunOptions;
 
   struct RunResult {
     bool all_terminated = false;
@@ -167,6 +158,12 @@ class Engine {
   void redeliver_wakes();
   void run_recovery();
 
+  /// Strategy phase marker on a logical sim-time track: closes the track's
+  /// open phase at now() and opens `name`. No-op without a registry.
+  void obs_sim_phase(const std::string& track, std::string name);
+  /// Merges the per-run tallies below into cfg_.obs (once, at end of run).
+  void obs_flush();
+
   Network* net_;
   Config cfg_;
   Rng rng_;
@@ -200,6 +197,24 @@ class Engine {
   /// damaged; models the recovery layer re-deriving lost whiteboard state
   /// from neighbours (see docs/MODEL.md). Cleared by later good writes.
   std::map<std::pair<graph::Vertex, std::string>, std::int64_t> wb_journal_;
+
+  // --- observability (hot path: plain increments on a local struct; the
+  // registry is only touched once per run, in obs_flush) ---
+  struct ObsTallies {
+    std::uint64_t spawns = 0;
+    std::uint64_t move_starts = 0;
+    std::uint64_t move_ends = 0;
+    std::uint64_t status_changes = 0;
+    std::uint64_t wb_writes = 0;
+    std::uint64_t terminations = 0;
+    std::uint64_t customs = 0;
+    std::uint64_t node_wakes = 0;
+    std::uint64_t global_wakes = 0;
+    std::uint64_t events = 0;
+    std::size_t peak_queue = 0;
+  } obs_tallies_;
+  /// Open sim-time phase per track: name and start time.
+  std::map<std::string, std::pair<std::string, SimTime>> obs_phases_;
 };
 
 }  // namespace hcs::sim

@@ -104,7 +104,8 @@ void Network::on_agent_crashed(AgentId a, graph::Vertex at, SimTime t,
                                bool counted_at, const std::string& detail) {
   HCS_EXPECTS(at < num_nodes());
   ++metrics_.agents_crashed;
-  trace_.record({t, TraceKind::kFault, a, at, at, detail});
+  trace_.record_lazy(t, TraceKind::kFault, a, at, at,
+                     [&] { return detail; });
   if (counted_at) {
     HCS_ASSERT(agent_count_[at] > 0);
     --agent_count_[at];
@@ -133,7 +134,8 @@ void Network::set_status(graph::Vertex v, NodeStatus s, SimTime t) {
   }
   if (s == NodeStatus::kContaminated) ++contaminated_count_;
   status_[v] = s;
-  trace_.record({t, TraceKind::kStatusChange, kNoAgent, v, v, to_string(s)});
+  trace_.record_lazy(t, TraceKind::kStatusChange, kNoAgent, v, v,
+                     [&] { return std::string(to_string(s)); });
   for (const StatusCallback& cb : on_status_) cb(v, s, t);
 }
 

@@ -1,0 +1,56 @@
+// sim::RunOptions -- the one options struct for a simulated run. This is
+// what Engine consumes as its Config and what the core harness / Session
+// accept as SimRunConfig: every toggle that used to be its own setter or
+// per-layer field (trace on/off, move-semantics ablation, fault workload,
+// observability registry) lives here, so adding an option never changes a
+// runtime signature again.
+//
+// Field order is append-only within each historical group: existing
+// designated initializers ({.visibility = true}, {.trace = true, ...})
+// rely on declaration order.
+
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "sim/delay.hpp"
+#include "sim/network.hpp"
+
+namespace hcs::sim {
+
+/// Which runnable agent steps next: kFifo gives deterministic runs,
+/// kRandom explores adversarial interleavings.
+enum class WakePolicy : std::uint8_t { kFifo, kRandom };
+
+struct RunOptions {
+  DelayModel delay = DelayModel::unit();
+  WakePolicy policy = WakePolicy::kFifo;
+  std::uint64_t seed = 1;
+  /// Record the full event trace (sim::Trace on the Network). Applied by
+  /// the harness layers (Session / run_strategy_sim); the Engine itself
+  /// never flips the Network's trace switch.
+  bool trace = false;
+  /// Enables the Section 4 model: neighbour status/whiteboard reads and
+  /// neighbour-change wake-ups.
+  bool visibility = false;
+  /// Hand-over semantics ablation (docs/MODEL.md); applied by the harness
+  /// layers, like `trace`.
+  MoveSemantics semantics = MoveSemantics::kAtomicArrival;
+  /// Abort guard against pathologically slow protocols.
+  std::uint64_t max_agent_steps = 200'000'000;
+  /// Livelock guard: abort when this many consecutive agent steps pass
+  /// without progress (no departure, no crash, no termination).
+  std::uint64_t livelock_window = 1'000'000;
+  /// Fault workload injected into this run. An empty spec never draws a
+  /// decision and leaves the run byte-identical to the fault-free engine.
+  fault::FaultSpec faults;
+  /// Recovery policy applied when the fault schedule is active.
+  fault::RecoveryConfig recovery;
+  /// Observability sink; nullptr (the default) disables all collection.
+  /// Non-owning -- the registry must outlive the run.
+  obs::Registry* obs = nullptr;
+};
+
+}  // namespace hcs::sim

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fault/reclean.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -32,6 +33,11 @@ struct Shared {
   std::size_t terminated = 0;
   std::size_t protocol_crashed = 0;
   bool aborted = false;
+  /// Observability registry (nullptr = off) and the instant of the most
+  /// recent bump(), the reference point for wake-latency measurements.
+  /// Both written and read only under `mutex`.
+  obs::Registry* obs = nullptr;
+  Clock::time_point last_bump;
 
   // Fault state; everything below is guarded by `mutex` (whiteboard writes
   // only happen under it, so the hooks fire under it too).
@@ -45,6 +51,7 @@ struct Shared {
   }
 
   void bump() {
+    if (obs::kEnabled && obs != nullptr) last_bump = Clock::now();
     change_epoch.fetch_add(1, std::memory_order_relaxed);
     changed.notify_all();
   }
@@ -74,15 +81,16 @@ void install_wb_hooks(Shared& shared) {
             shared.wb_journal[{v, key}] = wb.get(key);
             wb.erase(key);
             ++shared.degradation.wb_entries_lost;
-            shared.net->trace().record({shared.now(), TraceKind::kFault,
-                                        kNoAgent, v, v, "wb lost: " + key});
+            shared.net->trace().record_lazy(
+                shared.now(), TraceKind::kFault, kNoAgent, v, v,
+                [&] { return "wb lost: " + key; });
           } else if (shared.faults.corrupt_write(node, idx)) {
             shared.wb_journal[{v, key}] = wb.get(key);
             wb.set(key, shared.faults.corrupt_value(node, idx));
             ++shared.degradation.wb_entries_corrupted;
-            shared.net->trace().record({shared.now(), TraceKind::kFault,
-                                        kNoAgent, v, v,
-                                        "wb corrupted: " + key});
+            shared.net->trace().record_lazy(
+                shared.now(), TraceKind::kFault, kNoAgent, v, v,
+                [&] { return "wb corrupted: " + key; });
           } else {
             shared.wb_journal.erase({v, key});
           }
@@ -102,6 +110,12 @@ void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
   graph::Vertex here = shared.net->homebase();
   std::uint64_t moves = 0;  // logical fault key, like Engine's rec.moves
 
+  // Declared before the lock so it destructs (and takes the registry
+  // mutex to merge) only after shared.mutex has been released -- no lock
+  // order between the two mutexes ever forms.
+  obs::ScopedSink obs_sink(cfg.obs);
+  obs::Registry* const obs = cfg.obs;
+
   std::unique_lock<std::mutex> lock(shared.mutex);
   const bool faultable = shared.faults.active();
   while (!shared.aborted) {
@@ -120,12 +134,28 @@ void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
     if (decision.kind == LocalDecision::Kind::kTerminate) {
       shared.net->on_agent_terminated(id, here, shared.now());
       ++shared.terminated;
+      if (obs::kEnabled && obs != nullptr) {
+        obs->counter_add("threaded.terminations");
+      }
       shared.bump();
       break;
     }
     if (decision.kind == LocalDecision::Kind::kWait) {
       ++shared.waiting;
-      shared.changed.wait(lock);
+      if (obs::kEnabled && obs != nullptr) {
+        shared.changed.wait(lock);
+        // last_bump was written under the lock by whoever woke us, so the
+        // difference is notify-to-running wake latency including the mutex
+        // reacquisition.
+        const auto woke = Clock::now();
+        obs->hist_record(
+            "threaded.wake_latency_us",
+            std::chrono::duration<double, std::micro>(woke - shared.last_bump)
+                .count());
+        obs->counter_add("threaded.wakes");
+      } else {
+        shared.changed.wait(lock);
+      }
       --shared.waiting;
       continue;
     }
@@ -174,7 +204,19 @@ void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
       std::this_thread::yield();
     }
 
-    lock.lock();
+    if (obs::kEnabled && obs != nullptr) {
+      // Contention counter: a failed try_lock means another agent held the
+      // whiteboard mutex when this one came back from its traversal.
+      if (lock.try_lock()) {
+        obs->counter_add("threaded.lock_uncontended");
+      } else {
+        obs->counter_add("threaded.lock_contended");
+        lock.lock();
+      }
+      obs->counter_add("threaded.moves");
+    } else {
+      lock.lock();
+    }
     if (die_in_transit) {
       // The agent dies mid-edge: it never arrives. Under kAtomicArrival it
       // was still guarding the origin; under kVacateOnDeparture that guard
@@ -230,6 +272,11 @@ AbortReason run_reclean_rounds(Shared& shared,
     }
     const fault::RecleanPlan plan =
         fault::plan_reclean(net.graph(), net.homebase(), contaminated);
+    if (obs::kEnabled && shared.obs != nullptr) {
+      shared.obs->hist_record("recovery.wave_size",
+                              static_cast<double>(plan.walks.size()));
+      shared.obs->counter_add("recovery.waves");
+    }
     const std::uint64_t moves_before = net.metrics().total_moves;
     for (const fault::RecleanWalk& walk : plan.walks) {
       const auto id = static_cast<AgentId>(next_id++);
@@ -280,9 +327,12 @@ ThreadedRuntime::ThreadedRuntime(Network& net, Config cfg)
 ThreadedRunReport ThreadedRuntime::run(std::size_t num_agents,
                                        const LocalRule& rule) {
   HCS_EXPECTS(num_agents >= 1);
+  obs::Span run_span(cfg_.obs, "threaded.run");
   Shared shared;
   shared.net = net_;
   shared.start = Clock::now();
+  shared.last_bump = shared.start;
+  shared.obs = cfg_.obs;
   shared.alive = num_agents;
   shared.faults = fault::FaultSchedule(cfg_.faults);
   if (shared.faults.active()) {

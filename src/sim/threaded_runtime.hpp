@@ -33,6 +33,7 @@
 
 #include "fault/fault.hpp"
 #include "graph/graph.hpp"
+#include "obs/obs.hpp"
 #include "sim/network.hpp"
 #include "sim/types.hpp"
 
@@ -82,6 +83,11 @@ class ThreadedRuntime {
     fault::FaultSpec faults;
     /// Recovery policy for the post-drain reclean waves.
     fault::RecoveryConfig recovery;
+    /// Observability sink. Each agent thread accumulates into a lock-free
+    /// per-thread obs::ScopedSink merged when the thread exits, so the
+    /// registry mutex is never taken inside the protocol's critical
+    /// section (TSan-clean). nullptr disables collection.
+    obs::Registry* obs = nullptr;
   };
 
   ThreadedRuntime(Network& net, Config cfg);

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -40,6 +41,19 @@ class Trace {
   [[nodiscard]] bool enabled() const { return enabled_; }
 
   void record(TraceEvent event);
+
+  /// Allocation-free when disabled: the detail string is produced by the
+  /// callable only after the enabled check, so call sites can write
+  /// `record_lazy(t, kind, a, v, w, [&]{ return "lost: " + key; })`
+  /// without paying the concatenation on the hot path.
+  template <typename DetailFn>
+  void record_lazy(SimTime time, TraceKind kind, AgentId agent,
+                   graph::Vertex node, graph::Vertex other,
+                   DetailFn&& detail) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{time, kind, agent, node, other,
+                                 std::forward<DetailFn>(detail)()});
+  }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;

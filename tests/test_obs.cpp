@@ -1,0 +1,308 @@
+// Unit and integration tests for hcs::obs: counter/gauge/histogram
+// correctness, span nesting, thread-merge determinism, exporter formats
+// (Chrome trace golden file, snapshot JSON/CSV), and the HCS_OBS_OFF
+// compile-out (every test also passes with the no-op surface, where the
+// registry must stay empty).
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "obs/export.hpp"
+#include "run/sweep.hpp"
+
+namespace hcs::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Histogram, PowerOfTwoBuckets) {
+  EXPECT_EQ(histogram_bucket(-1.0), 0u);
+  EXPECT_EQ(histogram_bucket(0.5), 0u);
+  EXPECT_EQ(histogram_bucket(1.0), 0u);
+  EXPECT_EQ(histogram_bucket(1.5), 1u);
+  EXPECT_EQ(histogram_bucket(2.0), 1u);
+  EXPECT_EQ(histogram_bucket(2.1), 2u);
+  EXPECT_EQ(histogram_bucket(1024.0), 10u);
+  EXPECT_EQ(histogram_bucket(1e30), kHistogramBuckets - 1);
+  EXPECT_DOUBLE_EQ(histogram_bucket_upper(0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_bucket_upper(10), 1024.0);
+}
+
+TEST(Histogram, RecordAndMerge) {
+  HistogramSnapshot a;
+  a.record(3.0);
+  a.record(5.0);
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_DOUBLE_EQ(a.sum, 8.0);
+  EXPECT_DOUBLE_EQ(a.min, 3.0);
+  EXPECT_DOUBLE_EQ(a.max, 5.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+
+  HistogramSnapshot b;
+  b.record(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.max, 100.0);
+  EXPECT_DOUBLE_EQ(a.min, 3.0);
+  // p50 reports the bucket upper bound containing the median.
+  EXPECT_GE(a.percentile(0.5), 3.0);
+  EXPECT_LE(a.percentile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 100.0);
+}
+
+TEST(Registry, CountersGaugesHistograms) {
+  Registry reg;
+  reg.counter_add("hits");
+  reg.counter_add("hits", 4);
+  reg.gauge_set("level", 2.5);
+  reg.gauge_max("peak", 1.0);
+  reg.gauge_max("peak", 3.0);
+  reg.gauge_max("peak", 2.0);
+  reg.hist_record("lat", 3.0);
+  reg.hist_record("lat", 5.0);
+
+  const Snapshot snap = reg.snapshot();
+  if (!kEnabled) {
+    EXPECT_TRUE(snap.empty());
+    return;
+  }
+  EXPECT_EQ(snap.counter("hits"), 5u);
+  EXPECT_EQ(snap.counter("absent"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("level"), 2.5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("peak"), 3.0);
+  EXPECT_EQ(snap.histograms.at("lat").count, 2u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("lat").sum, 8.0);
+
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Registry, SpanNestingDepthsAndHistogram) {
+  Registry reg;
+  {
+    Span outer(reg, "outer");
+    { Span inner(reg, "inner"); }
+  }
+  const Snapshot snap = reg.snapshot();
+  if (!kEnabled) {
+    EXPECT_TRUE(snap.empty());
+    return;
+  }
+  ASSERT_EQ(snap.spans.size(), 2u);
+  // Sorted by start: outer opened first.
+  EXPECT_EQ(snap.spans[0].name, "outer");
+  EXPECT_EQ(snap.spans[0].depth, 0u);
+  EXPECT_EQ(snap.spans[1].name, "inner");
+  EXPECT_EQ(snap.spans[1].depth, 1u);
+  EXPECT_LE(snap.spans[1].duration, snap.spans[0].duration);
+  EXPECT_EQ(snap.histograms.at("outer.us").count, 1u);
+  EXPECT_EQ(snap.histograms.at("inner.us").count, 1u);
+}
+
+TEST(Registry, SimSpans) {
+  Registry reg;
+  reg.sim_span("level 2", "clean_sync", 4.0, 9.0);
+  const Snapshot snap = reg.snapshot();
+  if (!kEnabled) {
+    EXPECT_TRUE(snap.empty());
+    return;
+  }
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_TRUE(snap.spans[0].sim_time);
+  EXPECT_DOUBLE_EQ(snap.spans[0].start, 4.0);
+  EXPECT_DOUBLE_EQ(snap.spans[0].duration, 5.0);
+}
+
+TEST(Registry, ThreadMergeIsDeterministic) {
+  // Counter and histogram totals must be a pure function of the work, not
+  // of thread scheduling: run the same workload twice and compare.
+  const auto run_workload = [] {
+    Registry reg;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&reg, t] {
+        ScopedSink sink(reg);
+        for (int i = 0; i < 1000; ++i) {
+          reg.counter_add("work");
+          reg.hist_record("size", static_cast<double>((t * 1000 + i) % 97));
+        }
+        reg.gauge_max("max_t", static_cast<double>(t));
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    return reg.snapshot();
+  };
+
+  const Snapshot a = run_workload();
+  const Snapshot b = run_workload();
+  if (!kEnabled) {
+    EXPECT_TRUE(a.empty());
+    EXPECT_TRUE(b.empty());
+    return;
+  }
+  EXPECT_EQ(a.counter("work"), 8000u);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  ASSERT_EQ(a.histograms.at("size").count, b.histograms.at("size").count);
+  EXPECT_EQ(a.histograms.at("size").buckets, b.histograms.at("size").buckets);
+  EXPECT_DOUBLE_EQ(a.gauges.at("max_t"), 7.0);
+}
+
+TEST(Registry, SinklessCallsLockDirectly) {
+  Registry reg;
+  reg.counter_add("direct");
+  const Snapshot snap = reg.snapshot();
+  if (!kEnabled) {
+    EXPECT_TRUE(snap.empty());
+    return;
+  }
+  EXPECT_EQ(snap.counter("direct"), 1u);
+}
+
+// ------------------------------------------------------------- exporters
+
+/// A hand-built snapshot with fully pinned values, so the exporters are
+/// byte-deterministic in both obs modes (Snapshot is plain data).
+Snapshot golden_snapshot() {
+  Snapshot s;
+  s.counters["engine.events"] = 42;
+  s.counters["run.sessions"] = 2;
+  s.gauges["engine.queue_depth.peak"] = 7.0;
+  HistogramSnapshot h;
+  h.record(3.0);
+  h.record(900.0);
+  s.histograms["session.run.us"] = h;
+  s.spans.push_back(SpanRecord{"session.run", "wall", 10.0, 250.0, 1, 0,
+                               false});
+  s.spans.push_back(SpanRecord{"level 1", "clean_sync", 0.0, 2.0, 0, 0,
+                               true});
+  return s;
+}
+
+TEST(Export, ChromeTraceMatchesGolden) {
+  const std::string json = chrome_trace_json(golden_snapshot());
+  EXPECT_TRUE(json_well_formed(json));
+  const std::string golden =
+      read_file(std::string(HCS_TEST_DATA_DIR) + "/chrome_trace_golden.json");
+  ASSERT_FALSE(golden.empty()) << "missing tests/data/chrome_trace_golden.json";
+  EXPECT_EQ(json, golden);
+}
+
+TEST(Export, SnapshotJsonWellFormedAndStable) {
+  const std::string a = snapshot_json(golden_snapshot());
+  const std::string b = snapshot_json(golden_snapshot());
+  EXPECT_TRUE(json_well_formed(a));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"engine.events\": 42"), std::string::npos);
+  EXPECT_NE(a.find("\"session.run.us\""), std::string::npos);
+}
+
+TEST(Export, SnapshotCsvHasHeaderAndRows) {
+  const std::string csv = snapshot_csv(golden_snapshot());
+  EXPECT_NE(
+      csv.find(
+          "kind,name,track,value,count,sum,min,max,mean,p50,p99,start,"
+          "duration"),
+      std::string::npos);
+  EXPECT_NE(csv.find("counter,engine.events,,42"), std::string::npos);
+  EXPECT_NE(csv.find("sim_span,level 1,clean_sync"), std::string::npos);
+}
+
+TEST(Export, EmptySnapshotExportsAreWellFormed) {
+  const Snapshot empty;
+  EXPECT_TRUE(json_well_formed(chrome_trace_json(empty)));
+  EXPECT_TRUE(json_well_formed(snapshot_json(empty)));
+}
+
+TEST(Export, JsonValidatorRejectsMalformed) {
+  EXPECT_TRUE(json_well_formed("{\"a\": [1, 2.5e3, true, null, \"x\"]}"));
+  EXPECT_FALSE(json_well_formed("{\"a\": }"));
+  EXPECT_FALSE(json_well_formed("{\"a\": 1,}"));
+  EXPECT_FALSE(json_well_formed("[1, 2"));
+  EXPECT_FALSE(json_well_formed("{} trailing"));
+}
+
+// ----------------------------------------------------------- integration
+
+TEST(ObsIntegration, SessionEmitsCountersPhasesAndValidChromeTrace) {
+  Registry reg;
+  Session session({.dimension = 4, .options = {.trace = true, .obs = &reg}});
+  const core::SimOutcome clean = session.run("CLEAN");
+  const core::SimOutcome vis = session.run("CLEAN-WITH-VISIBILITY");
+  EXPECT_TRUE(clean.correct());
+  EXPECT_TRUE(vis.correct());
+
+  const Snapshot snap = reg.snapshot();
+  if (!kEnabled) {
+    EXPECT_TRUE(snap.empty());
+    return;
+  }
+  EXPECT_EQ(snap.counter("run.sessions"), 2u);
+  EXPECT_EQ(snap.counter("run.correct"), 2u);
+  EXPECT_GT(snap.counter("engine.events"), 0u);
+  EXPECT_GT(snap.counter("engine.trace.move_end"), 0u);
+  EXPECT_GT(snap.counter("visibility.releases"), 0u);
+  EXPECT_GT(snap.gauges.at("engine.queue_depth.peak"), 0.0);
+
+  bool has_sync_phase = false;
+  bool has_vis_phase = false;
+  bool has_level_track = false;
+  for (const SpanRecord& span : snap.spans) {
+    if (span.track == "clean_sync") has_sync_phase = true;
+    if (span.track == "clean_visibility") has_vis_phase = true;
+    if (span.track == "sim/levels") has_level_track = true;
+  }
+  EXPECT_TRUE(has_sync_phase);
+  EXPECT_TRUE(has_vis_phase);
+  EXPECT_TRUE(has_level_track);
+  EXPECT_EQ(snap.histograms.at("session.run.us").count, 2u);
+
+  // The acceptance gate: an H_4 profile exports as structurally valid
+  // Chrome trace JSON.
+  EXPECT_TRUE(json_well_formed(chrome_trace_json(snap)));
+}
+
+TEST(ObsIntegration, SweepRecordsPerCellDurations) {
+  Registry reg;
+  run::SweepSpec spec;
+  spec.strategies = {"CLEAN", "CLEAN-WITH-VISIBILITY"};
+  spec.dimensions = {3, 4};
+  run::SweepRunner runner({.threads = 2, .obs = &reg});
+  const run::SweepResult result = runner.run(spec);
+  ASSERT_EQ(result.cells.size(), 4u);
+
+  const Snapshot snap = reg.snapshot();
+  if (!kEnabled) {
+    EXPECT_TRUE(snap.empty());
+    return;
+  }
+  EXPECT_EQ(snap.counter("sweep.cells"), 4u);
+  EXPECT_EQ(snap.counter("sweep.cells.correct"), 4u);
+  EXPECT_EQ(snap.histograms.at("sweep.cell_us").count, 4u);
+  EXPECT_EQ(snap.histograms.at("sweep.cell_us.CLEAN").count, 2u);
+  EXPECT_EQ(snap.histograms.at("sweep.cell_us.CLEAN-WITH-VISIBILITY").count,
+            2u);
+}
+
+TEST(ObsIntegration, EngineWithoutRegistryRunsClean) {
+  // The null-registry path is the default for every pre-existing caller.
+  Session session({.dimension = 4});
+  EXPECT_TRUE(session.run("CLEAN").correct());
+}
+
+}  // namespace
+}  // namespace hcs::obs

@@ -5,6 +5,33 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+// Replaceable global allocation functions, counting only: the disabled
+// trace path must not allocate (the record_lazy contract), and the only
+// way to prove that is to watch the allocator itself.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace hcs::sim {
 namespace {
 
@@ -39,6 +66,35 @@ TEST(Trace, CleaningOrderFirstVisitWins) {
                 "contaminated"});
   const auto order = trace.cleaning_order();
   EXPECT_EQ(order, (std::vector<graph::Vertex>{7, 2, 5}));
+}
+
+TEST(Trace, DisabledRecordLazyNeverAllocatesNorBuildsDetail) {
+  Trace trace;
+  ASSERT_FALSE(trace.enabled());
+  const std::string key = "whiteboard-key-long-enough-to-defeat-sso";
+  bool invoked = false;
+  const std::uint64_t before = g_alloc_count.load();
+  for (int i = 0; i < 100; ++i) {
+    trace.record_lazy(1.0, TraceKind::kWhiteboard, 0, 0, 0, [&] {
+      invoked = true;
+      return "wb lost: " + key;
+    });
+  }
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "record_lazy allocated on the disabled path";
+  EXPECT_FALSE(invoked);
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, EnabledRecordLazyBuildsDetail) {
+  Trace trace;
+  trace.enable(true);
+  trace.record_lazy(2.0, TraceKind::kCustom, 1, 5, 6,
+                    [] { return std::string("lazy detail"); });
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.events()[0].detail, "lazy detail");
+  EXPECT_EQ(trace.events()[0].node, 5u);
+  EXPECT_EQ(trace.events()[0].other, 6u);
 }
 
 TEST(Trace, RenderShowsKindsAgentsAndDetails) {
