@@ -3,7 +3,15 @@
 // verifier replay rate, and the threaded runtime. Not a paper claim; it
 // bounds the dimensions the other experiments can sweep.
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string_view>
+#include <vector>
+
 #include "bench_common.hpp"
+#include "util/assert.hpp"
 #include "core/clean_sync.hpp"
 #include "core/clean_visibility.hpp"
 #include "core/formulas.hpp"
@@ -13,6 +21,101 @@
 
 namespace hcs {
 namespace {
+
+// ------------------------------------------------------- throughput sweep
+//
+// One timed end-to-end engine run per (strategy, dimension): the numbers
+// committed as BENCH_throughput.json and guarded by the CI perf-smoke job
+// (scripts/check_throughput.py). Environment knobs, because google-
+// benchmark's CLI rejects custom flags:
+//   HCS_THROUGHPUT_MIN_DIM / HCS_THROUGHPUT_MAX_DIM  sweep range (4..14)
+//   HCS_THROUGHPUT_REPS                              best-of repetitions (3)
+//   HCS_THROUGHPUT_OUT                               JSON output path
+
+struct ThroughputRow {
+  const char* strategy;
+  unsigned dim;
+  std::uint64_t events;
+  double seconds;
+  [[nodiscard]] double events_per_sec() const {
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+};
+
+unsigned env_dim(const char* name, unsigned fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+}
+
+ThroughputRow time_strategy(const char* strategy, unsigned d) {
+  const graph::Graph g = graph::make_hypercube(d);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Network net(g, 0);
+  sim::Engine::Config cfg;
+  // The wave protocols legitimately take millions of waiting steps between
+  // moves at d >= 13 (every wake re-evaluates the local rule), so the
+  // livelock heuristic must stand down for the sweep.
+  cfg.livelock_window = std::numeric_limits<std::uint64_t>::max();
+  cfg.visibility = std::string_view(strategy) == "clean_visibility";
+  sim::Engine engine(net, cfg);
+  if (cfg.visibility) {
+    core::spawn_visibility_team(engine, d);
+  } else {
+    core::spawn_clean_sync_team(engine, d);
+  }
+  const auto result = engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  HCS_ASSERT(result.all_terminated && "sweep run must reach capture");
+  return {strategy, d, net.metrics().events_processed,
+          std::chrono::duration<double>(t1 - t0).count()};
+}
+
+void print_throughput_sweep() {
+  const unsigned min_dim = env_dim("HCS_THROUGHPUT_MIN_DIM", 4);
+  const unsigned max_dim = env_dim("HCS_THROUGHPUT_MAX_DIM", 14);
+  // Best-of-N: the committed reference and the CI gate both want the
+  // machine's unloaded rate, and the minimum wall time over a few runs is
+  // the standard robust estimator for that.
+  const unsigned reps = std::max(1u, env_dim("HCS_THROUGHPUT_REPS", 3));
+  std::vector<ThroughputRow> rows;
+  Table t({"strategy", "d", "n", "events", "wall s", "events/s"});
+  for (unsigned d = min_dim; d <= max_dim; ++d) {
+    for (const char* strategy : {"clean_sync", "clean_visibility"}) {
+      ThroughputRow best = time_strategy(strategy, d);
+      for (unsigned rep = 1; rep < reps; ++rep) {
+        const ThroughputRow again = time_strategy(strategy, d);
+        if (again.seconds < best.seconds) best = again;
+      }
+      rows.push_back(best);
+      const ThroughputRow& r = rows.back();
+      t.add_row({r.strategy, std::to_string(d), with_commas(1ull << d),
+                 with_commas(r.events), fixed(r.seconds, 3),
+                 with_commas(static_cast<std::uint64_t>(r.events_per_sec()))});
+    }
+  }
+  std::printf("\nEngine throughput sweep (one full run each).\n%s",
+              t.render().c_str());
+
+  const char* out = std::getenv("HCS_THROUGHPUT_OUT");
+  if (out == nullptr || *out == '\0') return;
+  std::ofstream f(out);
+  if (!f) {
+    std::fprintf(stderr, "could not write %s\n", out);
+    return;
+  }
+  f << "{\n  \"bench\": \"bench_sim_throughput\",\n"
+    << "  \"metric\": \"events_per_sec\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    f << "    {\"strategy\": \"" << r.strategy << "\", \"dim\": " << r.dim
+      << ", \"events\": " << r.events << ", \"seconds\": " << r.seconds
+      << ", \"events_per_sec\": " << r.events_per_sec() << "}"
+      << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  std::printf("(wrote %s)\n", out);
+}
 
 void print_tables() {
   Table t({"d", "n", "CLEAN sim events", "VIS sim events",
@@ -40,6 +143,7 @@ void print_tables() {
                with_commas(plan.num_rounds())});
   }
   std::printf("\nSimulation workload sizes.\n%s", t.render().c_str());
+  print_throughput_sweep();
 }
 
 void BM_EngineEvents(benchmark::State& state) {

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Gate engine throughput against the committed reference.
+
+Compares two BENCH_throughput.json files (written by bench_sim_throughput
+with HCS_THROUGHPUT_OUT set) and fails when any (strategy, dim) pair
+present in both slowed down by more than the tolerance.
+
+Usage:
+    check_throughput.py REFERENCE CURRENT [--tolerance 0.10] [--dims 10,12]
+
+Only pairs present in both files are compared, so the CI perf-smoke job can
+re-measure a single dimension against the full committed sweep. Pure
+stdlib; exit code 1 on regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        (r["strategy"], int(r["dim"])): float(r["events_per_sec"])
+        for r in data["results"]
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("reference", help="committed BENCH_throughput.json")
+    ap.add_argument("current", help="freshly measured sweep JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown (default 0.10)",
+    )
+    ap.add_argument(
+        "--dims",
+        default="",
+        help="comma-separated dims to compare (default: all shared)",
+    )
+    args = ap.parse_args()
+
+    reference = load(args.reference)
+    current = load(args.current)
+    dims = {int(d) for d in args.dims.split(",") if d} or None
+
+    shared = sorted(
+        key
+        for key in reference.keys() & current.keys()
+        if dims is None or key[1] in dims
+    )
+    if not shared:
+        print("check_throughput: no overlapping (strategy, dim) pairs")
+        return 1
+
+    regressions = []
+    for strategy, dim in shared:
+        ref = reference[(strategy, dim)]
+        cur = current[(strategy, dim)]
+        ratio = cur / ref if ref > 0 else float("inf")
+        flag = "" if ratio >= 1.0 - args.tolerance else "  << REGRESSION"
+        print(
+            f"{strategy:>18} d={dim:<3} ref={ref:>12.0f}/s "
+            f"cur={cur:>12.0f}/s  {ratio:6.2%}{flag}"
+        )
+        if flag:
+            regressions.append((strategy, dim, ratio))
+
+    if regressions:
+        print(
+            f"\ncheck_throughput: {len(regressions)} pair(s) slower than "
+            f"{1.0 - args.tolerance:.0%} of the reference"
+        )
+        return 1
+    print(f"\ncheck_throughput: OK ({len(shared)} pair(s) within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

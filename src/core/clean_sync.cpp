@@ -13,16 +13,17 @@ namespace hcs::core {
 
 namespace {
 
-// Whiteboard register names (shared by the synchronizer and the sweep
-// agents; every value fits in O(log n) bits).
-constexpr const char* kPresent = "present";
-constexpr const char* kCmdMove = "cmd_move";
-constexpr const char* kCmdDest = "cmd_dest";
-constexpr const char* kCmdReturn = "cmd_return";
-constexpr const char* kDispatchTarget = "dispatch_target";
-constexpr const char* kDispatchCount = "dispatch_count";
-constexpr const char* kPool = "pool";
-constexpr const char* kAllDone = "all_done";
+// Whiteboard registers (shared by the synchronizer and the sweep agents;
+// every value fits in O(log n) bits), interned once at startup so the hot
+// protocol loop works with dense integer keys.
+const sim::WbKey kPresent = sim::wb_key("present");
+const sim::WbKey kCmdMove = sim::wb_key("cmd_move");
+const sim::WbKey kCmdDest = sim::wb_key("cmd_dest");
+const sim::WbKey kCmdReturn = sim::wb_key("cmd_return");
+const sim::WbKey kDispatchTarget = sim::wb_key("dispatch_target");
+const sim::WbKey kDispatchCount = sim::wb_key("dispatch_count");
+const sim::WbKey kPool = sim::wb_key("pool");
+const sim::WbKey kAllDone = sim::wb_key("all_done");
 
 /// Theorem 3's synchronizer-move components.
 enum class SyncComponent { kCollect, kToLevel, kNavigation, kEscort };
@@ -372,9 +373,9 @@ class SweepAgent final : public sim::Agent {
 struct SyncInstr {
   enum class Op : std::uint8_t { kMove, kWrite, kAwaitGe, kAwaitEq, kPhase };
   Op op;
-  graph::Vertex node = 0;   // kMove destination
-  const char* key = nullptr;
-  std::int64_t value = 0;   // also the level for kPhase
+  graph::Vertex node = 0;  // kMove destination
+  sim::WbKey key;          // invalid for kMove/kPhase
+  std::int64_t value = 0;  // also the level for kPhase
 };
 
 /// Builds the synchronizer's instruction tape with the shared driver.
@@ -412,7 +413,7 @@ class TapeBuilder final : public CleanProtocolDriver {
 
   void sync_goto(NodeId dest, SyncComponent /*component*/) override {
     tape_.push_back({SyncInstr::Op::kMove,
-                     static_cast<graph::Vertex>(dest), nullptr, 0});
+                     static_cast<graph::Vertex>(dest), {}, 0});
     sync_pos_ = dest;
   }
 
@@ -422,7 +423,7 @@ class TapeBuilder final : public CleanProtocolDriver {
   }
 
   void phase_mark(unsigned l) override {
-    tape_.push_back({SyncInstr::Op::kPhase, 0, nullptr,
+    tape_.push_back({SyncInstr::Op::kPhase, 0, {},
                      static_cast<std::int64_t>(l)});
   }
 

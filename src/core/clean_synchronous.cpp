@@ -11,7 +11,7 @@ namespace hcs::core {
 
 namespace {
 
-constexpr const char* kClaimed = "claimed";
+const sim::WbKey kClaimed = sim::wb_key("claimed");
 
 class SynchronousAgent final : public sim::Agent {
  public:

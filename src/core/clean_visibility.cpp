@@ -14,8 +14,10 @@ namespace hcs::core {
 
 namespace {
 
-constexpr const char* kReleased = "released";
-constexpr const char* kClaimed = "claimed";
+// Interned once at startup: the per-wake rule evaluation below runs with
+// dense integer keys only.
+const sim::WbKey kReleased = sim::wb_key("released");
+const sim::WbKey kClaimed = sim::wb_key("claimed");
 
 /// One atomic evaluation of the Section 4.2 rule for an agent at node x.
 ///
@@ -106,13 +108,13 @@ struct LocalViewCtx {
   [[nodiscard]] sim::NodeStatus status(graph::Vertex v) const {
     return view->status(v);
   }
-  [[nodiscard]] std::int64_t wb_get(const char* key) const {
+  [[nodiscard]] std::int64_t wb_get(sim::WbKey key) const {
     return view->whiteboard->get(key);
   }
-  void wb_set(const char* key, std::int64_t v) {
+  void wb_set(sim::WbKey key, std::int64_t v) {
     view->whiteboard->set(key, v);
   }
-  std::int64_t wb_add(const char* key, std::int64_t delta) {
+  std::int64_t wb_add(sim::WbKey key, std::int64_t delta) {
     return view->whiteboard->add(key, delta);
   }
 };
@@ -134,12 +136,6 @@ NodeId visibility_claim_destination(unsigned d, NodeId x,
   }
   HCS_EXPECTS(false && "claim exceeds the node's agent complement");
   return x;
-}
-
-std::uint64_t visibility_required_agents(unsigned d, NodeId x) {
-  const BitPos m = msb_position(x);
-  HCS_EXPECTS(d >= m);
-  return visibility_node_demand(d - m);
 }
 
 SearchPlan plan_clean_visibility(unsigned d, VisibilityStats* stats) {

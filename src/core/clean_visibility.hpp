@@ -27,9 +27,11 @@
 
 #include <cstdint>
 
+#include "core/formulas.hpp"
 #include "core/plan.hpp"
 #include "sim/engine.hpp"
 #include "sim/threaded_runtime.hpp"
+#include "util/assert.hpp"
 #include "util/bitops.hpp"
 
 namespace hcs::core {
@@ -47,8 +49,14 @@ struct VisibilityStats {
                                                   std::uint64_t claim);
 
 /// Agents that node x must accumulate before releasing: 2^(k-1) for type
-/// T(k >= 1), 1 for a leaf.
-[[nodiscard]] std::uint64_t visibility_required_agents(unsigned d, NodeId x);
+/// T(k >= 1), 1 for a leaf. Inline: the local rule evaluates it on every
+/// wake-up, so the bit arithmetic belongs in the caller's loop.
+[[nodiscard]] inline std::uint64_t visibility_required_agents(unsigned d,
+                                                              NodeId x) {
+  const BitPos m = msb_position(x);
+  HCS_EXPECTS(d >= m);
+  return visibility_node_demand(d - m);
+}
 
 /// The wave-synchronous schedule: round t moves the agents off every node
 /// of class C_t. Exactly d rounds.

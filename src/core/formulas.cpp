@@ -78,10 +78,6 @@ std::uint64_t visibility_team_size(unsigned d) {
   return std::uint64_t{1} << (d - 1);
 }
 
-std::uint64_t visibility_node_demand(unsigned k) {
-  return k == 0 ? 1 : (std::uint64_t{1} << (k - 1));
-}
-
 std::uint64_t visibility_moves(unsigned d) {
   HCS_EXPECTS(d >= 1);
   // Sum_{l=1}^{d} l C(d-1, l-1) = (d+1) * 2^(d-2); for d = 1 the single

@@ -61,8 +61,11 @@ namespace hcs::core {
 [[nodiscard]] std::uint64_t visibility_team_size(unsigned d);
 
 /// Agent demand of a node of type T(k) under Algorithm 2: 2^(k-1) agents
-/// (1 for a leaf).
-[[nodiscard]] std::uint64_t visibility_node_demand(unsigned k);
+/// (1 for a leaf). Constexpr inline: the visibility rule evaluates it for
+/// every child on every wake-up.
+[[nodiscard]] constexpr std::uint64_t visibility_node_demand(unsigned k) {
+  return k == 0 ? 1 : (std::uint64_t{1} << (k - 1));
+}
 
 /// Theorem 8 (exact): total moves = Sum_l l * C(d-1, l-1)
 /// = (n/4) * (log n + 1) = 2^(d-2) * (d+1); every agent walks from the

@@ -12,6 +12,7 @@ Graph make_hypercube(unsigned d) {
   HCS_EXPECTS(d >= 1 && d <= 30);  // 2^30 nodes is already 1 GiB of edges
   const std::size_t n = std::size_t{1} << d;
   GraphBuilder b(n);
+  b.mark_hypercube(d);
   for (std::size_t x = 0; x < n; ++x) {
     b.set_node_name(static_cast<Vertex>(x),
                     to_binary_string(static_cast<NodeId>(x), d));

@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/assert.hpp"
 
@@ -18,6 +19,12 @@ std::span<const HalfEdge> Graph::neighbors(Vertex v) const {
 
 std::optional<HalfEdge> Graph::edge_with_label(Vertex v,
                                                PortLabel label) const {
+  if (hc_dim_ != 0) {
+    HCS_EXPECTS(v < num_nodes());
+    if (label < 1 || label > hc_dim_) return std::nullopt;
+    return HalfEdge{label, static_cast<Vertex>(v ^ (Vertex{1} << (label - 1))),
+                    label};
+  }
   const auto nbrs = neighbors(v);
   const auto it = std::lower_bound(
       nbrs.begin(), nbrs.end(), label,
@@ -26,13 +33,13 @@ std::optional<HalfEdge> Graph::edge_with_label(Vertex v,
   return *it;
 }
 
-Vertex Graph::neighbor_via(Vertex v, PortLabel label) const {
+Vertex Graph::neighbor_via_generic(Vertex v, PortLabel label) const {
   const auto he = edge_with_label(v, label);
   HCS_EXPECTS(he.has_value());
   return he->to;
 }
 
-bool Graph::has_edge(Vertex u, Vertex v) const {
+bool Graph::has_edge_generic(Vertex u, Vertex v) const {
   for (const HalfEdge& he : neighbors(u)) {
     if (he.to == v) return true;
   }
@@ -40,6 +47,12 @@ bool Graph::has_edge(Vertex u, Vertex v) const {
 }
 
 PortLabel Graph::label_of_edge(Vertex u, Vertex v) const {
+  if (hc_dim_ != 0) {
+    HCS_EXPECTS(u < num_nodes() && v < num_nodes());
+    HCS_EXPECTS(std::has_single_bit(u ^ v) &&
+                "label_of_edge: no such edge");
+    return static_cast<PortLabel>(std::countr_zero(u ^ v) + 1);
+  }
   for (const HalfEdge& he : neighbors(u)) {
     if (he.to == v) return he.label;
   }
@@ -77,6 +90,13 @@ void GraphBuilder::set_node_name(Vertex v, std::string name) {
   names_[v] = std::move(name);
 }
 
+void GraphBuilder::mark_hypercube(unsigned d) {
+  HCS_EXPECTS(d >= 1 && d <= 30);
+  HCS_EXPECTS(num_nodes_ == (std::size_t{1} << d) &&
+              "hypercube hint requires 2^d nodes");
+  hc_dim_ = d;
+}
+
 Graph GraphBuilder::finalize() {
   Graph g;
   g.offsets_.assign(num_nodes_ + 1, 0);
@@ -111,10 +131,29 @@ Graph GraphBuilder::finalize() {
     }
   }
   g.names_ = std::move(names_);
+  if (hc_dim_ != 0) {
+    // Verify the hint before trusting it: every node must have exactly the
+    // implicit adjacency (degree d, label j at both ends leading to the
+    // bit-j-flipped neighbour). One O(m) pass at build time buys O(1)
+    // adjacency queries for the rest of the run.
+    HCS_ASSERT(g.num_edges() == (std::size_t{hc_dim_} << (hc_dim_ - 1)));
+    for (std::size_t v = 0; v < num_nodes_; ++v) {
+      const auto span = g.neighbors(static_cast<Vertex>(v));
+      HCS_ASSERT(span.size() == hc_dim_);
+      for (unsigned j = 1; j <= hc_dim_; ++j) {
+        const HalfEdge& he = span[j - 1];
+        HCS_ASSERT(he.label == j && he.label_at_other_end == j &&
+                   he.to == (static_cast<Vertex>(v) ^ (Vertex{1} << (j - 1))) &&
+                   "hypercube hint does not match the built adjacency");
+      }
+    }
+    g.hc_dim_ = hc_dim_;
+  }
 
   edges_.clear();
   degrees_.assign(num_nodes_, 0);
   names_.clear();
+  hc_dim_ = 0;
   return g;
 }
 

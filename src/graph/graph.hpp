@@ -15,11 +15,14 @@
 
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/assert.hpp"
 
 namespace hcs::graph {
 
@@ -44,6 +47,17 @@ struct HalfEdge {
 class GraphBuilder;
 
 /// Immutable port-labelled undirected graph in compressed adjacency form.
+///
+/// Graphs built by make_hypercube carry an *implicit topology hint*
+/// (hypercube_dim() != 0): node ids are the paper's d-bit strings, the
+/// neighbour across port j (1-based) is `v ^ (1 << (j-1))`, and the label
+/// is identical at both endpoints. The hint turns neighbor_via, has_edge,
+/// label_of_edge and edge_with_label into pure bit arithmetic -- no memory
+/// traffic -- which matters because the contracts in the simulation hot
+/// path (per-move adjacency checks, the visibility rule's neighbour scans,
+/// recontamination floods) run in every build type. neighbors() still
+/// serves the materialized spans, so span-based callers are unaffected,
+/// and non-hypercube graphs keep the compressed-adjacency path throughout.
 class Graph {
  public:
   Graph() = default;
@@ -56,15 +70,37 @@ class Graph {
   /// Incident edges of v, sorted by label.
   [[nodiscard]] std::span<const HalfEdge> neighbors(Vertex v) const;
 
-  /// The half-edge at v with the given label, if any (binary search).
+  /// The half-edge at v with the given label, if any (O(1) for hypercubes,
+  /// binary search otherwise).
   [[nodiscard]] std::optional<HalfEdge> edge_with_label(Vertex v,
                                                         PortLabel label) const;
 
   /// The neighbour reached from v via `label`; aborts if no such port.
-  [[nodiscard]] Vertex neighbor_via(Vertex v, PortLabel label) const;
+  /// Inline: the hypercube case is two bit ops and sits inside the
+  /// per-move validation of the simulation hot path.
+  [[nodiscard]] Vertex neighbor_via(Vertex v, PortLabel label) const {
+    if (hc_dim_ != 0) {
+      HCS_EXPECTS(v < num_nodes());
+      HCS_EXPECTS(label >= 1 && label <= hc_dim_);
+      return static_cast<Vertex>(v ^ (Vertex{1} << (label - 1)));
+    }
+    return neighbor_via_generic(v, label);
+  }
 
-  /// True iff (u, v) is an edge (linear in degree(u)).
-  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+  /// True iff (u, v) is an edge (O(1) for hypercubes, linear in degree(u)
+  /// otherwise). Inline for the same reason as neighbor_via: the
+  /// visibility rule's status() contract checks it per neighbour per step.
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const {
+    if (hc_dim_ != 0) {
+      HCS_EXPECTS(u < num_nodes() && v < num_nodes());
+      // Power-of-two test spelled as ALU ops: std::has_single_bit lowers
+      // to a libgcc __popcountdi2 call on baseline x86-64, and this check
+      // runs per neighbour probe in the visibility rule.
+      const Vertex diff = u ^ v;
+      return diff != 0 && (diff & (diff - 1)) == 0;
+    }
+    return has_edge_generic(u, v);
+  }
 
   /// The label at u of edge (u, v); aborts if (u, v) is not an edge.
   [[nodiscard]] PortLabel label_of_edge(Vertex u, Vertex v) const;
@@ -75,13 +111,60 @@ class Graph {
   /// Total degree summed over nodes (== 2 * num_edges()).
   [[nodiscard]] std::size_t total_degree() const { return half_edges_.size(); }
 
+  /// Non-zero iff this graph is a hypercube built with the implicit
+  /// topology hint; the value is its dimension d.
+  [[nodiscard]] unsigned hypercube_dim() const { return hc_dim_; }
+  [[nodiscard]] bool is_hypercube() const { return hc_dim_ != 0; }
+
+  /// A copy with the hypercube hint stripped: identical adjacency served
+  /// exclusively through the generic compressed path. Ablation/test hook
+  /// (the differential suite proves both paths byte-equivalent).
+  [[nodiscard]] Graph without_topology_hint() const {
+    Graph g = *this;
+    g.hc_dim_ = 0;
+    return g;
+  }
+
  private:
   friend class GraphBuilder;
+
+  [[nodiscard]] Vertex neighbor_via_generic(Vertex v, PortLabel label) const;
+  [[nodiscard]] bool has_edge_generic(Vertex u, Vertex v) const;
 
   std::vector<std::size_t> offsets_;   // size num_nodes()+1
   std::vector<HalfEdge> half_edges_;   // grouped by node, sorted by label
   std::vector<std::string> names_;     // may be empty
+  unsigned hc_dim_ = 0;                // 0 = no implicit topology
 };
+
+/// Visits the neighbours of v in port-label order, invoking fn(Vertex).
+/// Dispatches to the implicit xor loop for hypercubes (label j leads to
+/// v ^ (1 << (j-1)), so ascending j matches the label-sorted span order)
+/// and to the adjacency span otherwise.
+template <typename Fn>
+void for_each_neighbor(const Graph& g, Vertex v, Fn&& fn) {
+  if (const unsigned d = g.hypercube_dim(); d != 0) {
+    for (unsigned j = 0; j < d; ++j) fn(static_cast<Vertex>(v ^ (Vertex{1} << j)));
+  } else {
+    for (const HalfEdge& he : g.neighbors(v)) fn(he.to);
+  }
+}
+
+/// True iff fn(neighbour) returns true for some neighbour of v; stops at
+/// the first hit. Same visit order as for_each_neighbor.
+template <typename Fn>
+bool any_neighbor(const Graph& g, Vertex v, Fn&& fn) {
+  if (const unsigned d = g.hypercube_dim(); d != 0) {
+    for (unsigned j = 0; j < d; ++j) {
+      if (fn(static_cast<Vertex>(v ^ (Vertex{1} << j)))) return true;
+    }
+    return false;
+  }
+  for (const HalfEdge& he : g.neighbors(v)) {
+    if (fn(he.to)) return true;
+  }
+  return false;
+}
 
 /// Mutable edge accumulator; finalize() produces an immutable Graph.
 class GraphBuilder {
@@ -100,6 +183,12 @@ class GraphBuilder {
   /// Optional display name for a node.
   void set_node_name(Vertex v, std::string name);
 
+  /// Declares that the finished graph is the d-dimensional hypercube with
+  /// node ids as bit strings and labels = 1-based differing-bit positions.
+  /// finalize() verifies the claim and enables the implicit-topology fast
+  /// paths on the produced Graph.
+  void mark_hypercube(unsigned d);
+
   [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
 
   /// Validates labels and produces the immutable Graph. The builder is left
@@ -116,6 +205,7 @@ class GraphBuilder {
   std::vector<PendingEdge> edges_;
   std::vector<std::size_t> degrees_;
   std::vector<std::string> names_;
+  unsigned hc_dim_ = 0;
 };
 
 }  // namespace hcs::graph

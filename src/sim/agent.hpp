@@ -27,6 +27,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/types.hpp"
+#include "sim/wb_key.hpp"
 
 namespace hcs::sim {
 
@@ -99,7 +100,15 @@ class AgentContext {
   /// True iff the engine runs the visibility model (Section 4).
   [[nodiscard]] bool visibility() const;
 
-  // Local whiteboard (always permitted).
+  // Local whiteboard (always permitted). The WbKey overloads are the hot
+  // path: protocols intern their keys once (file-scope wb_key(...) call)
+  // and pay no hashing or string compare per access. The std::string
+  // overloads intern on every call and forward; fine for tests and
+  // occasional writes.
+  [[nodiscard]] std::int64_t wb_get(WbKey key, std::int64_t fallback = 0) const;
+  void wb_set(WbKey key, std::int64_t value);
+  std::int64_t wb_add(WbKey key, std::int64_t delta);
+  void wb_erase(WbKey key);
   [[nodiscard]] std::int64_t wb_get(const std::string& key,
                                     std::int64_t fallback = 0) const;
   void wb_set(const std::string& key, std::int64_t value);
@@ -108,6 +117,9 @@ class AgentContext {
 
   // Neighbour whiteboards (visibility model only; Section 4.2: "the agents
   // can access the local whiteboard and the whiteboards of the neighbours").
+  [[nodiscard]] std::int64_t wb_get_at(graph::Vertex v, WbKey key,
+                                       std::int64_t fallback = 0) const;
+  void wb_set_at(graph::Vertex v, WbKey key, std::int64_t value);
   [[nodiscard]] std::int64_t wb_get_at(graph::Vertex v, const std::string& key,
                                        std::int64_t fallback = 0) const;
   void wb_set_at(graph::Vertex v, const std::string& key, std::int64_t value);

@@ -23,6 +23,7 @@ Engine::Engine(Network& net, Config cfg)
   if (fault_sched_.active()) {
     wake_count_.assign(net.num_nodes(), 0);
     wb_write_count_.assign(net.num_nodes(), 0);
+    wb_journal_.resize(net.num_nodes());
     install_wb_hooks();
   }
 }
@@ -37,26 +38,26 @@ Engine::~Engine() {
 void Engine::install_wb_hooks() {
   for (graph::Vertex v = 0; v < net_->num_nodes(); ++v) {
     net_->whiteboard(v).set_write_hook(
-        [this, v](Whiteboard& wb, const std::string& key) {
+        [this, v](Whiteboard& wb, WbKey key) {
           const std::uint64_t idx = wb_write_count_[v]++;
           const auto node = static_cast<std::uint32_t>(v);
           if (fault_sched_.lose_write(node, idx)) {
             // Journal the just-committed value: it is what the recovery
             // layer later re-derives from the neighbourhood.
-            wb_journal_[{v, key}] = wb.get(key);
+            wb_journal_.note(v, key, wb.get(key));
             wb.erase(key);
             ++degradation_.wb_entries_lost;
             net_->trace().record_lazy(now_, TraceKind::kFault, kNoAgent, v, v,
-                                      [&] { return "wb lost: " + key; });
+                                      [&] { return "wb lost: " + wb_key_name(key); });
           } else if (fault_sched_.corrupt_write(node, idx)) {
-            wb_journal_[{v, key}] = wb.get(key);
+            wb_journal_.note(v, key, wb.get(key));
             wb.set(key, fault_sched_.corrupt_value(node, idx));
             ++degradation_.wb_entries_corrupted;
             net_->trace().record_lazy(now_, TraceKind::kFault, kNoAgent, v, v,
-                                      [&] { return "wb corrupted: " + key; });
+                                      [&] { return "wb corrupted: " + wb_key_name(key); });
           } else {
             // A good write supersedes any pending repair of this entry.
-            wb_journal_.erase({v, key});
+            wb_journal_.forget(v, key);
           }
         });
   }
@@ -68,10 +69,12 @@ AgentId Engine::spawn(std::unique_ptr<Agent> agent, graph::Vertex at) {
   const auto id = static_cast<AgentId>(agents_.size());
   AgentRecord rec;
   rec.role = agent->role();
+  rec.role_key = wb_key(rec.role);
+  rec.fault_exempt = rec.role == "intruder";
   rec.logic = std::move(agent);
   rec.at = at;
-  rec.state = AgentState::kRunnable;
   agents_.push_back(std::move(rec));
+  agent_state_.push_back(AgentState::kRunnable);
   runnable_.push_back(id);
   ++obs_tallies_.spawns;
   net_->on_agent_placed(id, at, now_);
@@ -84,9 +87,16 @@ graph::Vertex Engine::agent_position(AgentId a) const {
   return agents_[a].at;
 }
 
+// Flattened: the dispatch loop is the simulator's innermost loop, and
+// folding pick_runnable / step_agent / handle_event / wake_node into one
+// frame removes a call boundary per agent step. (The attribute is a GCC /
+// Clang extension; other compilers simply ignore it.)
+#if defined(__GNUC__)
+[[gnu::flatten]]
+#endif
 void Engine::run_to_quiescence() {
   while (abort_reason_ == AbortReason::kNone) {
-    if (!runnable_.empty()) {
+    if (runnable_count() != 0) {
       if (steps_taken_ >= cfg_.max_agent_steps) {
         abort_reason_ = AbortReason::kStepCap;
         break;
@@ -99,8 +109,9 @@ void Engine::run_to_quiescence() {
       continue;
     }
     if (events_.empty()) break;
-    const Event e = events_.top();
-    events_.pop();
+    std::pop_heap(events_.begin(), events_.end(), std::greater<Event>{});
+    const Event e = events_.back();
+    events_.pop_back();
     HCS_ASSERT(e.time >= now_);
     now_ = e.time;
     ++net_->metrics().events_processed;
@@ -115,8 +126,21 @@ Engine::RunResult Engine::run() {
   obs::ScopedSink obs_sink(cfg_.obs);
   obs::Span run_span(cfg_.obs, "engine.run");
 
+  // Size the hot containers once: the event heap holds at most one entry
+  // per in-flight agent (plus spurious timers), so a small multiple of the
+  // team size removes all mid-run reallocation.
+  const std::size_t team = std::max<std::size_t>(64, 2 * agents_.size());
+  events_.reserve(team);
+  runnable_.reserve(team);
+
+  // Metrics step accounting is settled once per run from the engine-local
+  // counter: nothing reads metrics().agent_steps mid-run, and the dispatch
+  // loop already maintains steps_taken_ for the step-cap/livelock guards.
+  const std::uint64_t steps_before = steps_taken_;
+
   run_to_quiescence();
   if (fault_sched_.active() && cfg_.recovery.enabled) run_recovery();
+  net_->metrics().agent_steps += steps_taken_ - steps_before;
 
   obs_flush();
   net_->finalize_metrics();
@@ -125,8 +149,8 @@ Engine::RunResult Engine::run() {
   result.abort_reason = abort_reason_;
   result.end_time = now_;
   result.capture_time = capture_time_;
-  for (const AgentRecord& rec : agents_) {
-    switch (rec.state) {
+  for (const AgentState state : agent_state_) {
+    switch (state) {
       case AgentState::kDone:
         ++result.terminated;
         break;
@@ -146,12 +170,11 @@ Engine::RunResult Engine::run() {
 }
 
 void Engine::crash_agent(AgentId a, bool counted_at, const char* what) {
-  AgentRecord& rec = agents_[a];
-  rec.state = AgentState::kCrashed;
+  agent_state_[a] = AgentState::kCrashed;
   // Attribute any recontamination flood the lost guard causes to the fault
   // rather than to the protocol.
   const std::uint64_t before = net_->metrics().recontamination_events;
-  net_->on_agent_crashed(a, rec.at, now_, counted_at, what);
+  net_->on_agent_crashed(a, agents_[a].at, now_, counted_at, what);
   degradation_.recontaminations_attributed +=
       net_->metrics().recontamination_events - before;
   last_progress_step_ = steps_taken_;
@@ -164,16 +187,16 @@ void Engine::restore_whiteboards() {
   if (wb_journal_.empty()) return;
   // The hook may damage a restored write again (the restore is itself a
   // write with its own logical index), refilling the journal for the next
-  // round; detach first so the iteration stays valid.
-  const auto journal = std::move(wb_journal_);
-  wb_journal_.clear();
-  for (const auto& [where, value] : journal) {
+  // round; drain() detaches (and orders) the entries first so the
+  // iteration stays valid.
+  const auto journal = wb_journal_.drain();
+  for (const auto& entry : journal) {
     net_->trace().record_lazy(
-        now_, TraceKind::kFault, kNoAgent, where.first, where.first,
-        [&] { return "wb restored: " + where.second; });
-    net_->whiteboard(where.first).set(where.second, value);
+        now_, TraceKind::kFault, kNoAgent, entry.node, entry.node,
+        [&] { return "wb restored: " + wb_key_name(entry.key); });
+    net_->whiteboard(entry.node).set(entry.key, entry.value);
     ++degradation_.wb_faults_detected;
-    wake_node(where.first);
+    wake_node(entry.node);
   }
 }
 
@@ -257,29 +280,46 @@ void Engine::run_recovery() {
 }
 
 AgentId Engine::pick_runnable() {
-  HCS_ASSERT(!runnable_.empty());
-  std::size_t idx = 0;
+  HCS_ASSERT(runnable_count() > 0);
+  std::size_t idx = runnable_head_;
   switch (cfg_.policy) {
     case WakePolicy::kFifo:
-      idx = 0;
       break;
     case WakePolicy::kRandom:
-      idx = static_cast<std::size_t>(rng_.below(runnable_.size()));
+      // Draw over the *logical* count so the RNG stream is identical to
+      // the pre-head-index implementation (runs stay replayable across
+      // versions).
+      idx = runnable_head_ + static_cast<std::size_t>(rng_.below(runnable_count()));
       break;
   }
   const AgentId a = runnable_[idx];
-  runnable_.erase(runnable_.begin() + static_cast<std::ptrdiff_t>(idx));
+  if (idx == runnable_head_) {
+    // FIFO pop (and the kRandom draw of the front): O(1), no shifting.
+    ++runnable_head_;
+  } else {
+    // Middle removal keeps relative order, as the old erase did.
+    runnable_.erase(runnable_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  // Compact the spent prefix once it dominates the vector; amortized O(1).
+  if (runnable_head_ >= 64 && runnable_head_ * 2 >= runnable_.size()) {
+    runnable_.erase(runnable_.begin(),
+                    runnable_.begin() + static_cast<std::ptrdiff_t>(runnable_head_));
+    runnable_head_ = 0;
+  }
   return a;
 }
 
 void Engine::step_agent(AgentId a) {
-  AgentRecord& rec = agents_[a];
-  HCS_ASSERT(rec.state == AgentState::kRunnable);
+  HCS_ASSERT(agent_state_[a] == AgentState::kRunnable);
   ++steps_taken_;
-  ++net_->metrics().agent_steps;
 
-  AgentContext ctx(*this, a, rec.at);
-  const Action action = rec.logic->step(ctx);
+  // step() may clone, which push_backs into agents_ and can reallocate:
+  // take the logic pointer (the Agent object itself never moves) and
+  // re-fetch the record afterwards instead of holding a reference across
+  // the call.
+  AgentContext ctx(*this, a, agents_[a].at);
+  const Action action = agents_[a].logic->step(ctx);
+  AgentRecord& rec = agents_[a];
 
   switch (action.kind) {
     case Action::Kind::kMove: {
@@ -293,16 +333,15 @@ void Engine::step_agent(AgentId a) {
         to = net_->graph().neighbor_via(from, action.port);
       }
       // Fault gate: each traversal decision is one crash/stall opportunity,
-      // keyed on the agent's logical move counter. The intruder is part of
-      // the threat model, not of the searcher team, and never fails.
-      const bool faultable = fault_sched_.active() && rec.role != "intruder";
+      // keyed on the agent's logical move counter.
+      const bool faultable = fault_sched_.active() && !rec.fault_exempt;
       const std::uint64_t move_index = rec.moves++;
       if (faultable && fault_sched_.crash_at_node(a, move_index)) {
         ++degradation_.crashes;
         crash_agent(a, /*counted_at=*/true, "crash-stop at node");
         break;
       }
-      rec.state = AgentState::kInTransit;
+      agent_state_[a] = AgentState::kInTransit;
       rec.moving_to = to;
       if (faultable && fault_sched_.crash_in_transit(a, move_index)) {
         ++degradation_.crashes;
@@ -310,7 +349,7 @@ void Engine::step_agent(AgentId a) {
         rec.crash_on_arrival = true;
       }
       ++obs_tallies_.move_starts;
-      net_->on_agent_departed(a, from, to, now_, rec.role);
+      net_->on_agent_departed(a, from, to, now_, rec.role_key);
       wake_node(from);
       SimTime dt = cfg_.delay.sample(rng_);
       if (faultable && fault_sched_.stall_link(a, move_index)) {
@@ -324,20 +363,20 @@ void Engine::step_agent(AgentId a) {
       break;
     }
     case Action::Kind::kWait:
-      rec.state = AgentState::kWaiting;
+      agent_state_[a] = AgentState::kWaiting;
       waiting_at_[rec.at].push_back(a);
       break;
     case Action::Kind::kWaitGlobal:
-      rec.state = AgentState::kWaitingGlobal;
+      agent_state_[a] = AgentState::kWaitingGlobal;
       waiting_global_.push_back(a);
       break;
     case Action::Kind::kIdle:
       HCS_ASSERT(action.duration >= 0);
-      rec.state = AgentState::kSleeping;
+      agent_state_[a] = AgentState::kSleeping;
       schedule(a, now_ + action.duration);
       break;
     case Action::Kind::kTerminate:
-      rec.state = AgentState::kDone;
+      agent_state_[a] = AgentState::kDone;
       ++obs_tallies_.terminations;
       net_->on_agent_terminated(a, rec.at, now_);
       last_progress_step_ = steps_taken_;
@@ -347,7 +386,7 @@ void Engine::step_agent(AgentId a) {
 
 void Engine::handle_event(const Event& e) {
   AgentRecord& rec = agents_[e.agent];
-  switch (rec.state) {
+  switch (agent_state_[e.agent]) {
     case AgentState::kInTransit: {
       if (rec.crash_on_arrival) {
         // The agent died mid-edge: it never arrives. Under kAtomicArrival
@@ -361,7 +400,7 @@ void Engine::handle_event(const Event& e) {
       }
       const graph::Vertex from = rec.at;
       rec.at = rec.moving_to;
-      rec.state = AgentState::kRunnable;
+      agent_state_[e.agent] = AgentState::kRunnable;
       runnable_.push_back(e.agent);
       ++obs_tallies_.move_ends;
       net_->on_agent_arrived(e.agent, rec.at, from, now_);
@@ -377,7 +416,7 @@ void Engine::handle_event(const Event& e) {
       break;
     }
     case AgentState::kSleeping:
-      rec.state = AgentState::kRunnable;
+      agent_state_[e.agent] = AgentState::kRunnable;
       runnable_.push_back(e.agent);
       break;
     case AgentState::kRunnable:
@@ -392,12 +431,9 @@ void Engine::handle_event(const Event& e) {
 }
 
 void Engine::make_runnable(AgentId a) {
-  AgentRecord& rec = agents_[a];
-  if (rec.state != AgentState::kWaiting &&
-      rec.state != AgentState::kWaitingGlobal) {
-    return;
-  }
-  rec.state = AgentState::kRunnable;
+  const AgentState s = agent_state_[a];
+  if (s != AgentState::kWaiting && s != AgentState::kWaitingGlobal) return;
+  agent_state_[a] = AgentState::kRunnable;
   runnable_.push_back(a);
 }
 
@@ -418,18 +454,23 @@ void Engine::wake_node(graph::Vertex v) {
     }
   }
   // Waiters re-register if their condition is still unmet, so detach the
-  // current list first (make_runnable may not re-enter wake_node, but a
-  // woken agent's step can).
-  std::vector<AgentId> to_wake;
-  to_wake.swap(waiters);
-  for (AgentId a : to_wake) make_runnable(a);
+  // current list first. Member scratch instead of a fresh vector: the swap
+  // circulates buffers between the per-node lists and the scratch, so a
+  // steady-state run never allocates here. make_runnable cannot re-enter
+  // wake_node (it only pushes to runnable_); the guard asserts that.
+  HCS_ASSERT(!in_wake_);
+  in_wake_ = true;
+  wake_scratch_.clear();
+  wake_scratch_.swap(waiters);
+  for (AgentId a : wake_scratch_) make_runnable(a);
+  in_wake_ = false;
 }
 
 void Engine::wake_global() {
   ++obs_tallies_.global_wakes;
-  std::vector<AgentId> to_wake;
-  to_wake.swap(waiting_global_);
-  for (AgentId a : to_wake) make_runnable(a);
+  wake_global_scratch_.clear();
+  wake_global_scratch_.swap(waiting_global_);
+  for (AgentId a : wake_global_scratch_) make_runnable(a);
 }
 
 void Engine::on_status_change(graph::Vertex v, NodeStatus /*s*/,
@@ -437,14 +478,14 @@ void Engine::on_status_change(graph::Vertex v, NodeStatus /*s*/,
   ++obs_tallies_.status_changes;
   wake_node(v);
   if (cfg_.visibility) {
-    for (const graph::HalfEdge& he : net_->graph().neighbors(v)) {
-      wake_node(he.to);
-    }
+    graph::for_each_neighbor(net_->graph(), v,
+                             [this](graph::Vertex w) { wake_node(w); });
   }
 }
 
 void Engine::schedule(AgentId a, SimTime at) {
-  events_.push(Event{at, next_seq_++, a});
+  events_.push_back(Event{at, next_seq_++, a});
+  std::push_heap(events_.begin(), events_.end(), std::greater<Event>{});
   if (events_.size() > obs_tallies_.peak_queue) {
     obs_tallies_.peak_queue = events_.size();
   }
@@ -452,11 +493,22 @@ void Engine::schedule(AgentId a, SimTime at) {
 
 void Engine::obs_sim_phase(const std::string& track, std::string name) {
   if (cfg_.obs == nullptr) return;
-  auto& open = obs_phases_[track];
-  if (!open.first.empty()) {
-    cfg_.obs->sim_span(open.first, track, open.second, now_);
+  ObsPhase* open = nullptr;
+  for (ObsPhase& p : obs_phases_) {
+    if (p.track == track) {
+      open = &p;
+      break;
+    }
   }
-  open = {std::move(name), now_};
+  if (open == nullptr) {
+    obs_phases_.push_back(ObsPhase{track, {}, now_});
+    open = &obs_phases_.back();
+  }
+  if (!open->name.empty()) {
+    cfg_.obs->sim_span(open->name, track, open->start, now_);
+  }
+  open->name = std::move(name);
+  open->start = now_;
 }
 
 void Engine::obs_flush() {
@@ -481,11 +533,14 @@ void Engine::obs_flush() {
   obs->gauge_max("engine.queue_depth.peak",
                  static_cast<double>(obs_tallies_.peak_queue));
 
-  // Close any strategy phase still open at the end of the run.
-  for (auto& [track, open] : obs_phases_) {
-    if (!open.first.empty()) {
-      obs->sim_span(open.first, track, open.second, now_);
-      open.first.clear();
+  // Close any strategy phase still open at the end of the run. Sorted by
+  // track so the flush order matches the old map-keyed implementation.
+  std::sort(obs_phases_.begin(), obs_phases_.end(),
+            [](const ObsPhase& a, const ObsPhase& b) { return a.track < b.track; });
+  for (ObsPhase& open : obs_phases_) {
+    if (!open.name.empty()) {
+      obs->sim_span(open.name, open.track, open.start, now_);
+      open.name.clear();
     }
   }
   obs_tallies_ = {};
@@ -496,60 +551,12 @@ void Engine::obs_flush() {
 AgentContext::AgentContext(Engine& engine, AgentId self, graph::Vertex here)
     : engine_(engine), self_(self), here_(here) {}
 
-SimTime AgentContext::now() const { return engine_.now(); }
-
-const graph::Graph& AgentContext::graph() const {
-  return engine_.network().graph();
-}
-
-std::size_t AgentContext::agents_here() const {
-  return engine_.network().agents_at(here_);
-}
-
-NodeStatus AgentContext::status(graph::Vertex v) const {
-  if (v != here_) {
-    HCS_EXPECTS(engine_.config().visibility &&
-                "neighbour status requires the visibility model");
-    HCS_EXPECTS(engine_.network().graph().has_edge(here_, v));
-  }
-  return engine_.network().status(v);
-}
-
-bool AgentContext::visibility() const { return engine_.config().visibility; }
-
-std::int64_t AgentContext::wb_get(const std::string& key,
-                                  std::int64_t fallback) const {
-  return engine_.network().whiteboard(here_).get(key, fallback);
-}
-
-void AgentContext::wb_set(const std::string& key, std::int64_t value) {
-  engine_.network().whiteboard(here_).set(key, value);
-  ++engine_.obs_tallies_.wb_writes;
-  // Guard before building the event: the detail string copy must not be
-  // paid when tracing is off (asserted in test_trace.cpp).
-  if (Trace& trace = engine_.network().trace(); trace.enabled()) {
-    trace.record({now(), TraceKind::kWhiteboard, self_, here_, here_, key});
-  }
-  engine_.wake_node(here_);
-}
-
-std::int64_t AgentContext::wb_add(const std::string& key,
-                                  std::int64_t delta) {
-  const std::int64_t v = engine_.network().whiteboard(here_).add(key, delta);
-  ++engine_.obs_tallies_.wb_writes;
-  if (Trace& trace = engine_.network().trace(); trace.enabled()) {
-    trace.record({now(), TraceKind::kWhiteboard, self_, here_, here_, key});
-  }
-  engine_.wake_node(here_);
-  return v;
-}
-
-void AgentContext::wb_erase(const std::string& key) {
+void AgentContext::wb_erase(WbKey key) {
   engine_.network().whiteboard(here_).erase(key);
   engine_.wake_node(here_);
 }
 
-std::int64_t AgentContext::wb_get_at(graph::Vertex v, const std::string& key,
+std::int64_t AgentContext::wb_get_at(graph::Vertex v, WbKey key,
                                      std::int64_t fallback) const {
   if (v != here_) {
     HCS_EXPECTS(engine_.config().visibility &&
@@ -559,8 +566,7 @@ std::int64_t AgentContext::wb_get_at(graph::Vertex v, const std::string& key,
   return engine_.network().whiteboard(v).get(key, fallback);
 }
 
-void AgentContext::wb_set_at(graph::Vertex v, const std::string& key,
-                             std::int64_t value) {
+void AgentContext::wb_set_at(graph::Vertex v, WbKey key, std::int64_t value) {
   if (v != here_) {
     HCS_EXPECTS(engine_.config().visibility &&
                 "neighbour whiteboards require the visibility model");
@@ -569,9 +575,36 @@ void AgentContext::wb_set_at(graph::Vertex v, const std::string& key,
   engine_.network().whiteboard(v).set(key, value);
   ++engine_.obs_tallies_.wb_writes;
   if (Trace& trace = engine_.network().trace(); trace.enabled()) {
-    trace.record({now(), TraceKind::kWhiteboard, self_, v, v, key});
+    trace.record({now(), TraceKind::kWhiteboard, self_, v, v,
+                  wb_key_name(key)});
   }
   engine_.wake_node(v);
+}
+
+std::int64_t AgentContext::wb_get(const std::string& key,
+                                  std::int64_t fallback) const {
+  return wb_get(wb_key(key), fallback);
+}
+
+void AgentContext::wb_set(const std::string& key, std::int64_t value) {
+  wb_set(wb_key(key), value);
+}
+
+std::int64_t AgentContext::wb_add(const std::string& key,
+                                  std::int64_t delta) {
+  return wb_add(wb_key(key), delta);
+}
+
+void AgentContext::wb_erase(const std::string& key) { wb_erase(wb_key(key)); }
+
+std::int64_t AgentContext::wb_get_at(graph::Vertex v, const std::string& key,
+                                     std::int64_t fallback) const {
+  return wb_get_at(v, wb_key(key), fallback);
+}
+
+void AgentContext::wb_set_at(graph::Vertex v, const std::string& key,
+                             std::int64_t value) {
+  wb_set_at(v, wb_key(key), value);
 }
 
 void AgentContext::note(const std::string& detail) {
@@ -586,10 +619,6 @@ AgentId AgentContext::clone(std::unique_ptr<Agent> copy) {
 }
 
 void AgentContext::broadcast_signal() { engine_.wake_global(); }
-
-bool AgentContext::obs_enabled() const {
-  return obs::kEnabled && engine_.config().obs != nullptr;
-}
 
 void AgentContext::obs_count(std::string_view name, std::uint64_t delta) {
   if (obs::Registry* obs = engine_.config().obs) obs->counter_add(name, delta);

@@ -18,11 +18,8 @@
 
 #pragma once
 
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +31,7 @@
 #include "sim/network.hpp"
 #include "sim/options.hpp"
 #include "sim/types.hpp"
+#include "sim/wb_journal.hpp"
 #include "util/rng.hpp"
 
 namespace hcs::sim {
@@ -119,12 +117,20 @@ class Engine {
     kDone,
   };
 
+  /// Scheduling state lives outside the record, in agent_state_: the wake
+  /// loops scan states for whole waiter lists, and a dense byte vector
+  /// keeps that scan on one cache line instead of hopping deque chunks.
   struct AgentRecord {
     std::unique_ptr<Agent> logic;
     graph::Vertex at = 0;
     graph::Vertex moving_to = 0;
-    AgentState state = AgentState::kRunnable;
     std::string role;
+    /// Interned role, resolved once at spawn: per-move role accounting and
+    /// the intruder exemption check never touch the string again.
+    WbKey role_key;
+    /// The intruder is part of the threat model, not of the searcher team,
+    /// and never draws fault coins.
+    bool fault_exempt = false;
     /// Logical traversal counter: the fault key for crash/stall decisions.
     std::uint64_t moves = 0;
     /// Set when a crash-in-transit was drawn at departure; the agent dies
@@ -145,6 +151,12 @@ class Engine {
   void step_agent(AgentId a);
   void handle_event(const Event& e);
   AgentId pick_runnable();
+  /// Runnable agents not yet picked (runnable_ is consumed from a moving
+  /// head index so the FIFO pop is O(1); the spent prefix is compacted
+  /// lazily).
+  [[nodiscard]] std::size_t runnable_count() const {
+    return runnable_.size() - runnable_head_;
+  }
   void make_runnable(AgentId a);
   void wake_node(graph::Vertex v);
   void wake_global();
@@ -177,13 +189,30 @@ class Engine {
   bool captured_ = false;
   SimTime capture_time_ = -1.0;
 
-  // Deque, not vector: Agent::step may spawn clones mid-step, and push_back
-  // on a deque never invalidates references to existing records.
-  std::deque<AgentRecord> agents_;
+  /// Agent::step may spawn clones mid-step, which can reallocate this
+  /// vector: step_agent re-fetches its record after the step() call instead
+  /// of holding a reference across it (the Agent objects themselves live
+  /// behind unique_ptr and never move).
+  std::vector<AgentRecord> agents_;
+  /// Indexed by AgentId, parallel to agents_. Always access by index (a
+  /// clone's push_back may reallocate), never by held reference.
+  std::vector<AgentState> agent_state_;
   std::vector<AgentId> runnable_;
+  std::size_t runnable_head_ = 0;
   std::vector<std::vector<AgentId>> waiting_at_;  // per node
   std::vector<AgentId> waiting_global_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  /// Pending events as an explicit binary min-heap (std::push_heap /
+  /// std::pop_heap with std::greater): same ordering contract as the old
+  /// std::priority_queue, but the backing vector is reservable and its
+  /// capacity survives for the whole run.
+  std::vector<Event> events_;
+  /// Reused by wake_node / wake_global to detach the waiter list before
+  /// stepping through it (waiters re-register if still unmet); member
+  /// scratch so per-wake allocations vanish. Guarded against re-entrant
+  /// use by in_wake_ below.
+  std::vector<AgentId> wake_scratch_;
+  std::vector<AgentId> wake_global_scratch_;
+  bool in_wake_ = false;
 
   // --- fault machinery (all empty/idle when the schedule is inactive) ---
   std::vector<std::function<bool(AgentId)>> crash_observers_;
@@ -196,7 +225,7 @@ class Engine {
   /// (node, key) -> last good committed value for entries the fault layer
   /// damaged; models the recovery layer re-deriving lost whiteboard state
   /// from neighbours (see docs/MODEL.md). Cleared by later good writes.
-  std::map<std::pair<graph::Vertex, std::string>, std::int64_t> wb_journal_;
+  WbJournal wb_journal_;
 
   // --- observability (hot path: plain increments on a local struct; the
   // registry is only touched once per run, in obs_flush) ---
@@ -213,8 +242,76 @@ class Engine {
     std::uint64_t events = 0;
     std::size_t peak_queue = 0;
   } obs_tallies_;
-  /// Open sim-time phase per track: name and start time.
-  std::map<std::string, std::pair<std::string, SimTime>> obs_phases_;
+  /// Open sim-time phase per track: name and start time. A flat vector
+  /// (tracks number one or two per run) found by linear scan.
+  struct ObsPhase {
+    std::string track;
+    std::string name;
+    SimTime start = kTimeZero;
+  };
+  std::vector<ObsPhase> obs_phases_;
 };
+
+// ------------------------------------------------ AgentContext hot path
+//
+// Defined here rather than in agent.hpp because the bodies need the Engine
+// definition. Every strategy TU includes engine.hpp, so the per-step
+// whiteboard and status accesses inline straight into the agent's step()
+// body -- these are the innermost reads of the simulator.
+
+inline SimTime AgentContext::now() const { return engine_.now(); }
+
+inline const graph::Graph& AgentContext::graph() const {
+  return engine_.network().graph();
+}
+
+inline std::size_t AgentContext::agents_here() const {
+  return engine_.network().agents_at(here_);
+}
+
+inline NodeStatus AgentContext::status(graph::Vertex v) const {
+  if (v != here_) {
+    HCS_EXPECTS(engine_.config().visibility &&
+                "neighbour status requires the visibility model");
+    HCS_EXPECTS(engine_.network().graph().has_edge(here_, v));
+  }
+  return engine_.network().status(v);
+}
+
+inline bool AgentContext::visibility() const {
+  return engine_.config().visibility;
+}
+
+inline bool AgentContext::obs_enabled() const {
+  return obs::kEnabled && engine_.config().obs != nullptr;
+}
+
+inline std::int64_t AgentContext::wb_get(WbKey key,
+                                         std::int64_t fallback) const {
+  return engine_.network().whiteboard(here_).get(key, fallback);
+}
+
+inline void AgentContext::wb_set(WbKey key, std::int64_t value) {
+  engine_.network().whiteboard(here_).set(key, value);
+  ++engine_.obs_tallies_.wb_writes;
+  // Guard before building the event: the detail string copy must not be
+  // paid when tracing is off (asserted in test_trace.cpp).
+  if (Trace& trace = engine_.network().trace(); trace.enabled()) {
+    trace.record({now(), TraceKind::kWhiteboard, self_, here_, here_,
+                  wb_key_name(key)});
+  }
+  engine_.wake_node(here_);
+}
+
+inline std::int64_t AgentContext::wb_add(WbKey key, std::int64_t delta) {
+  const std::int64_t v = engine_.network().whiteboard(here_).add(key, delta);
+  ++engine_.obs_tallies_.wb_writes;
+  if (Trace& trace = engine_.network().trace(); trace.enabled()) {
+    trace.record({now(), TraceKind::kWhiteboard, self_, here_, here_,
+                  wb_key_name(key)});
+  }
+  engine_.wake_node(here_);
+  return v;
+}
 
 }  // namespace hcs::sim

@@ -1,9 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
-#include <deque>
 
-#include "graph/traversal.hpp"
 #include "util/assert.hpp"
 
 namespace hcs::sim {
@@ -19,37 +17,38 @@ Network::Network(const graph::Graph& g, graph::Vertex homebase)
   HCS_EXPECTS(homebase < g.num_nodes());
 }
 
-NodeStatus Network::status(graph::Vertex v) const {
-  HCS_EXPECTS(v < num_nodes());
-  return status_[v];
-}
-
-bool Network::visited(graph::Vertex v) const {
-  HCS_EXPECTS(v < num_nodes());
-  return visited_[v];
-}
-
-std::size_t Network::agents_at(graph::Vertex v) const {
-  HCS_EXPECTS(v < num_nodes());
-  return agent_count_[v];
-}
-
-Whiteboard& Network::whiteboard(graph::Vertex v) {
-  HCS_EXPECTS(v < num_nodes());
-  return whiteboards_[v];
-}
-
-const Whiteboard& Network::whiteboard(graph::Vertex v) const {
-  HCS_EXPECTS(v < num_nodes());
-  return whiteboards_[v];
-}
-
 bool Network::clean_region_connected() const {
-  std::vector<bool> clean_or_guarded(num_nodes());
-  for (graph::Vertex v = 0; v < num_nodes(); ++v) {
-    clean_or_guarded[v] = status_[v] != NodeStatus::kContaminated;
+  // Same contract as graph::is_connected_subset over the clean-or-guarded
+  // set (empty and singleton sets count as connected), but on reusable
+  // scratch buffers and through the implicit-topology neighbour walk.
+  const std::size_t n = num_nodes();
+  std::size_t members = 0;
+  graph::Vertex start = 0;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (status_[v] != NodeStatus::kContaminated) {
+      if (members == 0) start = v;
+      ++members;
+    }
   }
-  return graph::is_connected_subset(*graph_, clean_or_guarded);
+  if (members <= 1) return true;
+
+  region_mark_.assign(n, 0);
+  flood_stack_.clear();
+  flood_stack_.push_back(start);
+  region_mark_[start] = 1;
+  std::size_t seen = 1;
+  while (!flood_stack_.empty()) {
+    const graph::Vertex u = flood_stack_.back();
+    flood_stack_.pop_back();
+    graph::for_each_neighbor(*graph_, u, [&](graph::Vertex w) {
+      if (region_mark_[w] == 0 && status_[w] != NodeStatus::kContaminated) {
+        region_mark_[w] = 1;
+        ++seen;
+        flood_stack_.push_back(w);
+      }
+    });
+  }
+  return seen == members;
 }
 
 void Network::on_agent_placed(AgentId a, graph::Vertex v, SimTime t) {
@@ -61,13 +60,21 @@ void Network::on_agent_placed(AgentId a, graph::Vertex v, SimTime t) {
   if (status_[v] != NodeStatus::kGuarded) set_status(v, NodeStatus::kGuarded, t);
 }
 
+void Network::bump_role_moves(WbKey role) {
+  const std::size_t id = role.id();
+  if (id >= role_moves_.size()) role_moves_.resize(id + 1, nullptr);
+  if (role_moves_[id] == nullptr) {
+    role_moves_[id] = &metrics_.moves_by_role[wb_key_name(role)];
+  }
+  ++*role_moves_[id];
+}
+
 void Network::on_agent_departed(AgentId a, graph::Vertex from,
-                                graph::Vertex to, SimTime t,
-                                const std::string& role) {
+                                graph::Vertex to, SimTime t, WbKey role) {
   HCS_EXPECTS(from < num_nodes() && to < num_nodes());
   HCS_EXPECTS(agent_count_[from] > 0);
   ++metrics_.total_moves;
-  ++metrics_.moves_by_role[role];
+  bump_role_moves(role);
   trace_.record({t, TraceKind::kMoveStart, a, from, to, {}});
   if (semantics_ == MoveSemantics::kVacateOnDeparture) {
     --agent_count_[from];
@@ -141,20 +148,25 @@ void Network::set_status(graph::Vertex v, NodeStatus s, SimTime t) {
 
 void Network::recontaminate(graph::Vertex v, SimTime t) {
   // Flood from v through every unguarded (clean) node: the worst-case
-  // intruder occupies the entire region it can reach.
-  std::deque<graph::Vertex> queue{v};
+  // intruder occupies the entire region it can reach. Vector-backed stack
+  // (DFS) on a Network-owned scratch buffer: the flooded *set* is the
+  // reachability closure either way, and the stack never allocates after
+  // the first flood. On hypercubes the neighbour walk is pure bit
+  // arithmetic (graph::for_each_neighbor).
+  flood_stack_.clear();
+  flood_stack_.push_back(v);
   set_status(v, NodeStatus::kContaminated, t);
   ++metrics_.recontamination_events;
-  while (!queue.empty()) {
-    const graph::Vertex u = queue.front();
-    queue.pop_front();
-    for (const graph::HalfEdge& he : graph_->neighbors(u)) {
-      if (status_[he.to] == NodeStatus::kClean) {
-        set_status(he.to, NodeStatus::kContaminated, t);
+  while (!flood_stack_.empty()) {
+    const graph::Vertex u = flood_stack_.back();
+    flood_stack_.pop_back();
+    graph::for_each_neighbor(*graph_, u, [&](graph::Vertex w) {
+      if (status_[w] == NodeStatus::kClean) {
+        set_status(w, NodeStatus::kContaminated, t);
         ++metrics_.recontamination_events;
-        queue.push_back(he.to);
+        flood_stack_.push_back(w);
       }
-    }
+    });
   }
 }
 
@@ -162,13 +174,9 @@ void Network::node_vacated(graph::Vertex v, SimTime t) {
   HCS_ASSERT(visited_[v]);
   set_status(v, NodeStatus::kClean, t);
   // Safety check: does a contaminated neighbour see the now-unguarded v?
-  bool exposed = false;
-  for (const graph::HalfEdge& he : graph_->neighbors(v)) {
-    if (status_[he.to] == NodeStatus::kContaminated) {
-      exposed = true;
-      break;
-    }
-  }
+  const bool exposed = graph::any_neighbor(*graph_, v, [&](graph::Vertex w) {
+    return status_[w] == NodeStatus::kContaminated;
+  });
   if (!exposed) return;
   if (spread_) {
     recontaminate(v, t);

@@ -19,10 +19,13 @@
 #include <functional>
 #include <vector>
 
+#include "util/assert.hpp"
+
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
+#include "sim/wb_key.hpp"
 #include "sim/whiteboard.hpp"
 
 namespace hcs::sim {
@@ -62,12 +65,29 @@ class Network {
   [[nodiscard]] graph::Vertex homebase() const { return homebase_; }
   [[nodiscard]] std::size_t num_nodes() const { return graph_->num_nodes(); }
 
-  [[nodiscard]] NodeStatus status(graph::Vertex v) const;
-  [[nodiscard]] bool visited(graph::Vertex v) const;
-  [[nodiscard]] std::size_t agents_at(graph::Vertex v) const;
+  // Inline: these accessors are read on every agent step (the visibility
+  // rule alone polls status() for each smaller neighbour per wake-up).
+  [[nodiscard]] NodeStatus status(graph::Vertex v) const {
+    HCS_EXPECTS(v < num_nodes());
+    return status_[v];
+  }
+  [[nodiscard]] bool visited(graph::Vertex v) const {
+    HCS_EXPECTS(v < num_nodes());
+    return visited_[v];
+  }
+  [[nodiscard]] std::size_t agents_at(graph::Vertex v) const {
+    HCS_EXPECTS(v < num_nodes());
+    return agent_count_[v];
+  }
 
-  [[nodiscard]] Whiteboard& whiteboard(graph::Vertex v);
-  [[nodiscard]] const Whiteboard& whiteboard(graph::Vertex v) const;
+  [[nodiscard]] Whiteboard& whiteboard(graph::Vertex v) {
+    HCS_EXPECTS(v < num_nodes());
+    return whiteboards_[v];
+  }
+  [[nodiscard]] const Whiteboard& whiteboard(graph::Vertex v) const {
+    HCS_EXPECTS(v < num_nodes());
+    return whiteboards_[v];
+  }
 
   /// Number of currently contaminated nodes (maintained incrementally).
   [[nodiscard]] std::uint64_t contaminated_count() const {
@@ -108,8 +128,17 @@ class Network {
   void on_agent_placed(AgentId a, graph::Vertex v, SimTime t);
 
   /// Agent departs `from` heading to `to` (the edge traversal begins).
+  /// The role is an interned key (see wb_key.hpp): per-role move counters
+  /// are cached per key id, so the per-move accounting never touches the
+  /// string-keyed metrics map on the hot path.
   void on_agent_departed(AgentId a, graph::Vertex from, graph::Vertex to,
-                         SimTime t, const std::string& role);
+                         SimTime t, WbKey role);
+
+  /// String-shim overload for external callers; interns and forwards.
+  void on_agent_departed(AgentId a, graph::Vertex from, graph::Vertex to,
+                         SimTime t, const std::string& role) {
+    on_agent_departed(a, from, to, t, wb_key(role));
+  }
 
   /// Agent arrives at `to` (the edge traversal ends).
   void on_agent_arrived(AgentId a, graph::Vertex to, graph::Vertex from,
@@ -139,6 +168,9 @@ class Network {
   /// Called when the last agent leaves v.
   void node_vacated(graph::Vertex v, SimTime t);
 
+  /// Bumps the per-role move counter via the interned-id cache.
+  void bump_role_moves(WbKey role);
+
   const graph::Graph* graph_;
   graph::Vertex homebase_;
   std::vector<NodeStatus> status_;
@@ -151,6 +183,16 @@ class Network {
   std::vector<StatusCallback> on_status_;
   Metrics metrics_;
   Trace trace_;
+
+  /// Per-role-id pointers into metrics_.moves_by_role (std::map nodes are
+  /// stable, so the cached pointers survive later insertions). Indexed by
+  /// WbKey::id().
+  std::vector<std::uint64_t*> role_moves_;
+  /// Scratch buffers reused across recontamination floods and connectivity
+  /// checks; owned here so the hot path never allocates. Mutable: the
+  /// const clean_region_connected() query scribbles on them too.
+  mutable std::vector<graph::Vertex> flood_stack_;
+  mutable std::vector<std::uint8_t> region_mark_;
 };
 
 }  // namespace hcs::sim

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -12,6 +11,7 @@
 
 #include "fault/reclean.hpp"
 #include "obs/obs.hpp"
+#include "sim/wb_journal.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -44,7 +44,7 @@ struct Shared {
   fault::FaultSchedule faults;
   fault::DegradationReport degradation;
   std::vector<std::uint64_t> wb_write_count;
-  std::map<std::pair<graph::Vertex, std::string>, std::int64_t> wb_journal;
+  WbJournal wb_journal;
 
   SimTime now() const {
     return std::chrono::duration<double>(Clock::now() - start).count();
@@ -74,25 +74,25 @@ void install_wb_hooks(Shared& shared) {
   Network& net = *shared.net;
   for (graph::Vertex v = 0; v < net.num_nodes(); ++v) {
     net.whiteboard(v).set_write_hook(
-        [&shared, v](Whiteboard& wb, const std::string& key) {
+        [&shared, v](Whiteboard& wb, WbKey key) {
           const std::uint64_t idx = shared.wb_write_count[v]++;
           const auto node = static_cast<std::uint32_t>(v);
           if (shared.faults.lose_write(node, idx)) {
-            shared.wb_journal[{v, key}] = wb.get(key);
+            shared.wb_journal.note(v, key, wb.get(key));
             wb.erase(key);
             ++shared.degradation.wb_entries_lost;
             shared.net->trace().record_lazy(
                 shared.now(), TraceKind::kFault, kNoAgent, v, v,
-                [&] { return "wb lost: " + key; });
+                [&] { return "wb lost: " + wb_key_name(key); });
           } else if (shared.faults.corrupt_write(node, idx)) {
-            shared.wb_journal[{v, key}] = wb.get(key);
+            shared.wb_journal.note(v, key, wb.get(key));
             wb.set(key, shared.faults.corrupt_value(node, idx));
             ++shared.degradation.wb_entries_corrupted;
             shared.net->trace().record_lazy(
                 shared.now(), TraceKind::kFault, kNoAgent, v, v,
-                [&] { return "wb corrupted: " + key; });
+                [&] { return "wb corrupted: " + wb_key_name(key); });
           } else {
-            shared.wb_journal.erase({v, key});
+            shared.wb_journal.forget(v, key);
           }
         });
   }
@@ -109,6 +109,7 @@ void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
   Rng rng(seed);
   graph::Vertex here = shared.net->homebase();
   std::uint64_t moves = 0;  // logical fault key, like Engine's rec.moves
+  const WbKey agent_role = wb_key("agent");
 
   // Declared before the lock so it destructs (and takes the registry
   // mutex to merge) only after shared.mutex has been released -- no lock
@@ -186,7 +187,7 @@ void agent_main(Shared& shared, const LocalRule& rule, AgentId id,
     // traversal.
     const graph::Vertex dest = decision.dest;
     HCS_ASSERT(shared.net->graph().has_edge(here, dest));
-    shared.net->on_agent_departed(id, here, dest, shared.now(), "agent");
+    shared.net->on_agent_departed(id, here, dest, shared.now(), agent_role);
     shared.bump();
     lock.unlock();
 
@@ -247,6 +248,7 @@ AbortReason run_reclean_rounds(Shared& shared,
                                std::size_t num_protocol_agents) {
   Network& net = *shared.net;
   std::uint64_t next_id = num_protocol_agents;
+  const WbKey repair_role = wb_key("repair");
   const SimTime t0 = shared.now();
   while (!net.all_clean() || !shared.wb_journal.empty()) {
     if (shared.degradation.recovery_rounds >= cfg.recovery.max_rounds) {
@@ -258,10 +260,9 @@ AbortReason run_reclean_rounds(Shared& shared,
 
     // Restore journaled whiteboard entries (the restore is itself a write
     // and may be damaged again; the journal refills for the next round).
-    const auto journal = std::move(shared.wb_journal);
-    shared.wb_journal.clear();
-    for (const auto& [where, value] : journal) {
-      net.whiteboard(where.first).set(where.second, value);
+    const auto journal = shared.wb_journal.drain();
+    for (const auto& entry : journal) {
+      net.whiteboard(entry.node).set(entry.key, entry.value);
       ++shared.degradation.wb_faults_detected;
     }
     if (net.all_clean()) continue;
@@ -297,7 +298,7 @@ AbortReason run_reclean_rounds(Shared& shared,
           ++shared.degradation.links_stalled;
         }
         const graph::Vertex to = walk.path[i];
-        net.on_agent_departed(id, at, to, shared.now(), "repair");
+        net.on_agent_departed(id, at, to, shared.now(), repair_role);
         if (transit) {
           ++shared.degradation.crashes;
           ++shared.degradation.crashes_in_transit;
@@ -337,6 +338,7 @@ ThreadedRunReport ThreadedRuntime::run(std::size_t num_agents,
   shared.faults = fault::FaultSchedule(cfg_.faults);
   if (shared.faults.active()) {
     shared.wb_write_count.assign(net_->num_nodes(), 0);
+    shared.wb_journal.resize(net_->num_nodes());
     install_wb_hooks(shared);
   }
 

@@ -24,11 +24,6 @@ const char* kind_name(TraceKind k) {
 
 }  // namespace
 
-void Trace::record(TraceEvent event) {
-  if (!enabled_) return;
-  events_.push_back(std::move(event));
-}
-
 std::vector<graph::Vertex> Trace::cleaning_order() const {
   std::vector<graph::Vertex> order;
   std::set<graph::Vertex> seen;

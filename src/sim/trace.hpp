@@ -40,7 +40,12 @@ class Trace {
   void enable(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
-  void record(TraceEvent event);
+  /// Inline so the disabled case (the default) folds to one branch at the
+  /// call site instead of a cross-TU call per runtime hook.
+  void record(TraceEvent event) {
+    if (!enabled_) return;
+    events_.push_back(std::move(event));
+  }
 
   /// Allocation-free when disabled: the detail string is produced by the
   /// callable only after the enabled check, so call sites can write

@@ -1,0 +1,70 @@
+#include "sim/wb_key.hpp"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace hcs::sim {
+
+namespace {
+
+// Hard cap on distinct key names over the life of the process. Strategies
+// use a handful; the cap only exists so a runaway generator of synthetic
+// names fails loudly instead of exhausting the 16-bit id space.
+constexpr std::size_t kCapacity = 4096;
+
+struct InternState {
+  std::mutex mutex;
+  // Views into `store`; std::deque never relocates elements, so both the
+  // views and the pointers published in `slots` below stay valid forever.
+  std::unordered_map<std::string_view, std::uint16_t> index;
+  std::deque<std::string> store;
+};
+
+InternState& state() {
+  static InternState s;
+  return s;
+}
+
+// Published names, readable without the mutex: wb_key() release-stores the
+// pointer after the string is fully constructed, wb_key_name()
+// acquire-loads it. Constant-initialized (all null), so safe to touch from
+// any static initializer.
+std::atomic<const std::string*> slots[kCapacity];
+std::atomic<std::size_t> published_count{0};
+
+}  // namespace
+
+WbKey wb_key(std::string_view name) {
+  HCS_EXPECTS(!name.empty() && "whiteboard keys must be non-empty");
+  InternState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (const auto it = s.index.find(name); it != s.index.end()) {
+    return WbKey(it->second);
+  }
+  const std::size_t n = s.store.size();
+  HCS_ASSERT(n < kCapacity && "whiteboard key intern table is full");
+  const std::string& stored = s.store.emplace_back(name);
+  const auto id = static_cast<std::uint16_t>(n);
+  s.index.emplace(std::string_view(stored), id);
+  slots[id].store(&stored, std::memory_order_release);
+  published_count.store(n + 1, std::memory_order_release);
+  return WbKey(id);
+}
+
+const std::string& wb_key_name(WbKey key) {
+  HCS_EXPECTS(key.valid());
+  const std::string* name =
+      slots[key.id()].load(std::memory_order_acquire);
+  HCS_EXPECTS(name != nullptr && "wb_key_name: key was never interned");
+  return *name;
+}
+
+std::size_t wb_key_count() {
+  return published_count.load(std::memory_order_acquire);
+}
+
+}  // namespace hcs::sim

@@ -2,40 +2,15 @@
 
 namespace hcs::sim {
 
-std::int64_t Whiteboard::get(const std::string& key,
-                             std::int64_t fallback) const {
-  const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
-}
-
-bool Whiteboard::has(const std::string& key) const {
-  return values_.contains(key);
-}
-
-std::optional<std::int64_t> Whiteboard::try_get(const std::string& key) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return std::nullopt;
-  return it->second;
-}
-
-void Whiteboard::set(const std::string& key, std::int64_t value) {
-  values_[key] = value;
-  if (values_.size() > peak_) peak_ = values_.size();
+// Out-of-line on purpose: the hook dispatch is the cold path (hooks exist
+// only under fault injection), and keeping the std::function call here
+// keeps the inlined set()/add() bodies small.
+void Whiteboard::fire_hook(WbKey key) {
   if (hook_ && !in_hook_) {
     in_hook_ = true;
     hook_(*this, key);
     in_hook_ = false;
   }
 }
-
-std::int64_t Whiteboard::add(const std::string& key, std::int64_t delta) {
-  const std::int64_t next = get(key) + delta;
-  set(key, next);
-  return next;
-}
-
-void Whiteboard::erase(const std::string& key) { values_.erase(key); }
-
-void Whiteboard::clear() { values_.clear(); }
 
 }  // namespace hcs::sim

@@ -7,11 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
+#include "core/strategy_registry.hpp"
+#include "fault/fault.hpp"
 #include "graph/builders.hpp"
 #include "intruder/contamination.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/trace.hpp"
 #include "util/rng.hpp"
 
 namespace hcs {
@@ -117,6 +124,104 @@ TEST(Differential, ManyAgentsConverge) {
   // agreement must hold throughout, including the final all-clean state.
   const graph::Graph g = graph::make_hypercube(3);
   run_differential(g, 8, 16, 800);
+}
+
+// ===================================================================
+// Strategy-level differential: the implicit hypercube topology (bit
+// arithmetic behind neighbor_via / has_edge / the wake flood) against the
+// generic compressed-adjacency path (Graph::without_topology_hint()). Every
+// registered strategy, fixed seed, random wake policy: the full Metrics
+// struct and the full trace event sequence must be byte-identical -- the
+// fast paths are an encoding change, never a behaviour change.
+
+struct CapturedRun {
+  sim::Metrics metrics;
+  std::vector<sim::TraceEvent> events;
+  bool all_terminated = false;
+  sim::AbortReason abort_reason = sim::AbortReason::kNone;
+  double capture_time = -1.0;
+};
+
+CapturedRun run_strategy_on(const core::Strategy& strategy,
+                            const graph::Graph& g, unsigned d,
+                            sim::MoveSemantics semantics, double fault_rate) {
+  sim::Network net(g, 0);
+  net.set_move_semantics(semantics);
+  net.trace().enable(true);
+  sim::RunOptions cfg;
+  // kRandom also pins the RNG stream: a fast path that consumed a draw
+  // differently would desynchronize every event after it.
+  cfg.policy = sim::WakePolicy::kRandom;
+  cfg.seed = 20260805;
+  cfg.visibility = strategy.needs_visibility();
+  // Crash-stop faults (the acceptance workload): the crash schedule and the
+  // repair waves must land on identical events under both topology paths.
+  if (fault_rate > 0.0) cfg.faults = fault::FaultSpec::crashes(fault_rate, 7);
+  sim::Engine engine(net, cfg);
+  strategy.spawn_team(engine, d);
+  const auto result = engine.run();
+  return {net.metrics(), net.trace().events(), result.all_terminated,
+          result.abort_reason, result.capture_time};
+}
+
+void expect_identical(const CapturedRun& implicit_run,
+                      const CapturedRun& generic_run,
+                      const std::string& label) {
+  const sim::Metrics& a = implicit_run.metrics;
+  const sim::Metrics& b = generic_run.metrics;
+  EXPECT_EQ(a.agents_spawned, b.agents_spawned) << label;
+  EXPECT_EQ(a.total_moves, b.total_moves) << label;
+  EXPECT_EQ(a.moves_by_role, b.moves_by_role) << label;
+  EXPECT_EQ(a.makespan, b.makespan) << label;
+  EXPECT_EQ(a.peak_whiteboard_bits, b.peak_whiteboard_bits) << label;
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited) << label;
+  EXPECT_EQ(a.recontamination_events, b.recontamination_events) << label;
+  EXPECT_EQ(a.agents_crashed, b.agents_crashed) << label;
+  EXPECT_EQ(a.events_processed, b.events_processed) << label;
+  EXPECT_EQ(a.agent_steps, b.agent_steps) << label;
+  EXPECT_EQ(implicit_run.all_terminated, generic_run.all_terminated) << label;
+  EXPECT_EQ(implicit_run.abort_reason, generic_run.abort_reason) << label;
+  EXPECT_EQ(implicit_run.capture_time, generic_run.capture_time) << label;
+
+  ASSERT_EQ(implicit_run.events.size(), generic_run.events.size()) << label;
+  for (std::size_t i = 0; i < implicit_run.events.size(); ++i) {
+    const sim::TraceEvent& x = implicit_run.events[i];
+    const sim::TraceEvent& y = generic_run.events[i];
+    ASSERT_TRUE(x.time == y.time && x.kind == y.kind && x.agent == y.agent &&
+                x.node == y.node && x.other == y.other && x.detail == y.detail)
+        << label << ": trace diverges at event " << i;
+  }
+}
+
+void run_topology_differential(sim::MoveSemantics semantics,
+                               double fault_rate) {
+  const auto& registry = core::StrategyRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    const core::Strategy& strategy = registry.get(name);
+    for (unsigned d = 4; d <= 8; ++d) {
+      const graph::Graph implicit_graph = strategy.build_graph(d);
+      const graph::Graph generic_graph =
+          implicit_graph.without_topology_hint();
+      const CapturedRun implicit_run =
+          run_strategy_on(strategy, implicit_graph, d, semantics, fault_rate);
+      const CapturedRun generic_run =
+          run_strategy_on(strategy, generic_graph, d, semantics, fault_rate);
+      expect_identical(implicit_run, generic_run,
+                       name + " d=" + std::to_string(d));
+    }
+  }
+}
+
+TEST(Differential, StrategiesImplicitVsExplicitTopology) {
+  run_topology_differential(sim::MoveSemantics::kAtomicArrival, 0.0);
+}
+
+TEST(Differential, StrategiesImplicitVsExplicitVacateSemantics) {
+  run_topology_differential(sim::MoveSemantics::kVacateOnDeparture, 0.0);
+}
+
+TEST(Differential, StrategiesImplicitVsExplicitUnderFaults) {
+  run_topology_differential(sim::MoveSemantics::kAtomicArrival, 0.02);
 }
 
 }  // namespace

@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/wb_key.hpp"
+
 namespace hcs::sim {
 namespace {
 
@@ -54,6 +61,127 @@ TEST(Whiteboard, OverwriteDoesNotGrowPeak) {
   wb.set("a", 2);
   wb.set("a", 3);
   EXPECT_EQ(wb.peak_registers(), 1u);
+}
+
+TEST(Whiteboard, AddCommitsOnceAndFiresHookOnce) {
+  // add() must commit via a single lookup: one write-hook invocation per
+  // add, whether the key is fresh or already present, and the hook must
+  // observe the already-committed value (not a get-then-set intermediate).
+  Whiteboard wb;
+  const WbKey key = wb_key("count");
+  int fires = 0;
+  std::int64_t seen_by_hook = -1;
+  wb.set_write_hook([&](Whiteboard& board, WbKey k) {
+    ++fires;
+    seen_by_hook = board.get(k);
+  });
+
+  EXPECT_EQ(wb.add(key, 3), 3);  // insert path
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(seen_by_hook, 3);
+
+  EXPECT_EQ(wb.add(key, -1), 2);  // update path
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(seen_by_hook, 2);
+
+  wb.set(key, 10);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(seen_by_hook, 10);
+}
+
+TEST(Whiteboard, AddReturnsCommittedValueEvenIfHookDamagesEntry) {
+  // The fault layer's hooks may erase or overwrite the entry they are told
+  // about; the value returned to the writer is the committed one.
+  Whiteboard wb;
+  const WbKey key = wb_key("volatile");
+  wb.set_write_hook([](Whiteboard& board, WbKey k) { board.erase(k); });
+  EXPECT_EQ(wb.add(key, 7), 7);
+  EXPECT_FALSE(wb.has(key));
+}
+
+TEST(WbKeyIntern, RoundTripsAndIsStable) {
+  const WbKey a = wb_key("intern_rt_alpha");
+  const WbKey b = wb_key("intern_rt_beta");
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a, b);
+  // Same name -> same key, and the name survives the round trip.
+  EXPECT_EQ(wb_key("intern_rt_alpha"), a);
+  EXPECT_EQ(wb_key_name(a), "intern_rt_alpha");
+  EXPECT_EQ(wb_key_name(b), "intern_rt_beta");
+  // Default-constructed keys are invalid until assigned from wb_key().
+  EXPECT_FALSE(WbKey{}.valid());
+}
+
+TEST(WbKeyIntern, StringShimsAliasTheInternedKey) {
+  // The string overloads intern and forward: a write through the shim is
+  // visible through the WbKey API and vice versa.
+  Whiteboard wb;
+  const WbKey key = wb_key("shim_check");
+  wb.set("shim_check", 5);
+  EXPECT_EQ(wb.get(key), 5);
+  wb.add(key, 2);
+  EXPECT_EQ(wb.get("shim_check"), 7);
+  EXPECT_EQ(wb.try_get(key).value_or(-1), 7);
+}
+
+TEST(WbKeyIntern, PeakSemanticsUnchangedUnderKeyApi) {
+  // peak_registers() through the WbKey API matches the historical
+  // string-keyed semantics: peak is a high-water mark of live entries,
+  // overwrites never grow it, erases never shrink it.
+  Whiteboard wb;
+  const WbKey a = wb_key("peak_a");
+  const WbKey b = wb_key("peak_b");
+  const WbKey c = wb_key("peak_c");
+  wb.set(a, 1);
+  wb.set(b, 2);
+  wb.set(c, 3);
+  EXPECT_EQ(wb.peak_registers(), 3u);
+  wb.set(b, 20);
+  EXPECT_EQ(wb.peak_registers(), 3u);
+  wb.erase(b);
+  wb.erase(c);
+  EXPECT_EQ(wb.live_registers(), 1u);
+  EXPECT_EQ(wb.peak_registers(), 3u);
+  EXPECT_EQ(wb.peak_bits(), 3u * 64);
+}
+
+TEST(WbKeyIntern, AppendOnlyTableIsThreadSafe) {
+  // Concurrent interning of overlapping names plus name lookups from other
+  // threads: the table is append-only with lock-free reads, so this must be
+  // race-free (the CI sanitizer matrix runs this file under TSan). Every
+  // thread must agree on the id of every name.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kNames = 16;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kNames; ++i) {
+    names.push_back("intern_mt_" + std::to_string(i));
+  }
+  std::vector<std::vector<WbKey>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      per_thread[t].reserve(kNames);
+      // Stagger the order so different threads race to intern different
+      // names first.
+      for (std::size_t i = 0; i < kNames; ++i) {
+        const std::string& name = names[(i + t) % kNames];
+        const WbKey key = wb_key(name);
+        // Read back through the lock-free path while other threads are
+        // still appending.
+        EXPECT_EQ(wb_key_name(key), name);
+      }
+      for (std::size_t i = 0; i < kNames; ++i) {
+        per_thread[t].push_back(wb_key(names[i]));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[t], per_thread[0]);
+  }
+  EXPECT_GE(wb_key_count(), kNames);
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ namespace {
 TEST(WhiteboardHook, FiresAfterCommitAndMayEraseTheEntry) {
   sim::Whiteboard wb;
   std::int64_t seen_at_hook = -1;
-  wb.set_write_hook([&](sim::Whiteboard& board, const std::string& key) {
+  wb.set_write_hook([&](sim::Whiteboard& board, sim::WbKey key) {
     // The hook runs post-commit: the good value is visible here (the
     // journal the recovery layer keeps is built from this read)...
     seen_at_hook = board.get(key);
@@ -36,7 +36,7 @@ TEST(WhiteboardHook, FiresAfterCommitAndMayEraseTheEntry) {
 TEST(WhiteboardHook, ReentrantWritesInsideTheHookDoNotRecurse) {
   sim::Whiteboard wb;
   int fires = 0;
-  wb.set_write_hook([&](sim::Whiteboard& board, const std::string& key) {
+  wb.set_write_hook([&](sim::Whiteboard& board, sim::WbKey key) {
     ++fires;
     board.set(key, 999);  // corruption: must not re-fire the hook
   });
