@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Nightly fuzzing driver: extend the long-running campaign, then gate on
+# the committed corpus.
+#
+# The campaign state (manifest.json + artifacts) lives in $CORPUS_DIR and
+# is meant to be restored from the previous nightly run's CI artifact, so
+# the iteration space advances across nights instead of re-fuzzing the
+# same prefix: `hcs_fuzz resume` picks up exactly where the manifest says
+# the last run stopped. A fresh directory falls back to `hcs_fuzz run`.
+#
+# Exit code is non-zero when the campaign found new failures OR any
+# committed corpus artifact stopped reproducing (regression gate).
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CORPUS_DIR="${CORPUS_DIR:-fuzz-corpus}"
+ITERATIONS="${ITERATIONS:-2000}"
+SEED="${SEED:-1}"
+HCS_FUZZ="${BUILD_DIR}/src/fuzz/hcs_fuzz"
+
+if [[ ! -x "${HCS_FUZZ}" ]]; then
+  echo "fuzz_nightly: ${HCS_FUZZ} not built" >&2
+  exit 2
+fi
+
+if [[ -f "${CORPUS_DIR}/manifest.json" ]]; then
+  echo "== resuming campaign in ${CORPUS_DIR}"
+  "${HCS_FUZZ}" resume --corpus "${CORPUS_DIR}" --iterations "${ITERATIONS}"
+else
+  echo "== starting fresh campaign in ${CORPUS_DIR}"
+  "${HCS_FUZZ}" run --corpus "${CORPUS_DIR}" --iterations "${ITERATIONS}" \
+    --seed "${SEED}"
+fi
+
+# The campaign itself exits 0 even when it finds failures (finding them is
+# its job); the nightly turns new failures into a red run so they get
+# triaged, minimized, and committed to tests/data/fuzz/.
+FAILURES="$(python3 - "$CORPUS_DIR/manifest.json" <<'EOF'
+import json, sys
+print(len(json.load(open(sys.argv[1]))["failures"]))
+EOF
+)"
+
+echo "== replaying committed corpus"
+STATUS=0
+shopt -s nullglob
+for artifact in tests/data/fuzz/art_*.json; do
+  if ! "${HCS_FUZZ}" replay --artifact "${artifact}"; then
+    echo "fuzz_nightly: corpus regression in ${artifact}" >&2
+    STATUS=1
+  fi
+done
+
+if [[ "${FAILURES}" != "0" ]]; then
+  echo "fuzz_nightly: campaign has recorded ${FAILURES} failure(s);" \
+    "minimized artifacts are in ${CORPUS_DIR}" >&2
+  STATUS=1
+fi
+exit "${STATUS}"

@@ -31,9 +31,20 @@ class SynchronousAgent final : public sim::Agent {
     if (ctx.now() < release) {
       return sim::Action::idle(release - ctx.now());
     }
-    const auto claim = static_cast<std::uint64_t>(ctx.wb_add(kClaimed, 1) - 1);
+    const std::int64_t raw_claim = ctx.wb_add(kClaimed, 1) - 1;
+    // A valid claim indexes one of the node's outgoing complements;
+    // anything else means the counter was damaged (fault-injected
+    // whiteboard loss or corruption). Reset it and park, as the
+    // visibility rule does: the run degrades to the recovery layer's
+    // re-sweep instead of violating the claim-range precondition.
+    if (raw_claim < 0 || static_cast<std::uint64_t>(raw_claim) >=
+                             visibility_required_agents(d_, x)) {
+      ctx.wb_set(kClaimed, 0);
+      return sim::Action::wait();
+    }
     return sim::Action::move_to(static_cast<graph::Vertex>(
-        visibility_claim_destination(d_, x, claim)));
+        visibility_claim_destination(
+            d_, x, static_cast<std::uint64_t>(raw_claim))));
   }
 
  private:

@@ -54,6 +54,19 @@ const char* to_string(FaultKind kind) {
   return "?";
 }
 
+bool from_string(std::string_view name, FaultKind* out) {
+  for (const auto kind :
+       {FaultKind::kCrashAtNode, FaultKind::kCrashInTransit,
+        FaultKind::kWhiteboardLoss, FaultKind::kWhiteboardCorrupt,
+        FaultKind::kDroppedWake, FaultKind::kLinkStall}) {
+    if (name == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool FaultSpec::empty() const {
   return crash_rate <= 0.0 && wb_loss_rate <= 0.0 && wb_corrupt_rate <= 0.0 &&
          wake_drop_rate <= 0.0 && link_stall_rate <= 0.0 && events.empty();
@@ -99,34 +112,48 @@ bool FaultSchedule::listed(FaultKind kind, std::uint32_t entity,
 bool FaultSchedule::coin(FaultKind kind, std::uint32_t entity,
                          std::uint64_t index, double rate) const {
   if (!active_) return false;
-  return draw(spec_.seed, kind, entity, index, rate) ||
-         listed(kind, entity, index);
+  const bool fired = draw(spec_.seed, kind, entity, index, rate) ||
+                     listed(kind, entity, index);
+  if (fired) record_fired(kind, entity, index);
+  return fired;
 }
 
 bool FaultSchedule::crash_at_node(std::uint32_t agent,
                                   std::uint64_t move_index) const {
   if (!active_) return false;
-  if (listed(FaultKind::kCrashAtNode, agent, move_index)) return true;
+  if (listed(FaultKind::kCrashAtNode, agent, move_index)) {
+    record_fired(FaultKind::kCrashAtNode, agent, move_index);
+    return true;
+  }
   // One crash coin per traversal, then a fair sub-coin picks at-node vs
   // mid-edge, so crash_rate is the total crash-stop probability.
   if (!draw(spec_.seed, FaultKind::kCrashAtNode, agent, move_index,
             spec_.crash_rate)) {
     return false;
   }
-  return (mix(spec_.seed, FaultKind::kCrashInTransit, agent, move_index) &
-          1ULL) == 0;
+  const bool at_node =
+      (mix(spec_.seed, FaultKind::kCrashInTransit, agent, move_index) &
+       1ULL) == 0;
+  if (at_node) record_fired(FaultKind::kCrashAtNode, agent, move_index);
+  return at_node;
 }
 
 bool FaultSchedule::crash_in_transit(std::uint32_t agent,
                                      std::uint64_t move_index) const {
   if (!active_) return false;
-  if (listed(FaultKind::kCrashInTransit, agent, move_index)) return true;
+  if (listed(FaultKind::kCrashInTransit, agent, move_index)) {
+    record_fired(FaultKind::kCrashInTransit, agent, move_index);
+    return true;
+  }
   if (!draw(spec_.seed, FaultKind::kCrashAtNode, agent, move_index,
             spec_.crash_rate)) {
     return false;
   }
-  return (mix(spec_.seed, FaultKind::kCrashInTransit, agent, move_index) &
-          1ULL) == 1;
+  const bool in_transit =
+      (mix(spec_.seed, FaultKind::kCrashInTransit, agent, move_index) &
+       1ULL) == 1;
+  if (in_transit) record_fired(FaultKind::kCrashInTransit, agent, move_index);
+  return in_transit;
 }
 
 bool FaultSchedule::lose_write(std::uint32_t node,

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hcs::fault {
@@ -44,6 +45,10 @@ enum class FaultKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
+/// Inverse of to_string; false when `name` matches no kind. Every kind --
+/// including "crash-in-transit" and "link-stall" -- round-trips, which the
+/// JSON serialization (fault_io.hpp) and its property test rely on.
+[[nodiscard]] bool from_string(std::string_view name, FaultKind* out);
 
 /// One explicit fault: fire `kind` when `entity`'s logical counter for that
 /// kind reaches `index`. The entity is an agent id for crash/stall kinds
@@ -53,6 +58,8 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kCrashAtNode;
   std::uint32_t entity = 0;
   std::uint64_t index = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
 /// A fault workload: per-kind rates (probability per logical opportunity)
@@ -95,6 +102,8 @@ struct FaultSpec {
   /// "crash(0.05)+wbloss(0.01)", with "+events[3]" appended when explicit
   /// events are present.
   [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
 
 /// Recovery policy for runs with an active schedule (see
@@ -109,6 +118,9 @@ struct RecoveryConfig {
   double detect_timeout = 1.0;
   /// Backoff multiplier applied to the timeout after every wave.
   double backoff = 1.5;
+
+  friend bool operator==(const RecoveryConfig&, const RecoveryConfig&) =
+      default;
 };
 
 /// Deterministic decision source for one run. All queries are pure
@@ -143,14 +155,31 @@ class FaultSchedule {
                                 std::uint64_t move_index) const;
   [[nodiscard]] double stall_factor() const { return spec_.stall_factor; }
 
+  /// Shrink hook for the fuzz delta-debugger: while set, every decision
+  /// that fires is appended to `sink` as an explicit FaultEvent. Replacing
+  /// the spec's rates with the recorded list (rates zeroed, seed kept)
+  /// reproduces the identical schedule through `listed()`, which is the
+  /// concretization step minimization starts from. Single-threaded use
+  /// only (the event engine); the threaded runtime must not set it.
+  void set_fired_sink(std::vector<FaultEvent>* sink) { fired_ = sink; }
+
  private:
   [[nodiscard]] bool coin(FaultKind kind, std::uint32_t entity,
                           std::uint64_t index, double rate) const;
   [[nodiscard]] bool listed(FaultKind kind, std::uint32_t entity,
                             std::uint64_t index) const;
 
+  /// Appends to the fired sink (no-op when unset). Const because decision
+  /// queries are const; the sink is caller-owned scratch, not schedule
+  /// state.
+  void record_fired(FaultKind kind, std::uint32_t entity,
+                    std::uint64_t index) const {
+    if (fired_ != nullptr) fired_->push_back({kind, entity, index});
+  }
+
   FaultSpec spec_;
   bool active_ = false;
+  std::vector<FaultEvent>* fired_ = nullptr;
 };
 
 /// Structured account of a faulty run: every injected fault, what the

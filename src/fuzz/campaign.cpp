@@ -1,0 +1,403 @@
+#include "fuzz/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "core/strategy_registry.hpp"
+#include "run/batch.hpp"
+#include "util/rng.hpp"
+
+namespace hcs::fuzz {
+
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+/// Scales a 64-bit draw into a rate in [lo, hi] with 1e-4 granularity
+/// (coarse on purpose: artifact rates stay short and exactly
+/// re-parseable).
+double pick_rate(std::uint64_t draw, double lo, double hi) {
+  const std::uint64_t steps = 1 + static_cast<std::uint64_t>((hi - lo) * 1e4);
+  return lo + static_cast<double>(draw % steps) * 1e-4;
+}
+
+}  // namespace
+
+Json CampaignAxes::to_json() const {
+  Json strategies_json = Json::array();
+  for (const std::string& s : strategies) strategies_json.push_back(s);
+  Json j = Json::object();
+  j.set("strategies", std::move(strategies_json));
+  j.set("min_dimension", static_cast<std::uint64_t>(min_dimension));
+  j.set("max_dimension", static_cast<std::uint64_t>(max_dimension));
+  j.set("differential", differential);
+  j.set("expect", to_string(expect));
+  return j;
+}
+
+bool parse_campaign_axes(const Json& json, CampaignAxes* out,
+                         std::string* error) {
+  if (!json.is_object()) return fail(error, "axes is not an object");
+  CampaignAxes axes;
+  const Json* strategies = json.get("strategies");
+  if (strategies == nullptr || !strategies->is_array() ||
+      strategies->size() == 0) {
+    return fail(error, "axes missing \"strategies\"");
+  }
+  axes.strategies.clear();
+  for (const Json& s : strategies->items()) {
+    if (!s.is_string()) return fail(error, "strategy name is not a string");
+    axes.strategies.push_back(s.as_string());
+  }
+  const Json* min_dim = json.get("min_dimension");
+  const Json* max_dim = json.get("max_dimension");
+  if (min_dim == nullptr || !min_dim->is_integer() || max_dim == nullptr ||
+      !max_dim->is_integer()) {
+    return fail(error, "axes missing dimension bounds");
+  }
+  axes.min_dimension = static_cast<unsigned>(min_dim->as_uint());
+  axes.max_dimension = static_cast<unsigned>(max_dim->as_uint());
+  if (axes.min_dimension < 1 || axes.max_dimension < axes.min_dimension) {
+    return fail(error, "axes dimension bounds out of order");
+  }
+  const Json* differential = json.get("differential");
+  if (differential == nullptr || differential->type() != Json::Type::kBool) {
+    return fail(error, "axes missing \"differential\"");
+  }
+  axes.differential = differential->as_bool();
+  const Json* expect = json.get("expect");
+  if (expect == nullptr || !expect->is_string() ||
+      !expect_from_string(expect->as_string(), &axes.expect)) {
+    return fail(error, "axes missing \"expect\"");
+  }
+  *out = std::move(axes);
+  return true;
+}
+
+CellSpec campaign_cell(const CampaignAxes& axes, std::uint64_t campaign_seed,
+                       std::uint64_t iteration) {
+  // Keyed stream: cell i never depends on cells < i, so any iteration
+  // window can be generated (and re-generated) independently.
+  SplitMix64 sm(campaign_seed + (iteration + 1) * 0x9e3779b97f4a7c15ULL);
+
+  CellSpec spec;
+  spec.strategy = axes.strategies[sm.next() % axes.strategies.size()];
+  spec.dimension =
+      axes.min_dimension +
+      static_cast<unsigned>(sm.next() %
+                            (axes.max_dimension - axes.min_dimension + 1));
+  spec.seed = sm.next();
+
+  switch (sm.next() % 4) {
+    case 0: spec.delay = run::DelaySpec::unit(); break;
+    case 1: spec.delay = run::DelaySpec::uniform(0.2, 3.0); break;
+    case 2: spec.delay = run::DelaySpec::uniform(0.5, 1.5); break;
+    default: spec.delay = run::DelaySpec::heavy_tailed(); break;
+  }
+  // Lock-step strategies make no promises off the unit delay model; keep
+  // their cells on the strict contract instead of burning iterations on
+  // kSafety-only coverage. (The draw above still happens so the stream
+  // stays aligned across strategies.)
+  if (const core::Strategy* s =
+          core::StrategyRegistry::instance().find(spec.strategy);
+      s != nullptr && s->required_capabilities().synchronous) {
+    spec.delay = run::DelaySpec::unit();
+  }
+  spec.policy = (sm.next() % 2 == 0) ? sim::WakePolicy::kFifo
+                                     : sim::WakePolicy::kRandom;
+  spec.semantics = (sm.next() % 2 == 0) ? sim::MoveSemantics::kAtomicArrival
+                                        : sim::MoveSemantics::kVacateOnDeparture;
+
+  // Fault profile: fault-free cells keep the strict kCorrect contract (and
+  // exercise the differential oracle), crash-only cells pin the
+  // capture-under-recovery guarantee, mixed cells probe the principled-
+  // degradation envelope with recovery on and off.
+  const std::uint64_t profile = sm.next() % 4;
+  spec.faults.seed = sm.next();
+  switch (profile) {
+    case 0:
+      break;  // fault-free
+    case 1:
+      spec.faults.crash_rate = pick_rate(sm.next(), 0.001, 0.02);
+      spec.recovery.enabled = true;
+      break;
+    case 2:
+      spec.faults.crash_rate = pick_rate(sm.next(), 0.0, 0.01);
+      spec.faults.wb_loss_rate = pick_rate(sm.next(), 0.0, 0.01);
+      spec.faults.wb_corrupt_rate = pick_rate(sm.next(), 0.0, 0.005);
+      spec.faults.wake_drop_rate = pick_rate(sm.next(), 0.0, 0.01);
+      spec.faults.link_stall_rate = pick_rate(sm.next(), 0.0, 0.02);
+      spec.recovery.enabled = true;
+      break;
+    default:
+      spec.faults.crash_rate = pick_rate(sm.next(), 0.0, 0.01);
+      spec.faults.wb_loss_rate = pick_rate(sm.next(), 0.0, 0.01);
+      spec.recovery.enabled = false;
+      break;
+  }
+
+  // Fuzz cells are many and small; tighter guards than the sweep defaults
+  // keep a pathological cell from stalling a whole batch.
+  spec.max_agent_steps = 20'000'000;
+  spec.livelock_window = 200'000;
+  spec.expect = axes.expect;
+  spec.differential = axes.differential;
+  return spec;
+}
+
+Json Artifact::to_json() const {
+  Json failures_json = Json::array();
+  for (const Failure& f : failures) {
+    Json fj = Json::object();
+    fj.set("kind", to_string(f.kind));
+    fj.set("detail", f.detail);
+    failures_json.push_back(std::move(fj));
+  }
+  Json j = Json::object();
+  j.set("version", version);
+  j.set("cell", cell.to_json());
+  j.set("signature", signature);
+  j.set("failures", std::move(failures_json));
+  j.set("minimized", minimized);
+  return j;
+}
+
+bool parse_artifact(const Json& json, Artifact* out, std::string* error) {
+  if (!json.is_object()) return fail(error, "artifact is not an object");
+  Artifact art;
+  const Json* version = json.get("version");
+  if (version == nullptr || !version->is_integer()) {
+    return fail(error, "artifact missing \"version\"");
+  }
+  art.version = version->as_uint();
+  if (art.version != 1) return fail(error, "unsupported artifact version");
+
+  const Json* cell = json.get("cell");
+  if (cell == nullptr || !parse_cell_spec(*cell, &art.cell, error)) {
+    return error != nullptr && !error->empty()
+               ? false
+               : fail(error, "artifact missing \"cell\"");
+  }
+  const Json* signature = json.get("signature");
+  if (signature == nullptr || !signature->is_string()) {
+    return fail(error, "artifact missing \"signature\"");
+  }
+  art.signature = signature->as_string();
+
+  const Json* failures = json.get("failures");
+  if (failures == nullptr || !failures->is_array()) {
+    return fail(error, "artifact missing \"failures\"");
+  }
+  for (const Json& fj : failures->items()) {
+    if (!fj.is_object()) return fail(error, "failure is not an object");
+    const Json* kind = fj.get("kind");
+    const Json* detail = fj.get("detail");
+    Failure f;
+    if (kind == nullptr || !kind->is_string() ||
+        !failure_kind_from_string(kind->as_string(), &f.kind)) {
+      return fail(error, "unknown failure kind");
+    }
+    if (detail == nullptr || !detail->is_string()) {
+      return fail(error, "failure missing \"detail\"");
+    }
+    f.detail = detail->as_string();
+    art.failures.push_back(std::move(f));
+  }
+
+  const Json* minimized = json.get("minimized");
+  if (minimized == nullptr || minimized->type() != Json::Type::kBool) {
+    return fail(error, "artifact missing \"minimized\"");
+  }
+  art.minimized = minimized->as_bool();
+  *out = std::move(art);
+  return true;
+}
+
+bool load_artifact(const std::string& path, Artifact* out,
+                   std::string* error) {
+  const std::optional<Json> json = read_json_file(path, error);
+  if (!json.has_value()) return false;
+  return parse_artifact(*json, out, error);
+}
+
+Json Manifest::to_json() const {
+  Json failures_json = Json::array();
+  for (const ManifestFailure& f : failures) {
+    Json fj = Json::object();
+    fj.set("iteration", f.iteration);
+    fj.set("signature", f.signature);
+    fj.set("hash", f.hash);
+    fj.set("minimized_hash", f.minimized_hash);
+    failures_json.push_back(std::move(fj));
+  }
+  Json corpus_json = Json::array();
+  for (const std::string& hash : corpus) corpus_json.push_back(hash);
+
+  Json j = Json::object();
+  j.set("version", version);
+  j.set("campaign_seed", campaign_seed);
+  j.set("axes", axes.to_json());
+  j.set("iterations_done", iterations_done);
+  j.set("failures", std::move(failures_json));
+  j.set("corpus", std::move(corpus_json));
+  return j;
+}
+
+bool Manifest::has_corpus_hash(const std::string& hash) const {
+  return std::find(corpus.begin(), corpus.end(), hash) != corpus.end();
+}
+
+bool parse_manifest(const Json& json, Manifest* out, std::string* error) {
+  if (!json.is_object()) return fail(error, "manifest is not an object");
+  Manifest m;
+  const Json* version = json.get("version");
+  if (version == nullptr || !version->is_integer()) {
+    return fail(error, "manifest missing \"version\"");
+  }
+  m.version = version->as_uint();
+  if (m.version != 1) return fail(error, "unsupported manifest version");
+
+  const Json* seed = json.get("campaign_seed");
+  if (seed == nullptr || !seed->is_integer()) {
+    return fail(error, "manifest missing \"campaign_seed\"");
+  }
+  m.campaign_seed = seed->as_uint();
+
+  const Json* axes = json.get("axes");
+  if (axes == nullptr || !parse_campaign_axes(*axes, &m.axes, error)) {
+    return error != nullptr && !error->empty()
+               ? false
+               : fail(error, "manifest missing \"axes\"");
+  }
+
+  const Json* done = json.get("iterations_done");
+  if (done == nullptr || !done->is_integer()) {
+    return fail(error, "manifest missing \"iterations_done\"");
+  }
+  m.iterations_done = done->as_uint();
+
+  const Json* failures = json.get("failures");
+  if (failures == nullptr || !failures->is_array()) {
+    return fail(error, "manifest missing \"failures\"");
+  }
+  for (const Json& fj : failures->items()) {
+    if (!fj.is_object()) return fail(error, "manifest failure not an object");
+    ManifestFailure f;
+    const Json* iteration = fj.get("iteration");
+    const Json* signature = fj.get("signature");
+    const Json* hash = fj.get("hash");
+    const Json* minimized_hash = fj.get("minimized_hash");
+    if (iteration == nullptr || !iteration->is_integer() ||
+        signature == nullptr || !signature->is_string() || hash == nullptr ||
+        !hash->is_string() || minimized_hash == nullptr ||
+        !minimized_hash->is_string()) {
+      return fail(error, "malformed manifest failure record");
+    }
+    f.iteration = iteration->as_uint();
+    f.signature = signature->as_string();
+    f.hash = hash->as_string();
+    f.minimized_hash = minimized_hash->as_string();
+    m.failures.push_back(std::move(f));
+  }
+
+  const Json* corpus = json.get("corpus");
+  if (corpus == nullptr || !corpus->is_array()) {
+    return fail(error, "manifest missing \"corpus\"");
+  }
+  for (const Json& h : corpus->items()) {
+    if (!h.is_string()) return fail(error, "corpus hash is not a string");
+    m.corpus.push_back(h.as_string());
+  }
+  *out = std::move(m);
+  return true;
+}
+
+bool load_manifest(const std::string& path, Manifest* out,
+                   std::string* error) {
+  const std::optional<Json> json = read_json_file(path, error);
+  if (!json.has_value()) return false;
+  return parse_manifest(*json, out, error);
+}
+
+bool save_manifest(const Manifest& manifest, const std::string& corpus_dir) {
+  return write_json_file(manifest.to_json(),
+                         corpus_dir + "/manifest.json");
+}
+
+CampaignOutcome CampaignRunner::run(Manifest manifest,
+                                    std::uint64_t iterations) const {
+  std::filesystem::create_directories(config_.corpus_dir);
+
+  CampaignOutcome out;
+  std::uint64_t remaining = iterations;
+  while (remaining > 0) {
+    const std::uint64_t batch =
+        std::min<std::uint64_t>(remaining, config_.batch_size);
+    const std::uint64_t base = manifest.iterations_done;
+
+    std::vector<CellSpec> specs(batch);
+    std::vector<CellResult> results(batch);
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      specs[i] = campaign_cell(manifest.axes, manifest.campaign_seed,
+                               base + i);
+    }
+    // Index-keyed result slots: the batch is bit-identical at any thread
+    // count (same primitive the sweep runner rides).
+    run::BatchRunner(config_.threads).run(batch, [&](std::size_t i) {
+      results[i] = run_cell(specs[i]);
+    });
+
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      if (!results[i].failed()) continue;
+      ++out.failures_found;
+
+      Artifact original;
+      original.cell = specs[i];
+      original.signature = results[i].signature();
+      original.failures = results[i].failures;
+      ManifestFailure record;
+      record.iteration = base + i;
+      record.signature = original.signature;
+      record.hash = specs[i].content_hash();
+      if (!manifest.has_corpus_hash(record.hash)) {
+        write_json_file(original.to_json(),
+                        config_.corpus_dir + "/" + original.file_name());
+        manifest.corpus.push_back(record.hash);
+        ++out.artifacts_written;
+      }
+
+      if (config_.minimize_failures) {
+        const MinimizeResult min =
+            minimize_cell(specs[i], config_.minimize);
+        if (min.reproduced) {
+          Artifact minimal;
+          minimal.cell = min.minimized;
+          minimal.signature = min.signature;
+          minimal.failures = min.failures;
+          minimal.minimized = true;
+          record.minimized_hash = min.minimized.content_hash();
+          if (!manifest.has_corpus_hash(record.minimized_hash)) {
+            write_json_file(minimal.to_json(),
+                            config_.corpus_dir + "/" + minimal.file_name());
+            manifest.corpus.push_back(record.minimized_hash);
+            ++out.artifacts_written;
+          }
+        }
+      }
+      manifest.failures.push_back(std::move(record));
+    }
+
+    manifest.iterations_done += batch;
+    out.cells_run += batch;
+    remaining -= batch;
+    save_manifest(manifest, config_.corpus_dir);
+  }
+  out.manifest = std::move(manifest);
+  return out;
+}
+
+}  // namespace hcs::fuzz

@@ -1,0 +1,165 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hcs::fuzz {
+
+namespace {
+
+/// Budgeted candidate executor: every probe goes through here.
+class Prober {
+ public:
+  Prober(std::string target, const MinimizeOptions& options)
+      : target_(std::move(target)), options_(options) {}
+
+  /// Does `candidate` reproduce the target signature? False (without
+  /// running) once the budget is spent.
+  [[nodiscard]] bool reproduces(const CellSpec& candidate) {
+    if (runs_ >= options_.max_runs) return false;
+    ++runs_;
+    return run_cell(candidate).signature() == target_;
+  }
+
+  [[nodiscard]] std::uint64_t runs() const { return runs_; }
+  [[nodiscard]] bool exhausted() const { return runs_ >= options_.max_runs; }
+
+ private:
+  std::string target_;
+  const MinimizeOptions& options_;
+  std::uint64_t runs_ = 0;
+};
+
+/// Adopts the smallest dimension (tried ascending) that still reproduces.
+void shrink_dimension(CellSpec& current, Prober& prober,
+                      const MinimizeOptions& options) {
+  for (unsigned d = options.min_dimension; d < current.dimension; ++d) {
+    CellSpec candidate = current;
+    candidate.dimension = d;
+    if (prober.reproduces(candidate)) {
+      current = std::move(candidate);
+      return;
+    }
+    if (prober.exhausted()) return;
+  }
+}
+
+/// Replaces the rate-driven workload with the explicit list of decisions
+/// that actually fired, so ddmin can remove them one by one. Adopted only
+/// when the concretized cell still reproduces.
+void concretize(CellSpec& current, Prober& prober) {
+  if (current.faults.empty()) return;
+  const CellResult result = run_cell(current);
+  CellSpec candidate = current;
+  candidate.faults.crash_rate = 0.0;
+  candidate.faults.wb_loss_rate = 0.0;
+  candidate.faults.wb_corrupt_rate = 0.0;
+  candidate.faults.wake_drop_rate = 0.0;
+  candidate.faults.link_stall_rate = 0.0;
+  candidate.faults.events = result.fired;
+  if (prober.reproduces(candidate)) current = std::move(candidate);
+}
+
+/// Zeller's ddmin over the explicit event list: the result is 1-minimal
+/// (no single remaining event can be dropped) unless the budget ran out.
+void ddmin_events(CellSpec& current, Prober& prober) {
+  using Events = std::vector<fault::FaultEvent>;
+  const auto with_events = [&current](Events events) {
+    CellSpec candidate = current;
+    candidate.faults.events = std::move(events);
+    return candidate;
+  };
+
+  // A failure that needs no fault at all (e.g. a differential divergence
+  // found under a fault workload) minimizes to the empty schedule.
+  if (!current.faults.events.empty() &&
+      prober.reproduces(with_events({}))) {
+    current.faults.events.clear();
+    return;
+  }
+
+  std::size_t n = 2;
+  while (current.faults.events.size() >= 2 && !prober.exhausted()) {
+    const Events& events = current.faults.events;
+    const std::size_t size = events.size();
+    const std::size_t chunks = std::min(n, size);
+    bool reduced = false;
+
+    for (std::size_t pass = 0; pass < 2 && !reduced; ++pass) {
+      const bool complements = pass == 1;
+      // With granularity 2 a complement equals the other subset; skip the
+      // duplicate probes.
+      if (complements && chunks == 2) continue;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * size / chunks;
+        const std::size_t end = (c + 1) * size / chunks;
+        Events candidate;
+        if (complements) {
+          candidate.reserve(size - (end - begin));
+          candidate.insert(candidate.end(), events.begin(),
+                           events.begin() + static_cast<std::ptrdiff_t>(begin));
+          candidate.insert(candidate.end(),
+                           events.begin() + static_cast<std::ptrdiff_t>(end),
+                           events.end());
+        } else {
+          candidate.assign(events.begin() + static_cast<std::ptrdiff_t>(begin),
+                           events.begin() + static_cast<std::ptrdiff_t>(end));
+        }
+        if (prober.reproduces(with_events(candidate))) {
+          current.faults.events = std::move(candidate);
+          n = complements ? std::max<std::size_t>(chunks - 1, 2) : 2;
+          reduced = true;
+          break;
+        }
+        if (prober.exhausted()) return;
+      }
+    }
+    if (!reduced) {
+      if (chunks >= size) break;  // 1-minimal
+      n = std::min(size, n * 2);
+    }
+  }
+}
+
+}  // namespace
+
+MinimizeResult minimize_cell(const CellSpec& spec,
+                             const MinimizeOptions& options) {
+  MinimizeResult out;
+  out.minimized = spec;
+  out.original_dimension = spec.dimension;
+  out.minimized_dimension = spec.dimension;
+
+  const CellResult initial = run_cell(spec);
+  out.runs = 1;
+  out.original_events = initial.fired.size();
+  out.minimized_events = initial.fired.size();
+  if (!initial.failed()) return out;
+  out.reproduced = true;
+  out.signature = initial.signature();
+  out.failures = initial.failures;
+
+  CellSpec current = spec;
+  // Pin the contract: shrinking the workload must not re-resolve kAuto to
+  // a different Expect level mid-search.
+  current.expect = spec.resolved_expect();
+
+  Prober prober(out.signature, options);
+  shrink_dimension(current, prober, options);
+  concretize(current, prober);
+  ddmin_events(current, prober);
+  shrink_dimension(current, prober, options);
+
+  out.runs += prober.runs();
+  out.minimized = current;
+  out.minimized_dimension = current.dimension;
+  out.minimized_events = current.faults.events.size();
+
+  // The artifact records what the *minimized* cell actually does.
+  const CellResult final_run = run_cell(current);
+  ++out.runs;
+  out.failures = final_run.failures;
+  return out;
+}
+
+}  // namespace hcs::fuzz

@@ -1,0 +1,63 @@
+// hcs::fuzz -- delta debugging for failing cells.
+//
+// minimize_cell() shrinks a failing CellSpec while its failure signature
+// (the sorted set of FailureKinds, see CellResult::signature) stays
+// exactly the same:
+//
+//  1. the contract is pinned: expect=kAuto is resolved once up front, so
+//     shrinking the fault workload cannot silently change which contract
+//     the cell is judged against;
+//  2. dimension shrink: the smallest d (tried ascending) that still
+//     reproduces is adopted -- this also shrinks the team, since strategy
+//     team sizes are functions of d;
+//  3. concretization: the cell is re-run with a fired-event sink
+//     (FaultSchedule::set_fired_sink) and its rate-driven workload is
+//     replaced by the recorded explicit FaultEvent list with all rates
+//     zeroed -- the schedule then fires the identical decisions through
+//     listed(), but each one is now individually removable;
+//  4. ddmin over the event list (Zeller's algorithm: try subsets, then
+//     complements, doubling granularity) until 1-minimal;
+//  5. one more dimension-shrink pass with the minimal events.
+//
+// Every candidate is verified by actually executing it (run_cell), so the
+// output is a true reproducer, not a guess. A run budget bounds the cost.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/cell.hpp"
+
+namespace hcs::fuzz {
+
+struct MinimizeOptions {
+  /// Smallest dimension the shrinker may try.
+  unsigned min_dimension = 1;
+  /// Budget on cell executions; the shrink stops (keeping the best
+  /// reproducer so far) when exhausted.
+  std::uint64_t max_runs = 400;
+};
+
+struct MinimizeResult {
+  /// False when the input cell did not fail at all (nothing to minimize);
+  /// `minimized` is then the input spec unchanged.
+  bool reproduced = false;
+  CellSpec minimized;
+  /// The preserved failure signature.
+  std::string signature;
+  /// Failures of the final minimized run (artifact payload).
+  std::vector<Failure> failures;
+  std::uint64_t runs = 0;  ///< cell executions spent
+  unsigned original_dimension = 0;
+  unsigned minimized_dimension = 0;
+  /// Fault decisions fired by the original cell vs events kept in the
+  /// minimal reproducer.
+  std::size_t original_events = 0;
+  std::size_t minimized_events = 0;
+};
+
+[[nodiscard]] MinimizeResult minimize_cell(const CellSpec& spec,
+                                           const MinimizeOptions& options = {});
+
+}  // namespace hcs::fuzz

@@ -1,0 +1,14 @@
+#include "run/batch.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace hcs::run {
+
+void BatchRunner::run(std::size_t n,
+                      const std::function<void(std::size_t)>& body) const {
+  if (n == 0) return;
+  ThreadPool pool(threads_);
+  pool.parallel_for(n, body);
+}
+
+}  // namespace hcs::run

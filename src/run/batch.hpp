@@ -1,0 +1,36 @@
+// The deterministic fan-out primitive under hcs::run.
+//
+// SweepRunner's guarantee -- bit-identical output at any thread count --
+// comes from one discipline: every work item is a pure function of its
+// index, and its result lands in a pre-sized slot keyed by that index, so
+// thread scheduling decides only *when* work happens, never *what* the
+// output is. The fuzz campaign (src/fuzz) needs the same discipline for
+// batches that are not cartesian grids, so the primitive lives here and
+// both layers run on it.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hcs::run {
+
+/// Runs body(0) .. body(n-1) across a worker pool and blocks until all
+/// complete. `body` must write its result only to state keyed by its index
+/// (no shared mutable state), which makes the batch output invariant under
+/// the worker count. Workers are spawned per call; for the simulation-sized
+/// work items this layer runs, pool construction is noise.
+class BatchRunner {
+ public:
+  /// `threads` = 0 means hardware concurrency.
+  explicit BatchRunner(unsigned threads = 0) : threads_(threads) {}
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& body) const;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace hcs::run

@@ -3,8 +3,8 @@
 #include <cstdio>
 
 #include "core/strategy_registry.hpp"
+#include "run/batch.hpp"
 #include "util/assert.hpp"
-#include "util/thread_pool.hpp"
 
 namespace hcs::run {
 
@@ -123,8 +123,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
   result.cells.resize(spec.num_cells());
 
   obs::Span sweep_span(config_.obs, "sweep.run");
-  ThreadPool pool(config_.threads);
-  pool.parallel_for(result.cells.size(), [&](std::size_t i) {
+  BatchRunner(config_.threads).run(result.cells.size(), [&](std::size_t i) {
     result.cells[i] = run_sweep_cell(spec, i, config_.obs);
   });
   return result;

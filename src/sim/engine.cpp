@@ -325,16 +325,27 @@ void Engine::step_agent(AgentId a) {
     case Action::Kind::kMove: {
       const graph::Vertex from = rec.at;
       graph::Vertex to;
-      if (action.dest.has_value()) {
-        to = *action.dest;
-        HCS_ASSERT(net_->graph().has_edge(from, to) &&
-                   "move_to target is not a neighbour");
-      } else {
-        to = net_->graph().neighbor_via(from, action.port);
-      }
       // Fault gate: each traversal decision is one crash/stall opportunity,
       // keyed on the agent's logical move counter.
       const bool faultable = fault_sched_.active() && !rec.fault_exempt;
+      if (action.dest.has_value()) {
+        to = *action.dest;
+        if (!net_->graph().has_edge(from, to)) {
+          // With faults active, a non-neighbour destination is the
+          // expected consequence of a protocol reading damaged whiteboard
+          // state (destinations are whiteboard-derived in every paper
+          // strategy): the agent is lost to the fault, not a protocol
+          // bug, so it crash-stops into the recovery machinery instead of
+          // taking down the process.
+          HCS_ASSERT(faultable && "move_to target is not a neighbour");
+          ++degradation_.crashes;
+          crash_agent(a, /*counted_at=*/true,
+                      "crash-stop at node (invalid move target)");
+          break;
+        }
+      } else {
+        to = net_->graph().neighbor_via(from, action.port);
+      }
       const std::uint64_t move_index = rec.moves++;
       if (faultable && fault_sched_.crash_at_node(a, move_index)) {
         ++degradation_.crashes;

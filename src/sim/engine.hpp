@@ -103,6 +103,11 @@ class Engine {
   [[nodiscard]] const fault::FaultSchedule& fault_schedule() const {
     return fault_sched_;
   }
+  /// Mutable access for pre-run instrumentation (the fuzz minimizer's
+  /// fired-event sink); do not mutate once run() has started.
+  [[nodiscard]] fault::FaultSchedule& fault_schedule() {
+    return fault_sched_;
+  }
 
  private:
   friend class AgentContext;

@@ -1,0 +1,157 @@
+#include "sim/invariants.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace hcs::sim {
+
+namespace {
+
+constexpr std::size_t kMaxViolations = 32;
+
+struct AgentTrack {
+  graph::Vertex at = 0;
+  graph::Vertex moving_to = 0;
+  bool in_transit = false;
+  bool ended = false;  ///< terminated or crashed
+};
+
+std::string where(std::size_t event_index, const TraceEvent& e) {
+  return " (event " + std::to_string(event_index) + ", t=" +
+         std::to_string(e.time) + ", agent " + std::to_string(e.agent) + ")";
+}
+
+}  // namespace
+
+std::vector<InvariantViolation> check_trace_invariants(const graph::Graph& g,
+                                                       const Trace& trace,
+                                                       bool run_completed) {
+  std::vector<InvariantViolation> out;
+  const auto report = [&out](std::string id, std::string message) {
+    if (out.size() < kMaxViolations) {
+      out.push_back({std::move(id), std::move(message)});
+    }
+  };
+
+  std::unordered_map<AgentId, AgentTrack> agents;
+  SimTime prev_time = kTimeZero;
+  const auto& events = trace.events();
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.time < prev_time) {
+      report("trace.time-order",
+             "event time ran backwards: " + std::to_string(e.time) + " < " +
+                 std::to_string(prev_time) + where(i, e));
+    }
+    prev_time = e.time;
+
+    switch (e.kind) {
+      case TraceKind::kSpawn:
+        agents[e.agent] = AgentTrack{e.node, 0, false, false};
+        break;
+
+      case TraceKind::kMoveStart: {
+        auto it = agents.find(e.agent);
+        if (it == agents.end()) {
+          report("trace.unknown-agent",
+                 "move by an agent never spawned" + where(i, e));
+          break;
+        }
+        AgentTrack& a = it->second;
+        if (a.ended) {
+          report("trace.move-after-end",
+                 "agent moved after terminating or crashing" + where(i, e));
+          break;
+        }
+        if (a.in_transit) {
+          report("trace.move-while-in-transit",
+                 "agent departed while a move was already in flight" +
+                     where(i, e));
+        }
+        if (!g.has_edge(e.node, e.other)) {
+          report("trace.non-edge-move",
+                 "move " + std::to_string(e.node) + " -> " +
+                     std::to_string(e.other) + " is not a graph edge" +
+                     where(i, e));
+        }
+        if (e.node != a.at) {
+          report("trace.unpaired-move",
+                 "departure from " + std::to_string(e.node) +
+                     " but the agent was last at " + std::to_string(a.at) +
+                     where(i, e));
+        }
+        a.in_transit = true;
+        a.moving_to = e.other;
+        break;
+      }
+
+      case TraceKind::kMoveEnd: {
+        auto it = agents.find(e.agent);
+        if (it == agents.end()) {
+          report("trace.unknown-agent",
+                 "arrival of an agent never spawned" + where(i, e));
+          break;
+        }
+        AgentTrack& a = it->second;
+        if (!a.in_transit || a.moving_to != e.node || a.at != e.other) {
+          report("trace.unpaired-move",
+                 "arrival at " + std::to_string(e.node) +
+                     " does not match the pending departure" + where(i, e));
+        }
+        a.in_transit = false;
+        a.at = e.node;
+        break;
+      }
+
+      case TraceKind::kTerminate: {
+        auto it = agents.find(e.agent);
+        if (it == agents.end()) {
+          report("trace.unknown-agent",
+                 "termination of an agent never spawned" + where(i, e));
+          break;
+        }
+        if (it->second.in_transit) {
+          report("trace.unpaired-move",
+                 "agent terminated mid-edge" + where(i, e));
+        }
+        it->second.ended = true;
+        break;
+      }
+
+      case TraceKind::kFault: {
+        // Crash-stops end the agent (and legitimately swallow a pending
+        // arrival for mid-edge crashes). Node-scoped fault events (wb
+        // damage, wake drops) carry kNoAgent and say nothing about
+        // lifecycles.
+        if (e.agent == kNoAgent) break;
+        auto it = agents.find(e.agent);
+        if (it == agents.end()) break;
+        if (e.detail.rfind("crash-stop", 0) == 0) {
+          it->second.ended = true;
+          it->second.in_transit = false;
+        }
+        break;
+      }
+
+      case TraceKind::kStatusChange:
+      case TraceKind::kWhiteboard:
+      case TraceKind::kCustom:
+        break;
+    }
+  }
+
+  if (run_completed) {
+    for (const auto& [id, a] : agents) {
+      if (a.in_transit && !a.ended) {
+        report("trace.unfinished-move",
+               "agent " + std::to_string(id) + " still in transit to " +
+                   std::to_string(a.moving_to) +
+                   " at the end of a completed run");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hcs::sim

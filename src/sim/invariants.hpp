@@ -1,0 +1,46 @@
+// Structural invariants of a recorded run, surfaced as data.
+//
+// Every engine execution -- any strategy, any wake policy, any fault
+// schedule -- must produce a trace that obeys the simulator's physical
+// rules: time never runs backwards, agents move only along edges of the
+// graph, a departure is matched by exactly one arrival (unless the agent
+// crashed mid-edge or the run was cut off), and nothing moves after it
+// terminated or crashed. The test suite used to assert pieces of this
+// inline; the fuzz campaign (src/fuzz) needs the checks as *structured
+// predicates* it can attach to any cell and serialize into a failure
+// artifact, so they live here as a pure function over (graph, trace).
+//
+// The checker is deliberately engine-agnostic: it reconstructs agent
+// lifecycles purely from the event stream, so it judges the macro-step
+// engine (ROADMAP item 1) or any future runtime by the same rules.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/trace.hpp"
+
+namespace hcs::sim {
+
+struct InvariantViolation {
+  /// Stable machine id: "trace.time-order", "trace.non-edge-move",
+  /// "trace.unpaired-move", "trace.move-while-in-transit",
+  /// "trace.move-after-end", "trace.unknown-agent",
+  /// "trace.unfinished-move".
+  std::string id;
+  /// Human diagnosis with the offending event index.
+  std::string message;
+};
+
+/// Replays `trace` against the structural rules above. `run_completed`
+/// should be false for aborted runs (step cap / livelock /
+/// fault-unrecoverable), which legitimately end with moves in flight; the
+/// end-of-trace pairing check is skipped then. Returns every violation
+/// found, capped at 32 (a corrupted trace would otherwise produce one per
+/// event).
+[[nodiscard]] std::vector<InvariantViolation> check_trace_invariants(
+    const graph::Graph& g, const Trace& trace, bool run_completed);
+
+}  // namespace hcs::sim

@@ -1,0 +1,503 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace hcs {
+
+namespace {
+
+/// %.17g round-trips every finite double; integral-valued doubles keep a
+/// ".0" suffix so the value re-parses as a double, not an integer.
+std::string render_double(double value) {
+  HCS_EXPECTS(std::isfinite(value) && "JSON cannot represent NaN/Inf");
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  std::string out = buf;
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
+}
+
+void escape_to(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  out += '"';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Json> run() {
+    skip_ws();
+    Json value;
+    if (!parse_value(value)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Json& out) {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Json(std::move(s));
+        return true;
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out = Json(true);
+          return true;
+        }
+        break;
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out = Json(false);
+          return true;
+        }
+        break;
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out = Json();
+          return true;
+        }
+        break;
+      default: return parse_number(out);
+    }
+    fail("invalid literal");
+    return false;
+  }
+
+  bool parse_object(Json& out) {
+    ++pos_;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (out.get(key) != nullptr) {
+        fail("duplicate object key \"" + key + "\"");
+        return false;
+      }
+      skip_ws();
+      if (!eat(':')) {
+        fail("expected ':' in object");
+        return false;
+      }
+      skip_ws();
+      Json value;
+      if (!parse_value(value)) return false;
+      out.set(std::move(key), std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool parse_array(Json& out) {
+    ++pos_;  // '['
+    out = Json::array();
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      Json value;
+      if (!parse_value(value)) return false;
+      out.push_back(std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) {
+      fail("expected string");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("invalid \\u escape");
+              return false;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+          // artifacts never contain them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos_;
+    const bool negative = pos_ < text_.size() && text_[pos_] == '-';
+    if (negative) ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start + (negative ? 1u : 0u)) {
+      fail("invalid number");
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    if (is_double) {
+      char* end = nullptr;
+      const double d = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        fail("unparseable number \"" + token + "\"");
+        return false;
+      }
+      out = Json(d);
+      return true;
+    }
+    char* end = nullptr;
+    if (negative) {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        fail("integer out of range \"" + token + "\"");
+        return false;
+      }
+      out = Json(static_cast<std::int64_t>(v));
+    } else {
+      const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        fail("integer out of range \"" + token + "\"");
+        return false;
+      }
+      out = Json(static_cast<std::uint64_t>(v));
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json::Json(std::int64_t i) {
+  // Canonicalize: non-negative integers are kUint regardless of the source
+  // type, so Json(int64{3}) == Json(uint64{3}) and dump() never depends on
+  // which C++ type produced the value.
+  if (i >= 0) {
+    type_ = Type::kUint;
+    uint_ = static_cast<std::uint64_t>(i);
+  } else {
+    type_ = Type::kInt;
+    int_ = i;
+  }
+}
+
+bool Json::as_bool() const {
+  HCS_EXPECTS(type_ == Type::kBool);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ == Type::kInt) return int_;
+  HCS_EXPECTS(type_ == Type::kUint &&
+              uint_ <= static_cast<std::uint64_t>(INT64_MAX));
+  return static_cast<std::int64_t>(uint_);
+}
+
+std::uint64_t Json::as_uint() const {
+  HCS_EXPECTS(type_ == Type::kUint);
+  return uint_;
+}
+
+double Json::as_double() const {
+  switch (type_) {
+    case Type::kDouble: return double_;
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kUint: return static_cast<double>(uint_);
+    default: HCS_EXPECTS(false && "not a number"); return 0.0;
+  }
+}
+
+const std::string& Json::as_string() const {
+  HCS_EXPECTS(type_ == Type::kString);
+  return string_;
+}
+
+const Json::Array& Json::items() const {
+  HCS_EXPECTS(type_ == Type::kArray);
+  return array_;
+}
+
+const Json::Object& Json::members() const {
+  HCS_EXPECTS(type_ == Type::kObject);
+  return object_;
+}
+
+void Json::push_back(Json value) {
+  HCS_EXPECTS(type_ == Type::kArray);
+  array_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  HCS_EXPECTS(false && "size() on a scalar");
+  return 0;
+}
+
+void Json::set(std::string key, Json value) {
+  HCS_EXPECTS(type_ == Type::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const Json* Json::get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = get(key);
+  HCS_EXPECTS(found != nullptr && "missing object member");
+  return *found;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull: return true;
+    case Json::Type::kBool: return a.bool_ == b.bool_;
+    case Json::Type::kInt: return a.int_ == b.int_;
+    case Json::Type::kUint: return a.uint_ == b.uint_;
+    case Json::Type::kDouble: return a.double_ == b.double_;
+    case Json::Type::kString: return a.string_ == b.string_;
+    case Json::Type::kArray: return a.array_ == b.array_;
+    case Json::Type::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+void Json::dump_to(std::string& out, int depth) const {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kUint: out += std::to_string(uint_); break;
+    case Type::kDouble: out += render_double(double_); break;
+    case Type::kString: escape_to(string_, out); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        out += inner;
+        array_[i].dump_to(out, depth + 1);
+        out += i + 1 < array_.size() ? ",\n" : "\n";
+      }
+      out += indent + "]";
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        out += inner;
+        escape_to(object_[i].first, out);
+        out += ": ";
+        object_[i].second.dump_to(out, depth + 1);
+        out += i + 1 < object_.size() ? ",\n" : "\n";
+      }
+      out += indent + "}";
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return Parser(text, error).run();
+}
+
+std::optional<Json> read_json_file(const std::string& path,
+                                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = Json::parse(buf.str(), error);
+  if (!parsed && error != nullptr && !error->empty()) {
+    *error = path + ": " + *error;
+  }
+  return parsed;
+}
+
+bool write_json_file(const Json& value, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << value.dump();
+  return static_cast<bool>(out);
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string fnv1a64_hex(std::string_view bytes) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(bytes)));
+  return buf;
+}
+
+}  // namespace hcs

@@ -1,0 +1,139 @@
+// A small JSON value with a byte-stable writer and a strict parser.
+//
+// Built for the artifact formats that must survive commit-and-replay
+// round-trips (fault specs, fuzz cells, campaign manifests): object keys
+// keep insertion order, integers and doubles are distinct types (a parsed
+// "3" re-serializes as "3", a parsed "3.0" as "3.0"), doubles render with
+// %.17g round-trip precision, and dump() is a pure function of the value --
+// so parse(dump(v)) == v and dump(parse(s)) == s for any document this
+// writer produced. That byte-identity is what lets a corpus file double as
+// its own regression oracle (tests/test_fuzz_corpus.cpp hashes it).
+//
+// Deliberately not a general-purpose JSON library: no comments, no NaN /
+// Infinity, \uXXXX escapes are decoded to UTF-8 on input but never emitted
+// on output (artifacts are ASCII), and objects reject duplicate keys.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hcs {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     ///< negative integers (and any integer set from int64)
+    kUint,    ///< non-negative integers (full uint64 range, e.g. seeds)
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered; duplicate keys are a parse error and set() updates
+  /// in place, so order is canonical for a given construction sequence.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  ///< null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(std::int64_t i);
+  Json(std::uint64_t u) : type_(Type::kUint), uint_(u) {}
+  Json(int i) : Json(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : Json(static_cast<std::uint64_t>(u)) {}
+  Json(double d) : type_(Type::kDouble), double_(d) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+  [[nodiscard]] bool is_integer() const {
+    return type_ == Type::kInt || type_ == Type::kUint;
+  }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors abort (precondition violation) on a type mismatch;
+  /// use the is_*() predicates or get() for data that may be absent.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;     ///< kInt or in-range kUint
+  [[nodiscard]] std::uint64_t as_uint() const;   ///< kUint or >= 0 kInt
+  [[nodiscard]] double as_double() const;        ///< any number
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& items() const;
+  [[nodiscard]] const Object& members() const;
+
+  // --- array building ---------------------------------------------------
+  void push_back(Json value);
+  [[nodiscard]] std::size_t size() const;
+
+  // --- object building / lookup ----------------------------------------
+  /// Appends (or replaces, keeping position) a member.
+  void set(std::string key, Json value);
+  /// Member lookup; nullptr when absent (or when not an object).
+  [[nodiscard]] const Json* get(std::string_view key) const;
+  /// get() that aborts when the member is missing.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  friend bool operator==(const Json& a, const Json& b);
+
+  /// Canonical rendering: 2-space indent, "key": value, insertion order,
+  /// trailing newline at top level. Byte-stable (see header comment).
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of one document (trailing garbage is an error). On
+  /// failure returns nullopt and, when `error` is non-null, a one-line
+  /// message with the byte offset.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text,
+                                                 std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Reads a whole file into a Json value; nullopt on I/O or parse failure
+/// (message in `error` when non-null).
+[[nodiscard]] std::optional<Json> read_json_file(const std::string& path,
+                                                 std::string* error = nullptr);
+
+/// Writes `dump()` to `path`; false on I/O failure.
+bool write_json_file(const Json& value, const std::string& path);
+
+/// FNV-1a 64-bit over a byte string: the content hash used for corpus
+/// artifact identity ("<16 hex digits>").
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+[[nodiscard]] std::string fnv1a64_hex(std::string_view bytes);
+
+}  // namespace hcs

@@ -9,12 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <random>
+#include <string>
 
 #include "core/clean_visibility.hpp"
 #include "core/formulas.hpp"
 #include "core/strategy.hpp"
 #include "fault/fault.hpp"
+#include "fuzz/campaign.hpp"
 #include "graph/builders.hpp"
 #include "sim/threaded_runtime.hpp"
 
@@ -105,6 +108,40 @@ TEST(FaultSoak, ThreadedRuntimeRecleansUnderRandomCrashes) {
       EXPECT_TRUE(report.all_clean) << "fault seed " << seed;
     }
   }
+}
+
+// The randomized soak routed through the fuzz campaign runner: a fresh
+// campaign seed every run, full oracle battery (contract checks, trace
+// invariants, differential topology) on every cell, and -- the reason it
+// lives on the campaign rather than a bare loop -- any failure is
+// persisted as a replayable artifact in the soak corpus directory, ready
+// to be minimized (`hcs_fuzz minimize`) and committed to tests/data/fuzz/
+// as a permanent regression. HCS_SOAK_CORPUS overrides the corpus
+// location (the nightly job sets it to an uploaded CI artifact path).
+TEST(FaultSoak, CampaignSoakPersistsFailuresAsArtifacts) {
+  const char* env = std::getenv("HCS_SOAK_CORPUS");
+  const std::string corpus_dir =
+      (env != nullptr && *env != '\0')
+          ? std::string(env)
+          : (std::filesystem::temp_directory_path() / "hcs_soak_corpus")
+                .string();
+  std::filesystem::remove_all(corpus_dir);
+
+  fuzz::Manifest manifest;
+  manifest.campaign_seed = fresh_seed();
+  manifest.axes.max_dimension = 5;  // tier-1 budget; the nightly goes wider
+  const std::uint64_t seed = manifest.campaign_seed;
+
+  fuzz::CampaignConfig config;
+  config.corpus_dir = corpus_dir;
+  const fuzz::CampaignOutcome outcome =
+      fuzz::CampaignRunner(config).run(
+          std::move(manifest), static_cast<std::uint64_t>(soak_iters()) * 4);
+
+  EXPECT_EQ(outcome.failures_found, 0u)
+      << "campaign seed " << seed << " left " << outcome.artifacts_written
+      << " artifact(s) in " << corpus_dir
+      << "; replay with `hcs_fuzz replay --artifact <file>`";
 }
 
 }  // namespace

@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <random>
 #include <set>
 
 #include "core/clean_visibility.hpp"
 #include "core/formulas.hpp"
 #include "core/strategy.hpp"
+#include "fault/fault_io.hpp"
 #include "fault/reclean.hpp"
 #include "graph/builders.hpp"
 #include "run/sweep.hpp"
@@ -338,6 +340,67 @@ TEST(FaultThreaded, EmptySpecIsExactlyFaultFree) {
   EXPECT_TRUE(report.all_clean);
   EXPECT_TRUE(report.degradation.empty());
   EXPECT_EQ(report.total_moves, core::visibility_moves(4));
+}
+
+// Property test for the JSON layer the fuzz corpus depends on: every
+// representable FaultSpec -- all five rates, stall factor, seed, and
+// explicit events of every kind, *including* link-stall and mid-edge
+// crashes -- must survive JSON -> struct -> JSON byte-identically.
+TEST(FaultIo, EveryFaultKindRoundTripsThroughStrings) {
+  for (const auto kind :
+       {fault::FaultKind::kCrashAtNode, fault::FaultKind::kCrashInTransit,
+        fault::FaultKind::kWhiteboardLoss,
+        fault::FaultKind::kWhiteboardCorrupt, fault::FaultKind::kDroppedWake,
+        fault::FaultKind::kLinkStall}) {
+    fault::FaultKind back;
+    ASSERT_TRUE(fault::from_string(fault::to_string(kind), &back))
+        << fault::to_string(kind);
+    EXPECT_EQ(kind, back);
+  }
+}
+
+TEST(FaultIo, SpecRoundTripsByteIdenticallyUnderRandomization) {
+  std::mt19937_64 rng(20260807);
+  std::uniform_real_distribution<double> rate(0.0, 0.25);
+  std::uniform_int_distribution<int> kind_draw(0, 5);
+  for (int i = 0; i < 200; ++i) {
+    fault::FaultSpec spec;
+    spec.crash_rate = rate(rng);
+    spec.wb_loss_rate = rate(rng);
+    spec.wb_corrupt_rate = rate(rng);
+    spec.wake_drop_rate = rate(rng);
+    spec.link_stall_rate = rate(rng);
+    spec.stall_factor = 1.0 + rate(rng) * 64.0;
+    spec.seed = rng();
+    const std::size_t n_events = rng() % 6;
+    for (std::size_t e = 0; e < n_events; ++e) {
+      spec.events.push_back(
+          {static_cast<fault::FaultKind>(kind_draw(rng)),
+           static_cast<std::uint32_t>(rng() % 64), rng() % 1024});
+    }
+
+    const Json rendered = fault::fault_spec_json(spec);
+    fault::FaultSpec back;
+    std::string error;
+    ASSERT_TRUE(fault::parse_fault_spec(rendered, &back, &error)) << error;
+    EXPECT_EQ(spec, back);
+    EXPECT_EQ(rendered.dump(), fault::fault_spec_json(back).dump());
+  }
+}
+
+TEST(FaultIo, RecoveryConfigRoundTrips) {
+  fault::RecoveryConfig config;
+  config.enabled = false;
+  config.max_rounds = 5;
+  config.detect_timeout = 2.25;
+  config.backoff = 1.75;
+  fault::RecoveryConfig back;
+  std::string error;
+  ASSERT_TRUE(
+      fault::parse_recovery_config(fault::recovery_config_json(config),
+                                   &back, &error))
+      << error;
+  EXPECT_EQ(config, back);
 }
 
 }  // namespace

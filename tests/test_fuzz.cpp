@@ -1,0 +1,235 @@
+// hcs::fuzz suite (`ctest -L fuzz`): manifest/artifact round-trips,
+// thread-count-invariant campaign replay, minimizer convergence on a
+// known-injected failure, and byte-identical artifact replay.
+//
+// The known-bad cell used throughout pins expect=captured while disabling
+// recovery and injecting an explicit crash event: Theorem-style capture is
+// then impossible by construction, so the cell fails deterministically and
+// the hand-minimal reproducer is exactly one crash event.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/minimize.hpp"
+#include "util/json.hpp"
+
+namespace hcs::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> artifact_listing(const fs::path& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// A deliberately failing cell: capture demanded, recovery off, one real
+// crash plus chaff events the minimizer must discard.
+CellSpec known_bad_spec() {
+  CellSpec spec;
+  spec.strategy = "CLEAN";
+  spec.dimension = 4;
+  spec.seed = 11;
+  spec.expect = Expect::kCaptured;
+  spec.recovery.enabled = false;
+  spec.differential = false;
+  spec.faults.seed = 3;
+  spec.faults.events = {
+      {fault::FaultKind::kCrashAtNode, 0, 0},
+      {fault::FaultKind::kCrashAtNode, 1, 0},
+      {fault::FaultKind::kWhiteboardLoss, 0, 0},
+      {fault::FaultKind::kLinkStall, 2, 1},
+  };
+  return spec;
+}
+
+// The known-bad *campaign*: pinning expect=correct over fault workloads
+// guarantees that every cell whose schedule fires is a contract violation.
+Manifest known_bad_manifest(std::uint64_t seed) {
+  Manifest manifest;
+  manifest.campaign_seed = seed;
+  manifest.axes.strategies = {"CLEAN"};
+  manifest.axes.min_dimension = 3;
+  manifest.axes.max_dimension = 4;
+  manifest.axes.differential = false;
+  manifest.axes.expect = Expect::kCorrect;
+  return manifest;
+}
+
+TEST(FuzzCell, SpecRoundTripsByteIdentically) {
+  const CellSpec spec = known_bad_spec();
+  CellSpec back;
+  std::string error;
+  ASSERT_TRUE(parse_cell_spec(spec.to_json(), &back, &error)) << error;
+  EXPECT_EQ(spec.canonical(), back.canonical());
+  EXPECT_EQ(spec.content_hash(), back.content_hash());
+  EXPECT_EQ(spec.content_hash().size(), 16u);
+}
+
+TEST(FuzzCell, KnownBadSpecFailsWithStableSignature) {
+  const CellResult result = run_cell(known_bad_spec());
+  ASSERT_TRUE(result.failed());
+  EXPECT_EQ(result.signature(), "capture-failure");
+  // The injected crash events must show up in the fired-decision record
+  // the minimizer concretizes from.
+  EXPECT_FALSE(result.fired.empty());
+}
+
+TEST(FuzzManifest, RoundTripsByteIdentically) {
+  Manifest manifest = known_bad_manifest(42);
+  manifest.iterations_done = 17;
+  manifest.failures.push_back({3, "capture-failure", "aaaa", "bbbb"});
+  manifest.failures.push_back({9, "trace-invariant", "cccc", ""});
+  manifest.corpus = {"aaaa", "bbbb", "cccc"};
+
+  Manifest back;
+  std::string error;
+  ASSERT_TRUE(parse_manifest(manifest.to_json(), &back, &error)) << error;
+  EXPECT_EQ(manifest.to_json().dump(), back.to_json().dump());
+  EXPECT_EQ(back.axes.expect, Expect::kCorrect);
+  EXPECT_TRUE(back.has_corpus_hash("bbbb"));
+  EXPECT_FALSE(back.has_corpus_hash("dddd"));
+
+  Manifest rejected;
+  EXPECT_FALSE(parse_manifest(Json::object(), &rejected, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FuzzManifest, SaveLoadRestoresCampaignState) {
+  const fs::path dir = fresh_dir("hcs_fuzz_manifest");
+  Manifest manifest = known_bad_manifest(7);
+  manifest.iterations_done = 5;
+  ASSERT_TRUE(save_manifest(manifest, dir.string()));
+
+  Manifest loaded;
+  std::string error;
+  ASSERT_TRUE(load_manifest((dir / "manifest.json").string(), &loaded,
+                            &error))
+      << error;
+  EXPECT_EQ(manifest.to_json().dump(), loaded.to_json().dump());
+}
+
+TEST(FuzzCampaign, ReplayIsThreadCountInvariant) {
+  const fs::path dir1 = fresh_dir("hcs_fuzz_t1");
+  const fs::path dir8 = fresh_dir("hcs_fuzz_t8");
+
+  CampaignConfig config;
+  config.corpus_dir = dir1.string();
+  config.threads = 1;
+  const CampaignOutcome at1 =
+      CampaignRunner(config).run(known_bad_manifest(7), 6);
+
+  config.corpus_dir = dir8.string();
+  config.threads = 8;
+  const CampaignOutcome at8 =
+      CampaignRunner(config).run(known_bad_manifest(7), 6);
+
+  // The seeded known-bad campaign must actually find failures...
+  EXPECT_GT(at1.failures_found, 0u);
+  EXPECT_GT(at1.artifacts_written, 0u);
+  // ...and the corpus must be byte-identical at 1 and 8 worker threads.
+  EXPECT_EQ(at1.manifest.to_json().dump(), at8.manifest.to_json().dump());
+  const std::vector<std::string> names = artifact_listing(dir1);
+  ASSERT_EQ(names, artifact_listing(dir8));
+  for (const std::string& name : names) {
+    EXPECT_EQ(read_file(dir1 / name), read_file(dir8 / name)) << name;
+  }
+}
+
+TEST(FuzzCampaign, ResumeMatchesUninterruptedRun) {
+  const fs::path whole = fresh_dir("hcs_fuzz_whole");
+  const fs::path split = fresh_dir("hcs_fuzz_split");
+
+  CampaignConfig config;
+  config.minimize_failures = false;  // resume identity is about generation
+  config.threads = 2;
+  config.corpus_dir = whole.string();
+  const CampaignOutcome uninterrupted =
+      CampaignRunner(config).run(known_bad_manifest(7), 6);
+
+  config.corpus_dir = split.string();
+  (void)CampaignRunner(config).run(known_bad_manifest(7), 3);
+  Manifest checkpoint;
+  std::string error;
+  ASSERT_TRUE(load_manifest((split / "manifest.json").string(), &checkpoint,
+                            &error))
+      << error;
+  EXPECT_EQ(checkpoint.iterations_done, 3u);
+  const CampaignOutcome resumed =
+      CampaignRunner(config).run(std::move(checkpoint), 3);
+
+  EXPECT_EQ(uninterrupted.manifest.to_json().dump(),
+            resumed.manifest.to_json().dump());
+  EXPECT_EQ(artifact_listing(whole), artifact_listing(split));
+}
+
+TEST(FuzzMinimize, ConvergesToHandMinimalSchedule) {
+  const CellSpec spec = known_bad_spec();
+  const MinimizeResult result = minimize_cell(spec);
+  ASSERT_TRUE(result.reproduced);
+  EXPECT_EQ(result.signature, "capture-failure");
+  // The dimension must shrink (the failure reproduces on a smaller cube)
+  // and the chaff events must be gone: on the 2-node cube the hand-minimal
+  // schedule is the two crashes (a lone survivor would still capture), so
+  // the delta-debugger may reach but never exceed two crash events.
+  EXPECT_LT(result.minimized_dimension, spec.dimension);
+  EXPECT_LE(result.minimized_events, 2u);
+  ASSERT_EQ(result.minimized.faults.events.size(), result.minimized_events);
+  for (const fault::FaultEvent& event : result.minimized.faults.events) {
+    EXPECT_EQ(event.kind, fault::FaultKind::kCrashAtNode);
+  }
+  // The minimized cell is concretized: pure explicit events, no rates.
+  EXPECT_EQ(result.minimized.faults.crash_rate, 0.0);
+  // And it reproduces the same failure on an independent replay.
+  EXPECT_EQ(run_cell(result.minimized).signature(), result.signature);
+}
+
+TEST(FuzzArtifact, ReplaysByteIdentically) {
+  const fs::path dir = fresh_dir("hcs_fuzz_artifact");
+  const CellSpec spec = known_bad_spec();
+  const CellResult result = run_cell(spec);
+  ASSERT_TRUE(result.failed());
+
+  Artifact artifact;
+  artifact.cell = spec;
+  artifact.signature = result.signature();
+  artifact.failures = result.failures;
+  const fs::path path = dir / artifact.file_name();
+  ASSERT_TRUE(write_json_file(artifact.to_json(), path.string()));
+
+  Artifact loaded;
+  std::string error;
+  ASSERT_TRUE(load_artifact(path.string(), &loaded, &error)) << error;
+  // Byte-identical re-serialization...
+  EXPECT_EQ(loaded.to_json().dump(), read_file(path));
+  EXPECT_EQ(loaded.file_name(), artifact.file_name());
+  // ...and an exact failure reproduction from the parsed form alone.
+  EXPECT_EQ(run_cell(loaded.cell).signature(), artifact.signature);
+}
+
+}  // namespace
+}  // namespace hcs::fuzz
