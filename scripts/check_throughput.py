@@ -3,14 +3,17 @@
 
 Compares two BENCH_throughput.json files (written by bench_sim_throughput
 with HCS_THROUGHPUT_OUT set) and fails when any (strategy, dim) pair
-present in both slowed down by more than the tolerance.
+present in both slowed down by more than the tolerance. Rows are keyed by
+strategy label, so the gate covers both executors: the event engine rows
+("clean_sync", "clean_visibility") and the macro engine rows
+("clean_sync_macro", "clean_visibility_macro") regress independently.
 
 Usage:
-    check_throughput.py REFERENCE CURRENT [--tolerance 0.10] [--dims 10,12]
+    check_throughput.py REFERENCE CURRENT [--tolerance 0.10] [--dims 10,16]
 
 Only pairs present in both files are compared, so the CI perf-smoke job can
-re-measure a single dimension against the full committed sweep. Pure
-stdlib; exit code 1 on regression.
+re-measure one dimension per engine (event H_10 + macro H_16) against the
+full committed sweep. Pure stdlib; exit code 1 on regression.
 """
 
 import argparse

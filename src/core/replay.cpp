@@ -18,6 +18,55 @@ std::vector<sim::Itinerary> plan_to_itineraries(const SearchPlan& plan) {
   return itineraries;
 }
 
+sim::MacroProgram compile_macro_program(const SearchPlan& plan) {
+  sim::MacroProgram prog;
+  prog.homebase = plan.homebase;
+  prog.roles.assign(plan.roles.begin(), plan.roles.end());
+  prog.roles.resize(plan.num_agents);
+
+  // Pass 1: per-agent move counts -> offsets (flat grouped storage, same
+  // reasoning as SearchPlan's: CLEAN at H_20 is ~25M moves).
+  std::vector<std::uint32_t> counts(plan.num_agents, 0);
+  for (std::uint64_t r = 0; r < plan.num_rounds(); ++r) {
+    for (const PlanMove& m : plan.round(r)) {
+      HCS_EXPECTS(m.agent < plan.num_agents);
+      ++counts[m.agent];
+    }
+  }
+  prog.agent_offsets.resize(plan.num_agents + 1);
+  prog.agent_offsets[0] = 0;
+  for (PlanAgent a = 0; a < plan.num_agents; ++a) {
+    prog.agent_offsets[a + 1] = prog.agent_offsets[a] + counts[a];
+  }
+  HCS_EXPECTS(prog.agent_offsets[plan.num_agents] == plan.total_moves());
+
+  // Pass 2: fill per-agent slices in round order; the write cursor per
+  // agent starts at its offset. Dense tick = index among nonempty rounds.
+  prog.steps.resize(plan.total_moves());
+  std::vector<std::uint32_t> cursor(prog.agent_offsets.begin(),
+                                    prog.agent_offsets.end() - 1);
+  std::uint32_t tick = 0;
+  for (std::uint64_t r = 0; r < plan.num_rounds(); ++r) {
+    const auto round = plan.round(r);
+    if (round.empty()) continue;
+    for (const PlanMove& m : round) {
+      sim::MacroProgram::Step& s = prog.steps[cursor[m.agent]++];
+      s.time = tick;
+      s.from = m.from;
+      s.to = m.to;
+      // Chain consistency: an agent departs from where its previous move
+      // (or the homebase) left it -- the property that lets the schedule
+      // run time-driven with no inter-agent synchronization.
+      HCS_ASSERT(cursor[m.agent] - 1 == prog.agent_offsets[m.agent]
+                     ? m.from == plan.homebase
+                     : m.from == prog.steps[cursor[m.agent] - 2].to);
+    }
+    ++tick;
+  }
+  prog.horizon = tick;
+  return prog;
+}
+
 sim::ReplayOutcome replay_plan(const graph::Graph& g, const SearchPlan& plan,
                                const ReplayConfig& config) {
   sim::Network net(g, plan.homebase);

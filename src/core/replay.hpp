@@ -11,6 +11,7 @@
 
 #include "core/plan.hpp"
 #include "sim/engine.hpp"
+#include "sim/macro_engine.hpp"
 #include "sim/replay.hpp"
 
 namespace hcs::core {
@@ -19,6 +20,12 @@ namespace hcs::core {
 /// members that never move are kept, so team accounting matches).
 [[nodiscard]] std::vector<sim::Itinerary> plan_to_itineraries(
     const SearchPlan& plan);
+
+/// Compiles a plan into a time-driven sim::MacroProgram: empty rounds are
+/// dropped and the departure tick of a move is its round's dense index, so
+/// under the unit delay model the program's ticks are exactly the plan's
+/// ideal-time schedule. Steps are grouped per agent, round order preserved.
+[[nodiscard]] sim::MacroProgram compile_macro_program(const SearchPlan& plan);
 
 struct ReplayConfig {
   sim::DelayModel delay = sim::DelayModel::unit();

@@ -2,12 +2,14 @@
 
 #include <bit>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/strategy_registry.hpp"
 #include "obs/obs.hpp"
+#include "sim/macro_engine.hpp"
 #include "util/assert.hpp"
 
 namespace hcs {
@@ -67,13 +69,43 @@ core::SimOutcome Session::run(std::string_view strategy_name) {
   sim::RunOptions engine_config = config_.options;
   engine_config.visibility =
       config_.options.visibility || strategy.needs_visibility();
-  sim::Engine engine(net, engine_config);
 
-  strategy.spawn_team(engine, d);
-  if (config_.setup) config_.setup(net, engine);
+  // Resolve the engine axis. kMacro / kAuto take the macro executor when
+  // the options permit it (FIFO policy, unit delays; a setup hook implies
+  // live Engine access, which macro runs have no equivalent of) AND the
+  // strategy compiles to a program. kAuto quietly falls back to the event
+  // engine; an explicit kMacro that cannot be honoured is a precondition
+  // violation.
+  std::optional<sim::MacroProgram> program;
+  if (engine_config.engine != sim::EngineKind::kEvent &&
+      sim::MacroEngine::eligible(engine_config) && !config_.setup) {
+    program = strategy.macro_program(d);
+  }
+  HCS_EXPECTS((program.has_value() ||
+               engine_config.engine != sim::EngineKind::kMacro) &&
+              "engine=macro needs a macro-capable strategy, the FIFO wake "
+              "policy, unit delays and no setup hook");
 
-  const sim::Engine::RunResult run = engine.run();
-  const sim::Metrics& m = net.metrics();
+  sim::Engine::RunResult run;
+  sim::Metrics metrics;
+  bool net_all_clean = false;
+  bool net_region_connected = false;
+  if (program.has_value()) {
+    sim::MacroEngine engine(net, engine_config);
+    run = engine.run(*program);
+    metrics = engine.metrics();
+    net_all_clean = engine.all_clean();
+    net_region_connected = engine.clean_region_connected();
+  } else {
+    sim::Engine engine(net, engine_config);
+    strategy.spawn_team(engine, d);
+    if (config_.setup) config_.setup(net, engine);
+    run = engine.run();
+    metrics = net.metrics();
+    net_all_clean = net.all_clean();
+    net_region_connected = net.clean_region_connected();
+  }
+  const sim::Metrics& m = metrics;
 
   core::SimOutcome outcome;
   outcome.strategy = strategy.name();
@@ -85,12 +117,14 @@ core::SimOutcome Session::run(std::string_view strategy_name) {
   outcome.makespan = m.makespan;
   outcome.capture_time = run.capture_time;
   outcome.recontaminations = m.recontamination_events;
-  outcome.all_clean = net.all_clean();
-  outcome.clean_region_connected = net.clean_region_connected();
+  outcome.all_clean = net_all_clean;
+  outcome.clean_region_connected = net_region_connected;
   outcome.all_agents_terminated = run.all_terminated;
   outcome.abort_reason = run.abort_reason;
   outcome.degradation = run.degradation;
   outcome.peak_whiteboard_bits = m.peak_whiteboard_bits;
+  outcome.engine_used = program.has_value() ? sim::EngineKind::kMacro
+                                            : sim::EngineKind::kEvent;
 
   if (obs::kEnabled && obs != nullptr) {
     obs->counter_add("run.sessions");

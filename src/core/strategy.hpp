@@ -54,6 +54,9 @@ struct SimOutcome {
   std::uint64_t peak_whiteboard_bits = 0;
   /// Fault accounting for the run; all zeros when no faults were injected.
   fault::DegradationReport degradation;
+  /// Which executor actually ran (kAuto resolves to one of the other two
+  /// before the run starts, so this is never kAuto).
+  sim::EngineKind engine_used = sim::EngineKind::kEvent;
 
   [[nodiscard]] bool aborted() const {
     return abort_reason != sim::AbortReason::kNone;

@@ -38,6 +38,9 @@ class CleanStrategy final : public Strategy {
   std::uint64_t spawn_team(sim::Engine& engine, unsigned d) const override {
     return spawn_clean_sync_team(engine, d);
   }
+  std::optional<sim::MacroProgram> macro_program(unsigned d) const override {
+    return compile_macro_program(plan_clean_sync(d));
+  }
 };
 
 class VisibilityStrategy final : public Strategy {
@@ -55,6 +58,9 @@ class VisibilityStrategy final : public Strategy {
   }
   std::uint64_t spawn_team(sim::Engine& engine, unsigned d) const override {
     return spawn_visibility_team(engine, d);
+  }
+  std::optional<sim::MacroProgram> macro_program(unsigned d) const override {
+    return compile_macro_program(plan_clean_visibility(d));
   }
 };
 
@@ -91,6 +97,11 @@ class SynchronousStrategy final : public Strategy {
   std::uint64_t spawn_team(sim::Engine& engine, unsigned d) const override {
     return spawn_synchronous_team(engine, d);
   }
+  std::optional<sim::MacroProgram> macro_program(unsigned d) const override {
+    // Algorithm 2's wave schedule, which the synchronous protocol realizes
+    // without visibility (Section 5): same plan as CLEAN-WITH-VISIBILITY.
+    return compile_macro_program(plan_clean_visibility(d));
+  }
 };
 
 class NaiveLevelSweepStrategy final : public Strategy {
@@ -108,6 +119,9 @@ class NaiveLevelSweepStrategy final : public Strategy {
     sim::spawn_itinerary_team(engine, plan_to_itineraries(plan),
                               plan.num_rounds());
     return plan.num_agents;
+  }
+  std::optional<sim::MacroProgram> macro_program(unsigned d) const override {
+    return compile_macro_program(plan_naive_level_sweep(d));
   }
 };
 
@@ -138,6 +152,9 @@ class TreeSweepStrategy final : public Strategy {
     sim::spawn_itinerary_team(engine, plan_to_itineraries(plan),
                               plan.num_rounds());
     return plan.num_agents;
+  }
+  std::optional<sim::MacroProgram> macro_program(unsigned d) const override {
+    return compile_macro_program(make_plan(d));
   }
 
  private:

@@ -23,12 +23,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/engine.hpp"
+#include "sim/macro_engine.hpp"
 
 namespace hcs::core {
 
@@ -83,6 +85,21 @@ class Strategy {
   /// number of agents spawned up front (clones excluded). Must be safe to
   /// call concurrently on distinct engines (no shared mutable state).
   virtual std::uint64_t spawn_team(sim::Engine& engine, unsigned d) const = 0;
+
+  /// The strategy's move schedule as a compiled macro program, when its
+  /// sweep reduces to one (deterministic plan, no mid-run decisions): the
+  /// same team, traversals and ideal-time schedule as spawn_team's
+  /// protocol run, shorn of the coordination machinery (whiteboard
+  /// handshakes, synchronizer trips) that implements it distributedly.
+  /// Executing the program through sim::MacroEngine is bit-identical to
+  /// executing it through spawn_macro_team on an event engine (the macro
+  /// differential suite pins that); it is *not* step-identical to the
+  /// protocol run. nullopt (the default) means the strategy is event-only;
+  /// Session's EngineKind::kAuto then falls back to the event engine.
+  [[nodiscard]] virtual std::optional<sim::MacroProgram> macro_program(
+      unsigned /*d*/) const {
+    return std::nullopt;
+  }
 };
 
 class StrategyRegistry {

@@ -35,6 +35,7 @@ Json CampaignAxes::to_json() const {
   j.set("min_dimension", static_cast<std::uint64_t>(min_dimension));
   j.set("max_dimension", static_cast<std::uint64_t>(max_dimension));
   j.set("differential", differential);
+  j.set("engine_oracle", engine_oracle);
   j.set("expect", to_string(expect));
   return j;
 }
@@ -69,6 +70,15 @@ bool parse_campaign_axes(const Json& json, CampaignAxes* out,
     return fail(error, "axes missing \"differential\"");
   }
   axes.differential = differential->as_bool();
+  // Optional: absent in pre-engine-axis manifests, which never drew the
+  // macro executor.
+  if (const Json* engine_oracle = json.get("engine_oracle");
+      engine_oracle != nullptr) {
+    if (engine_oracle->type() != Json::Type::kBool) {
+      return fail(error, "axes \"engine_oracle\" is not a bool");
+    }
+    axes.engine_oracle = engine_oracle->as_bool();
+  }
   const Json* expect = json.get("expect");
   if (expect == nullptr || !expect->is_string() ||
       !expect_from_string(expect->as_string(), &axes.expect)) {
@@ -138,6 +148,17 @@ CellSpec campaign_cell(const CampaignAxes& axes, std::uint64_t campaign_seed,
       spec.faults.wb_loss_rate = pick_rate(sm.next(), 0.0, 0.01);
       spec.recovery.enabled = false;
       break;
+  }
+
+  // Engine axis: half the cells request the macro executor, arming the
+  // macro-vs-event engine oracle in run_cell. The draw always happens so
+  // the stream stays aligned when the axis is toggled; run_cell silently
+  // skips ineligible draws (non-fifo, non-unit delay, no compiled
+  // program), so the rest still exercise the spec round-trip.
+  const std::uint64_t engine_draw = sm.next() % 4;
+  if (axes.engine_oracle) {
+    if (engine_draw == 0) spec.engine = sim::EngineKind::kMacro;
+    if (engine_draw == 1) spec.engine = sim::EngineKind::kAuto;
   }
 
   // Fuzz cells are many and small; tighter guards than the sweep defaults

@@ -38,6 +38,10 @@ struct CampaignAxes {
   unsigned max_dimension = 6;
   /// Run the generic-topology differential oracle on every cell.
   bool differential = true;
+  /// Draw the engine axis: half the cells request the macro executor
+  /// (kMacro or kAuto), arming the macro-vs-event engine oracle on every
+  /// macro-eligible draw. Off pins every cell to kEvent.
+  bool engine_oracle = true;
   /// Contract every generated cell is judged against. kAuto (the default)
   /// resolves per workload; pinning e.g. kCorrect while fault rates are
   /// active is the canonical *known-bad* campaign -- every cell whose

@@ -5,11 +5,14 @@
 #include <tuple>
 #include <utility>
 
+#include <optional>
+
 #include "core/strategy_registry.hpp"
 #include "fault/fault_io.hpp"
 #include "graph/graph.hpp"
 #include "sim/engine.hpp"
 #include "sim/invariants.hpp"
+#include "sim/macro_engine.hpp"
 #include "sim/network.hpp"
 #include "util/assert.hpp"
 
@@ -58,6 +61,17 @@ bool semantics_parse(std::string_view name, sim::MoveSemantics* out) {
                                sim::MoveSemantics::kVacateOnDeparture}) {
     if (name == run::to_string(semantics)) {
       *out = semantics;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool engine_parse(std::string_view name, sim::EngineKind* out) {
+  for (const auto engine : {sim::EngineKind::kEvent, sim::EngineKind::kMacro,
+                            sim::EngineKind::kAuto}) {
+    if (name == sim::to_string(engine)) {
+      *out = engine;
       return true;
     }
   }
@@ -286,6 +300,65 @@ std::string compare_runs(const Executed& a, const Executed& b) {
   return {};
 }
 
+/// The engine oracle (the fifth differential): the strategy's compiled
+/// macro program executed by sim::Engine driving ScheduleAgents versus
+/// sim::MacroEngine, which must agree byte-for-byte on metrics, run
+/// result, and trace. Returns the first divergence, or empty when the
+/// executors agree or the cell is not macro-eligible (non-fifo wake
+/// policy, non-unit delay, or a strategy without a compiled program).
+std::string macro_engine_divergence(const CellSpec& spec,
+                                    const core::Strategy& strategy) {
+  sim::RunOptions cfg;
+  cfg.delay = spec.delay.make();
+  cfg.policy = spec.policy;
+  cfg.seed = spec.seed;
+  cfg.visibility = strategy.needs_visibility();
+  cfg.semantics = spec.semantics;
+  cfg.max_agent_steps = spec.max_agent_steps;
+  cfg.livelock_window = spec.livelock_window;
+  cfg.faults = spec.faults;
+  cfg.recovery = spec.recovery;
+  if (!sim::MacroEngine::eligible(cfg)) return {};
+  const std::optional<sim::MacroProgram> program =
+      strategy.macro_program(spec.dimension);
+  if (!program.has_value()) return {};
+
+  const graph::Graph g = strategy.build_graph(spec.dimension);
+  Executed event;
+  {
+    sim::Network net(g, /*homebase=*/0);
+    net.set_move_semantics(spec.semantics);
+    net.trace().enable(true);
+    sim::Engine engine(net, cfg);
+    sim::spawn_macro_team(engine, *program);
+    event.run = engine.run();
+    event.metrics = net.metrics();
+    event.all_clean = net.all_clean();
+    event.clean_region_connected = net.clean_region_connected();
+    event.trace = std::move(net.trace());
+  }
+  Executed macro;
+  {
+    sim::Network net(g, /*homebase=*/0);
+    net.set_move_semantics(spec.semantics);
+    net.trace().enable(true);
+    sim::MacroEngine engine(net, cfg);
+    macro.run = engine.run(*program);
+    macro.metrics = engine.metrics();
+    macro.all_clean = engine.all_clean();
+    macro.clean_region_connected = engine.clean_region_connected();
+    macro.trace = std::move(net.trace());
+  }
+
+  const std::string divergence = compare_runs(event, macro);
+  if (!divergence.empty()) return divergence;
+  if (event.all_clean != macro.all_clean) return "all_clean differs";
+  if (event.clean_region_connected != macro.clean_region_connected) {
+    return "clean_region_connected differs";
+  }
+  return {};
+}
+
 }  // namespace
 
 const char* to_string(Expect expect) {
@@ -396,6 +469,11 @@ Json CellSpec::to_json() const {
   j.set("livelock_window", livelock_window);
   j.set("expect", to_string(expect));
   j.set("differential", differential);
+  // Serialized only off its default so every pre-engine-axis artifact's
+  // canonical form (and therefore its content hash) is unchanged.
+  if (engine != sim::EngineKind::kEvent) {
+    j.set("engine", sim::to_string(engine));
+  }
   return j;
 }
 
@@ -491,6 +569,14 @@ bool parse_cell_spec(const Json& json, CellSpec* out, std::string* error) {
   }
   spec.differential = differential->as_bool();
 
+  // Optional: absent in pre-engine-axis artifacts, which ran kEvent only.
+  if (const Json* engine = json.get("engine"); engine != nullptr) {
+    if (!engine->is_string() ||
+        !engine_parse(engine->as_string(), &spec.engine)) {
+      return fail(error, "unknown engine kind");
+    }
+  }
+
   *out = std::move(spec);
   return true;
 }
@@ -548,6 +634,14 @@ CellResult run_cell(const CellSpec& spec) {
       result.failures.push_back(
           {FailureKind::kDifferentialDivergence,
            "implicit vs generic topology: " + divergence});
+    }
+  }
+
+  if (spec.engine != sim::EngineKind::kEvent) {
+    const std::string divergence = macro_engine_divergence(spec, *strategy);
+    if (!divergence.empty()) {
+      result.failures.push_back({FailureKind::kDifferentialDivergence,
+                                 "macro vs event engine: " + divergence});
     }
   }
   return result;

@@ -16,7 +16,11 @@
 //  * optionally a differential oracle: the same cell re-run on the
 //    generic compressed-adjacency topology (Graph::without_topology_hint)
 //    must produce a byte-identical trace and metrics -- the same pinning
-//    the PR-5 differential suite does, applied to arbitrary fuzzed cells.
+//    the PR-5 differential suite does, applied to arbitrary fuzzed cells;
+//  * optionally the engine oracle (spec.engine != kEvent): the strategy's
+//    compiled macro program runs on both executors -- sim::Engine driving
+//    ScheduleAgents and sim::MacroEngine -- and the traces, metrics, and
+//    run results must again be byte-identical.
 //
 // Failures come back as structured (kind, detail) records, so the
 // campaign layer can persist them and the delta-debugger can test "does
@@ -85,6 +89,12 @@ struct CellSpec {
   Expect expect = Expect::kAuto;
   /// Run the generic-topology oracle and compare traces.
   bool differential = true;
+  /// kEvent runs the primary cell only; kMacro/kAuto additionally run the
+  /// macro-vs-event engine oracle when the cell is macro-eligible (fifo
+  /// wake policy, unit delay, strategy with a compiled program). The field
+  /// is omitted from the canonical JSON form at its kEvent default, so
+  /// pre-engine-axis corpus hashes are unchanged.
+  sim::EngineKind engine = sim::EngineKind::kEvent;
 
   /// The contract kAuto resolves to for this workload.
   [[nodiscard]] Expect resolved_expect() const;

@@ -89,6 +89,7 @@ int cmd_run(const hcs::CliParser& cli) {
   manifest.axes.max_dimension =
       static_cast<unsigned>(cli.get_uint("max-dim"));
   manifest.axes.differential = !cli.get_bool("no-differential");
+  manifest.axes.engine_oracle = !cli.get_bool("no-engine-oracle");
   if (!hcs::fuzz::expect_from_string(cli.get("expect"),
                                      &manifest.axes.expect)) {
     std::fprintf(stderr,
@@ -208,6 +209,8 @@ int main(int argc, char** argv) {
                "is the canonical known-bad campaign");
   cli.add_bool_flag("no-differential",
                     "skip the generic-topology differential oracle");
+  cli.add_bool_flag("no-engine-oracle",
+                    "never draw the macro-vs-event engine axis");
   cli.add_bool_flag("no-minimize", "keep failures un-minimized (run/resume)");
   cli.add_flag("artifact", "", "artifact file (minimize/replay)");
   cli.add_flag("out", "", "output path for the minimized artifact");

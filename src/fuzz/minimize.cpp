@@ -44,6 +44,16 @@ void shrink_dimension(CellSpec& current, Prober& prober,
   }
 }
 
+/// Drops the engine axis when the failure does not need it: a contract
+/// failure first seen on a macro-axis cell minimizes to a plain event
+/// cell, while a genuine macro-vs-event divergence keeps the axis.
+void shrink_engine(CellSpec& current, Prober& prober) {
+  if (current.engine == sim::EngineKind::kEvent) return;
+  CellSpec candidate = current;
+  candidate.engine = sim::EngineKind::kEvent;
+  if (prober.reproduces(candidate)) current = std::move(candidate);
+}
+
 /// Replaces the rate-driven workload with the explicit list of decisions
 /// that actually fired, so ddmin can remove them one by one. Adopted only
 /// when the concretized cell still reproduces.
@@ -146,6 +156,7 @@ MinimizeResult minimize_cell(const CellSpec& spec,
 
   Prober prober(out.signature, options);
   shrink_dimension(current, prober, options);
+  shrink_engine(current, prober);
   concretize(current, prober);
   ddmin_events(current, prober);
   shrink_dimension(current, prober, options);

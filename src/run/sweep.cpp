@@ -57,19 +57,22 @@ const char* to_string(sim::MoveSemantics semantics) {
 
 std::size_t SweepSpec::num_cells() const {
   return strategies.size() * dimensions.size() * seeds.size() *
-         delays.size() * policies.size() * semantics.size() * faults.size();
+         delays.size() * policies.size() * semantics.size() * faults.size() *
+         engines.size();
 }
 
 SweepCell sweep_cell_at(const SweepSpec& spec, std::size_t index) {
   HCS_EXPECTS(index < spec.num_cells());
-  // Row-major decode, faults fastest (so the default single-entry fault
-  // axis preserves the historical cell order).
+  // Row-major decode, engines fastest, then faults (so the default
+  // single-entry engine and fault axes preserve the historical cell
+  // order).
   const auto pick = [&index](std::size_t extent) {
     const std::size_t i = index % extent;
     index /= extent;
     return i;
   };
   SweepCell cell;
+  cell.engine = spec.engines[pick(spec.engines.size())];
   cell.faults = spec.faults[pick(spec.faults.size())];
   cell.semantics = spec.semantics[pick(spec.semantics.size())];
   cell.policy = spec.policies[pick(spec.policies.size())];
@@ -91,6 +94,7 @@ SweepCell run_sweep_cell(const SweepSpec& spec, std::size_t index,
   config.max_agent_steps = spec.max_agent_steps;
   config.faults = cell.faults;
   config.recovery = spec.recovery;
+  config.engine = cell.engine;
 
   obs::ScopedSink sink(obs);
   obs::Span cell_span(obs, "sweep.cell");
@@ -110,7 +114,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
   HCS_EXPECTS(!spec.strategies.empty() && !spec.dimensions.empty());
   HCS_EXPECTS(!spec.seeds.empty() && !spec.delays.empty());
   HCS_EXPECTS(!spec.policies.empty() && !spec.semantics.empty());
-  HCS_EXPECTS(!spec.faults.empty());
+  HCS_EXPECTS(!spec.faults.empty() && !spec.engines.empty());
   // Resolve every name up front (and warm the registry singleton) so a typo
   // aborts before any work is scheduled and no worker races the first
   // instance() initialization.

@@ -51,7 +51,8 @@ struct DelaySpec {
 
 /// The cartesian grid. Axis order (slowest to fastest varying in the cell
 /// enumeration): strategies, dimensions, seeds, delays, policies,
-/// semantics, faults. Strategy names resolve through the StrategyRegistry.
+/// semantics, faults, engines. Strategy names resolve through the
+/// StrategyRegistry.
 struct SweepSpec {
   std::vector<std::string> strategies;
   std::vector<unsigned> dimensions;
@@ -64,6 +65,11 @@ struct SweepSpec {
   /// Fault axis: one full sub-grid per workload. The default single empty
   /// spec reproduces the pre-fault grid exactly (cell-for-cell).
   std::vector<fault::FaultSpec> faults = {fault::FaultSpec::none()};
+  /// Executor axis (sim/options.hpp EngineKind): kEvent runs the
+  /// discrete-event protocol, kMacro the strategy's compiled macro
+  /// program, kAuto resolves per cell. The default single-kEvent axis
+  /// reproduces the historical grid cell-for-cell.
+  std::vector<sim::EngineKind> engines = {sim::EngineKind::kEvent};
   /// Recovery policy applied to every faulty cell.
   fault::RecoveryConfig recovery;
   /// Livelock guard applied to every cell (SimOutcome::abort_reason on
@@ -82,6 +88,8 @@ struct SweepCell {
   sim::Engine::WakePolicy policy = sim::Engine::WakePolicy::kFifo;
   sim::MoveSemantics semantics = sim::MoveSemantics::kAtomicArrival;
   fault::FaultSpec faults;
+  /// Requested executor; the resolved one is outcome.engine_used.
+  sim::EngineKind engine = sim::EngineKind::kEvent;
   core::SimOutcome outcome;
 };
 

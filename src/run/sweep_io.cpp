@@ -23,7 +23,8 @@ const std::vector<std::string>& cell_fields() {
   static const std::vector<std::string> fields = {
       "strategy",       "dimension",        "seed",
       "delay",          "policy",           "semantics",
-      "faults",         "abort_reason",
+      "faults",         "engine",           "engine_used",
+      "abort_reason",
       "team_size",      "total_moves",      "agent_moves",
       "sync_moves",     "makespan",         "capture_time",
       "recontaminations", "all_clean",      "connected",
@@ -45,6 +46,8 @@ std::vector<std::string> cell_values(const SweepCell& cell) {
           to_string(cell.policy),
           to_string(cell.semantics),
           cell.faults.label(),
+          sim::to_string(cell.engine),
+          sim::to_string(o.engine_used),
           sim::to_string(o.abort_reason),
           std::to_string(o.team_size),
           std::to_string(o.total_moves),
@@ -124,7 +127,7 @@ std::string sweep_json(const SweepResult& result) {
       out += "\"" + fields[f] + "\": ";
       // Quote the label-like columns (through "abort_reason"); everything
       // else is numeric (booleans serialized as 0/1).
-      const bool quoted = f <= 7;
+      const bool quoted = f <= 9;
       out += quoted ? "\"" + json_escape(values[f]) + "\"" : values[f];
     }
     out += c + 1 < result.cells.size() ? "},\n" : "}\n";
@@ -160,13 +163,15 @@ bool write_sweep_profile_csv(const obs::Snapshot& snapshot,
 }
 
 Table sweep_cells_table(const SweepResult& result) {
-  Table t({"strategy", "d", "seed", "delay", "policy", "faults", "agents",
-           "moves", "ideal time", "monotone", "all clean", "verdict"});
+  Table t({"strategy", "d", "seed", "delay", "policy", "faults", "engine",
+           "agents", "moves", "ideal time", "monotone", "all clean",
+           "verdict"});
   for (const SweepCell& cell : result.cells) {
     const core::SimOutcome& o = cell.outcome;
     t.add_row({cell.strategy, std::to_string(cell.dimension),
                std::to_string(cell.seed), cell.delay.label(),
                to_string(cell.policy), cell.faults.label(),
+               sim::to_string(o.engine_used),
                with_commas(o.team_size),
                with_commas(o.total_moves), fixed(o.makespan, 0),
                o.recontaminations == 0 ? "yes" : "NO",

@@ -1,0 +1,73 @@
+#include "sim/bitplane.hpp"
+
+#include <algorithm>
+
+namespace hcs::sim {
+
+namespace {
+
+/// Butterfly masks: kMask[j] selects the bit positions p in a word whose
+/// j-th index bit is 0, i.e. the lower partner of each (p, p ^ 2^j) pair.
+constexpr std::uint64_t kMask[6] = {
+    0x5555555555555555ULL, 0x3333333333333333ULL, 0x0F0F0F0F0F0F0F0FULL,
+    0x00FF00FF00FF00FFULL, 0x0000FFFF0000FFFFULL, 0x00000000FFFFFFFFULL,
+};
+
+/// Swaps each bit with its partner at distance 2^j inside one word, j < 6.
+[[nodiscard]] constexpr std::uint64_t butterfly(std::uint64_t w, unsigned j) {
+  const unsigned s = 1u << j;
+  return ((w >> s) & kMask[j]) | ((w & kMask[j]) << s);
+}
+
+}  // namespace
+
+bool intersects(const Bitplane& a, const Bitplane& b) {
+  HCS_EXPECTS(a.size() == b.size());
+  const auto wa = a.words();
+  const auto wb = b.words();
+  for (std::size_t k = 0; k < wa.size(); ++k) {
+    if ((wa[k] & wb[k]) != 0) return true;
+  }
+  return false;
+}
+
+void neighbor_plane(const Bitplane& src, unsigned j, Bitplane* out) {
+  HCS_EXPECTS(out != nullptr);
+  HCS_EXPECTS(std::has_single_bit(src.size()));
+  HCS_EXPECTS((std::size_t{1} << j) < src.size() || src.size() == 1);
+  if (out != &src) *out = src;
+  const auto words = out->words();
+  if (j < 6) {
+    // Partners share a word (or the plane is smaller than one word, where
+    // the layout is identical): one masked shift pair per word.
+    for (std::uint64_t& w : words) w = butterfly(w, j);
+    return;
+  }
+  // Whole words swap with the word 2^(j-6) away.
+  const std::size_t stride = std::size_t{1} << (j - 6);
+  for (std::size_t k = 0; k < words.size(); ++k) {
+    if ((k & stride) == 0) std::swap(words[k], words[k ^ stride]);
+  }
+}
+
+void neighbor_union(const Bitplane& src, unsigned d, Bitplane* out) {
+  HCS_EXPECTS(out != nullptr && out != &src);
+  HCS_EXPECTS(src.size() == (std::size_t{1} << d));
+  *out = Bitplane(src.size());
+  Bitplane shifted;
+  for (unsigned j = 0; j < d; ++j) {
+    neighbor_plane(src, j, &shifted);
+    *out |= shifted;
+  }
+}
+
+Bitplane level_mask(unsigned d, unsigned level) {
+  HCS_EXPECTS(level <= d);
+  Bitplane mask(std::size_t{1} << d);
+  for (std::uint64_t v = 0; v < (std::uint64_t{1} << d); ++v) {
+    if (static_cast<unsigned>(std::popcount(v)) == level) mask.set(v);
+  }
+  return mask;
+}
+
+}  // namespace hcs::sim

@@ -28,7 +28,7 @@ class DelayModel {
 
   /// Every action takes exactly 1 time unit.
   static DelayModel unit() {
-    return DelayModel([](Rng&) { return SimTime{1}; });
+    return DelayModel([](Rng&) { return SimTime{1}; }, /*is_unit=*/true);
   }
 
   /// Uniform in [lo, hi), lo > 0.
@@ -51,9 +51,16 @@ class DelayModel {
     return t;
   }
 
+  /// True iff this is the unit model (every traversal takes exactly 1 and
+  /// no randomness is consumed). The macro engine's eligibility check
+  /// needs this introspection because samplers are otherwise opaque.
+  [[nodiscard]] bool is_unit() const { return is_unit_; }
+
  private:
-  explicit DelayModel(Sampler s) : sampler_(std::move(s)) {}
+  explicit DelayModel(Sampler s, bool is_unit = false)
+      : sampler_(std::move(s)), is_unit_(is_unit) {}
   Sampler sampler_;
+  bool is_unit_ = false;
 };
 
 }  // namespace hcs::sim

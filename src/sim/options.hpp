@@ -24,6 +24,25 @@ namespace hcs::sim {
 /// kRandom explores adversarial interleavings.
 enum class WakePolicy : std::uint8_t { kFifo, kRandom };
 
+/// Which executor runs a strategy (harness-level; see sim/macro_engine.hpp
+/// and hcs::Session):
+///  * kEvent -- the discrete-event Engine stepping the distributed
+///    protocol agent-by-agent (the default, and the reference semantics);
+///  * kMacro -- the macro-step engine executing the strategy's compiled
+///    MacroProgram over packed bitplanes; requires a macro-capable
+///    strategy, the FIFO wake policy and the unit delay model;
+///  * kAuto -- kMacro whenever the run is eligible, kEvent otherwise.
+enum class EngineKind : std::uint8_t { kEvent, kMacro, kAuto };
+
+[[nodiscard]] constexpr const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kEvent: return "event";
+    case EngineKind::kMacro: return "macro";
+    case EngineKind::kAuto: return "auto";
+  }
+  return "?";
+}
+
 struct RunOptions {
   DelayModel delay = DelayModel::unit();
   WakePolicy policy = WakePolicy::kFifo;
@@ -51,6 +70,10 @@ struct RunOptions {
   /// Observability sink; nullptr (the default) disables all collection.
   /// Non-owning -- the registry must outlive the run.
   obs::Registry* obs = nullptr;
+  /// Executor selection, resolved by the harness layers (Session / sweep
+  /// runner); the event Engine itself ignores it. kEvent preserves the
+  /// historical behaviour for every existing call site.
+  EngineKind engine = EngineKind::kEvent;
 };
 
 }  // namespace hcs::sim

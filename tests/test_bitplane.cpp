@@ -1,0 +1,207 @@
+// sim::Bitplane primitives: the packed node-set representation under the
+// macro-step engine (sim/macro_engine.hpp). The interesting boundaries are
+// d = 6 (one plane == exactly one 64-bit word, every neighbour permutation
+// is an in-word butterfly) and d = 7 (two words, dimension 6 becomes the
+// first whole-word swap), plus the popcount accounting identities the
+// engine's level sweeps rely on and a randomized equivalence check against
+// a plain set-of-nodes model.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/bitplane.hpp"
+#include "util/rng.hpp"
+
+namespace hcs::sim {
+namespace {
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+// ------------------------------------------------------------ level masks
+
+void check_level_masks(unsigned d) {
+  const std::size_t n = std::size_t{1} << d;
+  Bitplane all(n);
+  std::uint64_t total = 0;
+  for (unsigned l = 0; l <= d; ++l) {
+    const Bitplane mask = level_mask(d, l);
+    ASSERT_EQ(mask.size(), n);
+    EXPECT_EQ(mask.popcount(), binomial(d, l)) << "d=" << d << " l=" << l;
+    total += mask.popcount();
+    for (std::uint64_t v = 0; v < n; ++v) {
+      EXPECT_EQ(mask.test(v),
+                static_cast<unsigned>(std::popcount(v)) == l)
+          << "d=" << d << " l=" << l << " v=" << v;
+    }
+    // Levels are disjoint.
+    EXPECT_FALSE(intersects(mask, all)) << "d=" << d << " l=" << l;
+    all |= mask;
+  }
+  // ... and partition the cube.
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(all.popcount(), n);
+}
+
+TEST(Bitplane, LevelMasksSingleWordCube) { check_level_masks(6); }
+
+TEST(Bitplane, LevelMasksWordBoundaryCube) { check_level_masks(7); }
+
+TEST(Bitplane, LevelMaskNeighboursLandOnAdjacentLevels) {
+  // neighbor_plane maps level l onto levels l-1 and l+1 only: the
+  // invariant behind the engine's level-sweep frontier arithmetic.
+  const unsigned d = 7;
+  for (unsigned l = 0; l <= d; ++l) {
+    const Bitplane mask = level_mask(d, l);
+    Bitplane adjacent(std::size_t{1} << d);
+    if (l > 0) adjacent |= level_mask(d, l - 1);
+    if (l < d) adjacent |= level_mask(d, l + 1);
+    for (unsigned j = 0; j < d; ++j) {
+      Bitplane shifted;
+      neighbor_plane(mask, j, &shifted);
+      Bitplane outside = shifted;
+      outside.and_not(adjacent);
+      EXPECT_TRUE(outside.none()) << "l=" << l << " j=" << j;
+    }
+  }
+}
+
+// ------------------------------------------------- neighbour permutations
+
+TEST(Bitplane, NeighborPlaneMatchesScalarXor) {
+  for (unsigned d = 1; d <= 8; ++d) {
+    const std::size_t n = std::size_t{1} << d;
+    Rng rng(1000 + d);
+    Bitplane src(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (rng.chance(0.4)) src.set(v);
+    }
+    for (unsigned j = 0; j < d; ++j) {
+      Bitplane out;
+      neighbor_plane(src, j, &out);
+      for (std::size_t v = 0; v < n; ++v) {
+        EXPECT_EQ(out.test(v), src.test(v ^ (std::size_t{1} << j)))
+            << "d=" << d << " j=" << j << " v=" << v;
+      }
+      // The permutation is an involution; applying it in place restores
+      // the source (also exercises the &out == &src aliasing contract).
+      neighbor_plane(out, j, &out);
+      EXPECT_EQ(out, src) << "d=" << d << " j=" << j;
+    }
+  }
+}
+
+TEST(Bitplane, NeighborUnionMatchesScalarDefinition) {
+  for (unsigned d = 2; d <= 8; ++d) {
+    const std::size_t n = std::size_t{1} << d;
+    Rng rng(2000 + d);
+    Bitplane src(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (rng.chance(0.15)) src.set(v);
+    }
+    Bitplane out;
+    neighbor_union(src, d, &out);
+    for (std::size_t v = 0; v < n; ++v) {
+      bool expected = false;
+      for (unsigned j = 0; j < d && !expected; ++j) {
+        expected = src.test(v ^ (std::size_t{1} << j));
+      }
+      EXPECT_EQ(out.test(v), expected) << "d=" << d << " v=" << v;
+    }
+  }
+}
+
+// --------------------------------------------------- popcount accounting
+
+TEST(Bitplane, PopcountIdentities) {
+  const std::size_t n = 1u << 7;
+  Rng rng(42);
+  Bitplane a(n);
+  Bitplane b(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (rng.chance(0.5)) a.set(v);
+    if (rng.chance(0.5)) b.set(v);
+  }
+  Bitplane uni = a;
+  uni |= b;
+  Bitplane inter = a;
+  inter &= b;
+  Bitplane sym = a;
+  sym ^= b;
+  Bitplane diff = a;
+  diff.and_not(b);
+  // Inclusion-exclusion and the symmetric-difference split.
+  EXPECT_EQ(uni.popcount() + inter.popcount(), a.popcount() + b.popcount());
+  EXPECT_EQ(sym.popcount(), uni.popcount() - inter.popcount());
+  EXPECT_EQ(diff.popcount(), a.popcount() - inter.popcount());
+  EXPECT_EQ(intersects(a, b), inter.any());
+}
+
+TEST(Bitplane, TrimKeepsTailBitsOutOfCounts) {
+  // A 100-bit plane spans two words; the 28 tail bits must never leak
+  // into popcount/none even through set_all and whole-plane ops.
+  Bitplane p(100, true);
+  EXPECT_EQ(p.popcount(), 100u);
+  p.clear_all();
+  EXPECT_TRUE(p.none());
+  p.set_all();
+  EXPECT_EQ(p.popcount(), 100u);
+  Bitplane q(100);
+  q.set(99);
+  p.and_not(q);
+  EXPECT_EQ(p.popcount(), 99u);
+  EXPECT_FALSE(p.test(99));
+}
+
+// ------------------------------------------- randomized set equivalence
+
+TEST(Bitplane, RandomOpsMatchSetOfNodes) {
+  // Property test: a Bitplane driven by random single-bit and whole-plane
+  // operations stays equivalent to a std::set<std::size_t> model.
+  const std::size_t n = 1u << 9;
+  Rng rng(777);
+  Bitplane plane(n);
+  std::set<std::size_t> model;
+  for (int step = 0; step < 5000; ++step) {
+    const auto v = static_cast<std::size_t>(rng.below(n));
+    switch (rng.below(4)) {
+      case 0:
+        plane.set(v);
+        model.insert(v);
+        break;
+      case 1:
+        plane.clear(v);
+        model.erase(v);
+        break;
+      case 2: {
+        const bool value = rng.chance(0.5);
+        plane.assign(v, value);
+        if (value) {
+          model.insert(v);
+        } else {
+          model.erase(v);
+        }
+        break;
+      }
+      case 3:
+        ASSERT_EQ(plane.test(v), model.count(v) != 0) << "step " << step;
+        break;
+    }
+    ASSERT_EQ(plane.popcount(), model.size()) << "step " << step;
+    ASSERT_EQ(plane.none(), model.empty()) << "step " << step;
+  }
+  // Final full sweep.
+  for (std::size_t v = 0; v < n; ++v) {
+    ASSERT_EQ(plane.test(v), model.count(v) != 0) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace hcs::sim

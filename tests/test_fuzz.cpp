@@ -99,6 +99,74 @@ TEST(FuzzCell, KnownBadSpecFailsWithStableSignature) {
   EXPECT_FALSE(result.fired.empty());
 }
 
+TEST(FuzzCell, EngineAxisRoundTripsAndKeepsLegacyHashesStable) {
+  // The kEvent default is omitted from the canonical form, so a spec that
+  // never touches the axis hashes exactly as it did before the axis
+  // existed.
+  const CellSpec legacy = known_bad_spec();
+  EXPECT_EQ(legacy.canonical().find("\"engine\""), std::string::npos);
+
+  CellSpec macro = known_bad_spec();
+  macro.engine = sim::EngineKind::kMacro;
+  EXPECT_NE(macro.canonical().find("\"engine\": \"macro\""),
+            std::string::npos);
+  EXPECT_NE(macro.content_hash(), legacy.content_hash());
+
+  CellSpec back;
+  std::string error;
+  ASSERT_TRUE(parse_cell_spec(macro.to_json(), &back, &error)) << error;
+  EXPECT_EQ(back.engine, sim::EngineKind::kMacro);
+  EXPECT_EQ(macro.canonical(), back.canonical());
+}
+
+TEST(FuzzCell, EngineOracleAgreesOnAnEligibleCell) {
+  // A fault-free fifo/unit cell of a macro-capable strategy arms the
+  // macro-vs-event oracle; both executors must agree, so the cell passes.
+  CellSpec spec;
+  spec.strategy = "CLEAN";
+  spec.dimension = 5;
+  spec.seed = 23;
+  spec.engine = sim::EngineKind::kMacro;
+  const CellResult result = run_cell(spec);
+  EXPECT_FALSE(result.failed()) << result.signature();
+
+  // Crash workloads ride the same mirrored fault gates.
+  spec.faults = fault::FaultSpec::crashes(0.02, 5);
+  spec.recovery.enabled = true;
+  const CellResult faulty = run_cell(spec);
+  for (const Failure& f : faulty.failures) {
+    EXPECT_NE(f.kind, FailureKind::kDifferentialDivergence) << f.detail;
+  }
+}
+
+TEST(FuzzCampaign, GeneratorDrawsTheEngineAxis) {
+  Manifest manifest = known_bad_manifest(7);
+  bool saw_event = false;
+  bool saw_macro_or_auto = false;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const CellSpec spec =
+        campaign_cell(manifest.axes, manifest.campaign_seed, i);
+    if (spec.engine == sim::EngineKind::kEvent) saw_event = true;
+    else saw_macro_or_auto = true;
+  }
+  EXPECT_TRUE(saw_event);
+  EXPECT_TRUE(saw_macro_or_auto);
+
+  // Toggling the axis off pins every cell to kEvent without disturbing
+  // the other draws.
+  manifest.axes.engine_oracle = false;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const CellSpec off =
+        campaign_cell(manifest.axes, manifest.campaign_seed, i);
+    EXPECT_EQ(off.engine, sim::EngineKind::kEvent);
+    manifest.axes.engine_oracle = true;
+    CellSpec on = campaign_cell(manifest.axes, manifest.campaign_seed, i);
+    manifest.axes.engine_oracle = false;
+    on.engine = sim::EngineKind::kEvent;
+    EXPECT_EQ(on.canonical(), off.canonical());
+  }
+}
+
 TEST(FuzzManifest, RoundTripsByteIdentically) {
   Manifest manifest = known_bad_manifest(42);
   manifest.iterations_done = 17;

@@ -170,6 +170,36 @@ TEST(Sweep, LivelockGuardSurfacesAsAborted) {
   EXPECT_EQ(result.summarize()[0].aborted_cells, 1u);
 }
 
+TEST(Sweep, EngineAxisMultipliesTheGridAndMacroCellsMatchEvent) {
+  SweepSpec spec;
+  spec.strategies = {"CLEAN", "NAIVE-LEVEL-SWEEP"};
+  spec.dimensions = {4, 6};
+  spec.engines = {sim::EngineKind::kEvent, sim::EngineKind::kMacro};
+  ASSERT_EQ(spec.num_cells(), 2u * 2u * 2u);
+  // The engine axis varies fastest: adjacent cells are the same workload
+  // under each executor.
+  const SweepCell c0 = sweep_cell_at(spec, 0);
+  const SweepCell c1 = sweep_cell_at(spec, 1);
+  EXPECT_EQ(c0.engine, sim::EngineKind::kEvent);
+  EXPECT_EQ(c1.engine, sim::EngineKind::kMacro);
+  EXPECT_EQ(c0.strategy, c1.strategy);
+  EXPECT_EQ(c0.dimension, c1.dimension);
+
+  const SweepResult result = SweepRunner({.threads = 2}).run(spec);
+  for (std::size_t i = 0; i < result.cells.size(); i += 2) {
+    const core::SimOutcome& ev = result.cells[i].outcome;
+    const core::SimOutcome& mc = result.cells[i + 1].outcome;
+    EXPECT_EQ(ev.engine_used, sim::EngineKind::kEvent);
+    EXPECT_EQ(mc.engine_used, sim::EngineKind::kMacro);
+    // The macro cell replays the same schedule, so the headline outcome
+    // columns agree with the protocol run's plan-level costs.
+    EXPECT_EQ(mc.team_size, ev.team_size);
+    EXPECT_EQ(mc.total_moves, ev.total_moves);
+    EXPECT_TRUE(mc.correct());
+    EXPECT_TRUE(ev.correct());
+  }
+}
+
 TEST(SweepIo, CsvAndJsonAndTablesRenderEveryCell) {
   SweepSpec spec;
   spec.strategies = {"CLONING"};
