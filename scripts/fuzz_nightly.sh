@@ -23,13 +23,51 @@ if [[ ! -x "${HCS_FUZZ}" ]]; then
   exit 2
 fi
 
-if [[ -f "${CORPUS_DIR}/manifest.json" ]]; then
-  echo "== resuming campaign in ${CORPUS_DIR}"
-  "${HCS_FUZZ}" resume --corpus "${CORPUS_DIR}" --iterations "${ITERATIONS}"
-else
-  echo "== starting fresh campaign in ${CORPUS_DIR}"
-  "${HCS_FUZZ}" run --corpus "${CORPUS_DIR}" --iterations "${ITERATIONS}" \
-    --seed "${SEED}"
+# A wedged campaign must not hang the whole nightly: each attempt runs
+# under `timeout`, and a failed attempt gets exactly one retry after a
+# backoff. The retry re-detects campaign state, so a timed-out fresh run
+# resumes from whatever checkpoint it managed to commit.
+CAMPAIGN_TIMEOUT="${CAMPAIGN_TIMEOUT:-1800}"
+RETRY_BACKOFF="${RETRY_BACKOFF:-30}"
+
+start_campaign() {
+  # The sealed snapshot store in ${CORPUS_DIR}/ckpt also marks resumable
+  # state: a crash can leave it behind with a missing or torn
+  # manifest.json, and `hcs_fuzz resume` prefers it anyway.
+  if [[ -f "${CORPUS_DIR}/manifest.json" || -d "${CORPUS_DIR}/ckpt" ]]; then
+    echo "== resuming campaign in ${CORPUS_DIR}"
+    timeout -k 30 "${CAMPAIGN_TIMEOUT}" \
+      "${HCS_FUZZ}" resume --corpus "${CORPUS_DIR}" \
+      --iterations "${ITERATIONS}"
+  else
+    echo "== starting fresh campaign in ${CORPUS_DIR}"
+    timeout -k 30 "${CAMPAIGN_TIMEOUT}" \
+      "${HCS_FUZZ}" run --corpus "${CORPUS_DIR}" \
+      --iterations "${ITERATIONS}" --seed "${SEED}"
+  fi
+}
+
+CAMPAIGN_RC=0
+start_campaign || CAMPAIGN_RC=$?
+if [[ "${CAMPAIGN_RC}" -ne 0 ]]; then
+  if [[ "${CAMPAIGN_RC}" -eq 124 ]]; then
+    echo "fuzz_nightly: campaign TIMED OUT after ${CAMPAIGN_TIMEOUT}s" >&2
+  else
+    echo "fuzz_nightly: campaign exited ${CAMPAIGN_RC}" >&2
+  fi
+  echo "fuzz_nightly: retrying once in ${RETRY_BACKOFF}s" >&2
+  sleep "${RETRY_BACKOFF}"
+  CAMPAIGN_RC=0
+  start_campaign || CAMPAIGN_RC=$?
+  if [[ "${CAMPAIGN_RC}" -ne 0 ]]; then
+    if [[ "${CAMPAIGN_RC}" -eq 124 ]]; then
+      echo "fuzz_nightly: campaign TIMED OUT again after" \
+        "${CAMPAIGN_TIMEOUT}s; giving up" >&2
+    else
+      echo "fuzz_nightly: campaign retry exited ${CAMPAIGN_RC}" >&2
+    fi
+    exit "${CAMPAIGN_RC}"
+  fi
 fi
 
 # The campaign itself exits 0 even when it finds failures (finding them is

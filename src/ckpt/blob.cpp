@@ -1,0 +1,149 @@
+#include "ckpt/blob.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/json.hpp"
+
+namespace hcs::ckpt {
+
+namespace {
+
+bool fail(std::string* error, std::string what) {
+  if (error != nullptr) *error = std::move(what);
+  return false;
+}
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf, 16);
+}
+
+/// Parses exactly 16 lowercase hex digits; false on any other byte.
+bool parse_hex16(std::string_view text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string seal(std::string_view payload) {
+  std::string blob;
+  blob.reserve(payload.size() + kBlobFooterSize);
+  blob.append(payload);
+  blob.push_back('\n');
+  blob.append(kBlobMagic);
+  blob.append(" len=");
+  blob.append(hex16(payload.size()));
+  blob.append(" fnv=");
+  blob.append(hex16(fnv1a64(payload)));
+  blob.push_back('\n');
+  return blob;
+}
+
+bool unseal(std::string_view blob, std::string* payload, std::string* error) {
+  if (blob.size() < kBlobFooterSize) {
+    return fail(error, "blob shorter than the checksum footer");
+  }
+  const std::string_view footer = blob.substr(blob.size() - kBlobFooterSize);
+  std::size_t at = 0;
+  const auto expect = [&](std::string_view literal) {
+    if (footer.substr(at, literal.size()) != literal) return false;
+    at += literal.size();
+    return true;
+  };
+  if (!expect("\n") || !expect(kBlobMagic) || !expect(" len=")) {
+    return fail(error, "footer magic mismatch (torn or foreign file)");
+  }
+  std::uint64_t len = 0;
+  if (!parse_hex16(footer.substr(at, 16), &len)) {
+    return fail(error, "footer length field is not 16 hex digits");
+  }
+  at += 16;
+  if (!expect(" fnv=")) {
+    return fail(error, "footer checksum marker mismatch");
+  }
+  std::uint64_t fnv = 0;
+  if (!parse_hex16(footer.substr(at, 16), &fnv)) {
+    return fail(error, "footer checksum field is not 16 hex digits");
+  }
+  const std::string_view body = blob.substr(0, blob.size() - kBlobFooterSize);
+  if (len != body.size()) {
+    return fail(error, "payload length mismatch (truncated write)");
+  }
+  if (fnv != fnv1a64(body)) {
+    return fail(error, "payload checksum mismatch (corrupt write)");
+  }
+  payload->assign(body);
+  return true;
+}
+
+bool write_sealed_atomic(const std::string& path, std::string_view payload,
+                         std::string* error) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) return fail(error, "cannot create " + target.parent_path().string());
+  }
+  const std::string tmp = path + ".tmp";
+  const std::string blob = seal(payload);
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return fail(error, "cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  const bool written =
+      std::fwrite(blob.data(), 1, blob.size(), file) == blob.size() &&
+      std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+  std::fclose(file);
+  if (!written) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return fail(error, "short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return fail(error, "cannot rename " + tmp + " over " + path);
+  }
+  return true;
+}
+
+bool read_sealed(const std::string& path, std::string* payload,
+                 std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(error, "cannot open " + path);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return fail(error, "read error on " + path);
+  std::string reason;
+  if (!unseal(blob, payload, &reason)) {
+    return fail(error, path + ": " + reason);
+  }
+  return true;
+}
+
+}  // namespace hcs::ckpt

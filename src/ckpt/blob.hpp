@@ -1,0 +1,53 @@
+// hcs::ckpt -- crash-consistent snapshot blobs.
+//
+// A sealed blob is the payload followed by a fixed-width ASCII footer:
+//
+//   \n#hcs-ckpt-v1 len=<16 hex> fnv=<16 hex>\n
+//
+// where `len` is the payload byte count and `fnv` its FNV-1a 64 hash
+// (util/json's fnv1a64, the same hash that content-addresses fuzz
+// artifacts). The footer makes every torn write detectable with one look
+// at the tail: a truncated payload, a missing footer, or a mangled length/
+// checksum all fail unseal() and the reader falls back to an older
+// snapshot (store.hpp). Writes never expose a half-written file under the
+// final name: the blob goes to a sibling temp file, is flushed and
+// fsync'd, then renamed over the target -- rename(2) within one directory
+// is atomic, so after a crash the target is either the old blob, the new
+// blob, or absent, never a prefix of either.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace hcs::ckpt {
+
+inline constexpr std::string_view kBlobMagic = "#hcs-ckpt-v1";
+
+/// Sealed footer size: "\n" + magic + " len=" + 16 + " fnv=" + 16 + "\n".
+inline constexpr std::size_t kBlobFooterSize =
+    1 + kBlobMagic.size() + 5 + 16 + 5 + 16 + 1;
+
+/// Payload with the checksum footer appended.
+[[nodiscard]] std::string seal(std::string_view payload);
+
+/// Verifies the footer (magic, length, checksum) and extracts the payload.
+/// False -- with a one-line reason in `error` when non-null -- on any
+/// mismatch; `payload` is untouched on failure.
+[[nodiscard]] bool unseal(std::string_view blob, std::string* payload,
+                          std::string* error = nullptr);
+
+/// Seals `payload` and writes it to `path` crash-consistently: temp file in
+/// the same directory, flush + fsync, atomic rename. False on I/O failure
+/// (the temp file is removed; `path` is left as it was).
+[[nodiscard]] bool write_sealed_atomic(const std::string& path,
+                                       std::string_view payload,
+                                       std::string* error = nullptr);
+
+/// Reads `path` and unseals it. False on I/O failure or a corrupt/torn
+/// blob.
+[[nodiscard]] bool read_sealed(const std::string& path, std::string* payload,
+                               std::string* error = nullptr);
+
+}  // namespace hcs::ckpt

@@ -1,0 +1,77 @@
+// hcs::ckpt -- a bounded-retention snapshot store.
+//
+// One directory holds a monotone sequence of sealed snapshots,
+// snap-<16 hex seq>.ckpt, each a canonical hcs::Json document wrapped in
+// the blob.hpp checksum footer. commit() assigns the next sequence number,
+// writes crash-consistently (temp + fsync + atomic rename), prunes down to
+// the `keep` newest files, and then fires the commit hook -- the hook is
+// the chaos harness's deterministic kill point: a worker that SIGKILLs
+// itself inside the k-th hook dies at a logical-counter-keyed instant, not
+// a wall-clock one.
+//
+// load_latest() scans newest to oldest and returns the first snapshot that
+// unseals and parses, counting how many corrupt/torn files it skipped on
+// the way. A crash mid-commit therefore costs at most the interrupted
+// snapshot: the previous one is still intact under its own name and is
+// what the restorer sees.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace hcs::ckpt {
+
+struct StoreOptions {
+  std::string dir;
+  /// Snapshots retained after every commit; older ones are pruned. At
+  /// least 2 so one torn newest file always leaves a good predecessor.
+  std::uint32_t keep = 3;
+};
+
+struct LoadedSnapshot {
+  std::uint64_t seq = 0;
+  std::string path;
+  Json doc;
+  /// Newer snapshots skipped because they failed the checksum or did not
+  /// parse -- nonzero means a torn write was detected and survived.
+  std::uint64_t corrupt_skipped = 0;
+};
+
+class Store {
+ public:
+  explicit Store(StoreOptions options);
+
+  /// Seals and writes `doc` as the next snapshot, prunes old ones, fires
+  /// the commit hook. Returns the assigned sequence number, 0 on failure.
+  std::uint64_t commit(const Json& doc, std::string* error = nullptr);
+
+  /// Newest snapshot that unseals and parses; nullopt when none does (or
+  /// the directory is empty/absent).
+  [[nodiscard]] std::optional<LoadedSnapshot> load_latest(
+      std::string* error = nullptr) const;
+
+  /// Sequence numbers present on disk, ascending (corrupt files included:
+  /// presence is judged by name only).
+  [[nodiscard]] std::vector<std::uint64_t> list() const;
+
+  [[nodiscard]] std::string path_for(std::uint64_t seq) const;
+  [[nodiscard]] const StoreOptions& options() const { return options_; }
+
+  /// Fires after every successful commit (post-prune) with the new
+  /// sequence number.
+  void set_commit_hook(std::function<void(std::uint64_t)> hook) {
+    hook_ = std::move(hook);
+  }
+
+ private:
+  StoreOptions options_;
+  std::function<void(std::uint64_t)> hook_;
+};
+
+}  // namespace hcs::ckpt

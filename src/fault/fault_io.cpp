@@ -23,8 +23,11 @@ bool get_double(const Json& json, const char* key, double* out,
 bool get_uint(const Json& json, const char* key, std::uint64_t* out,
               std::string* error) {
   const Json* member = json.get(key);
-  if (member == nullptr || !member->is_integer()) {
-    return fail(error, std::string("missing integer \"") + key + "\"");
+  // kUint exactly: a parsed negative integer is kInt, and feeding it to
+  // as_uint() would abort the process -- corrupt input must fail softly.
+  if (member == nullptr || member->type() != Json::Type::kUint) {
+    return fail(error,
+                std::string("missing non-negative integer \"") + key + "\"");
   }
   *out = member->as_uint();
   return true;
@@ -61,6 +64,26 @@ Json recovery_config_json(const RecoveryConfig& config) {
   j.set("max_rounds", static_cast<std::uint64_t>(config.max_rounds));
   j.set("detect_timeout", config.detect_timeout);
   j.set("backoff", config.backoff);
+  return j;
+}
+
+Json degradation_report_json(const DegradationReport& report) {
+  Json j = Json::object();
+  j.set("crashes", report.crashes);
+  j.set("crashes_in_transit", report.crashes_in_transit);
+  j.set("wb_entries_lost", report.wb_entries_lost);
+  j.set("wb_entries_corrupted", report.wb_entries_corrupted);
+  j.set("wakes_dropped", report.wakes_dropped);
+  j.set("links_stalled", report.links_stalled);
+  j.set("crashes_detected", report.crashes_detected);
+  j.set("wb_faults_detected", report.wb_faults_detected);
+  j.set("faults_recovered", report.faults_recovered);
+  j.set("recovery_rounds", report.recovery_rounds);
+  j.set("repair_agents", report.repair_agents);
+  j.set("recovery_moves", report.recovery_moves);
+  j.set("recovery_time", report.recovery_time);
+  j.set("recontaminations_attributed", report.recontaminations_attributed);
+  j.set("agents_stranded", report.agents_stranded);
   return j;
 }
 
@@ -126,6 +149,37 @@ bool parse_recovery_config(const Json& json, RecoveryConfig* out,
     return false;
   }
   *out = config;
+  return true;
+}
+
+bool parse_degradation_report(const Json& json, DegradationReport* out,
+                              std::string* error) {
+  if (!json.is_object()) {
+    return fail(error, "degradation report is not an object");
+  }
+  DegradationReport report;
+  if (!get_uint(json, "crashes", &report.crashes, error) ||
+      !get_uint(json, "crashes_in_transit", &report.crashes_in_transit,
+                error) ||
+      !get_uint(json, "wb_entries_lost", &report.wb_entries_lost, error) ||
+      !get_uint(json, "wb_entries_corrupted", &report.wb_entries_corrupted,
+                error) ||
+      !get_uint(json, "wakes_dropped", &report.wakes_dropped, error) ||
+      !get_uint(json, "links_stalled", &report.links_stalled, error) ||
+      !get_uint(json, "crashes_detected", &report.crashes_detected, error) ||
+      !get_uint(json, "wb_faults_detected", &report.wb_faults_detected,
+                error) ||
+      !get_uint(json, "faults_recovered", &report.faults_recovered, error) ||
+      !get_uint(json, "recovery_rounds", &report.recovery_rounds, error) ||
+      !get_uint(json, "repair_agents", &report.repair_agents, error) ||
+      !get_uint(json, "recovery_moves", &report.recovery_moves, error) ||
+      !get_double(json, "recovery_time", &report.recovery_time, error) ||
+      !get_uint(json, "recontaminations_attributed",
+                &report.recontaminations_attributed, error) ||
+      !get_uint(json, "agents_stranded", &report.agents_stranded, error)) {
+    return false;
+  }
+  *out = report;
   return true;
 }
 

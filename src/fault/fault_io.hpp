@@ -22,6 +22,7 @@ namespace hcs::fault {
 [[nodiscard]] Json fault_event_json(const FaultEvent& event);
 [[nodiscard]] Json fault_spec_json(const FaultSpec& spec);
 [[nodiscard]] Json recovery_config_json(const RecoveryConfig& config);
+[[nodiscard]] Json degradation_report_json(const DegradationReport& report);
 
 /// Parsers return false (with a one-line message in `error` when non-null)
 /// on a structural mismatch; `out` is untouched on failure.
@@ -31,5 +32,8 @@ namespace hcs::fault {
                                     std::string* error = nullptr);
 [[nodiscard]] bool parse_recovery_config(const Json& json, RecoveryConfig* out,
                                          std::string* error = nullptr);
+[[nodiscard]] bool parse_degradation_report(const Json& json,
+                                            DegradationReport* out,
+                                            std::string* error = nullptr);
 
 }  // namespace hcs::fault

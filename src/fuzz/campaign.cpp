@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <utility>
 
+#include "ckpt/store.hpp"
 #include "core/strategy_registry.hpp"
 #include "run/batch.hpp"
 #include "util/rng.hpp"
@@ -23,6 +25,16 @@ bool fail(std::string* error, const std::string& what) {
 double pick_rate(std::uint64_t draw, double lo, double hi) {
   const std::uint64_t steps = 1 + static_cast<std::uint64_t>((hi - lo) * 1e4);
   return lo + static_cast<double>(draw % steps) * 1e-4;
+}
+
+/// Corrupt-input-safe unsigned read. The int64 constructor normalizes
+/// every non-negative integer to kUint, so a kInt member is a *negative*
+/// number -- and as_uint() on it aborts the process. Parsers of untrusted
+/// artifacts/manifests must reject it as a parse failure instead.
+const Json* get_uint(const Json& json, const char* key) {
+  const Json* member = json.get(key);
+  if (member == nullptr || member->type() != Json::Type::kUint) return nullptr;
+  return member;
 }
 
 }  // namespace
@@ -54,10 +66,9 @@ bool parse_campaign_axes(const Json& json, CampaignAxes* out,
     if (!s.is_string()) return fail(error, "strategy name is not a string");
     axes.strategies.push_back(s.as_string());
   }
-  const Json* min_dim = json.get("min_dimension");
-  const Json* max_dim = json.get("max_dimension");
-  if (min_dim == nullptr || !min_dim->is_integer() || max_dim == nullptr ||
-      !max_dim->is_integer()) {
+  const Json* min_dim = get_uint(json, "min_dimension");
+  const Json* max_dim = get_uint(json, "max_dimension");
+  if (min_dim == nullptr || max_dim == nullptr) {
     return fail(error, "axes missing dimension bounds");
   }
   axes.min_dimension = static_cast<unsigned>(min_dim->as_uint());
@@ -190,8 +201,8 @@ Json Artifact::to_json() const {
 bool parse_artifact(const Json& json, Artifact* out, std::string* error) {
   if (!json.is_object()) return fail(error, "artifact is not an object");
   Artifact art;
-  const Json* version = json.get("version");
-  if (version == nullptr || !version->is_integer()) {
+  const Json* version = get_uint(json, "version");
+  if (version == nullptr) {
     return fail(error, "artifact missing \"version\"");
   }
   art.version = version->as_uint();
@@ -275,15 +286,15 @@ bool Manifest::has_corpus_hash(const std::string& hash) const {
 bool parse_manifest(const Json& json, Manifest* out, std::string* error) {
   if (!json.is_object()) return fail(error, "manifest is not an object");
   Manifest m;
-  const Json* version = json.get("version");
-  if (version == nullptr || !version->is_integer()) {
+  const Json* version = get_uint(json, "version");
+  if (version == nullptr) {
     return fail(error, "manifest missing \"version\"");
   }
   m.version = version->as_uint();
   if (m.version != 1) return fail(error, "unsupported manifest version");
 
-  const Json* seed = json.get("campaign_seed");
-  if (seed == nullptr || !seed->is_integer()) {
+  const Json* seed = get_uint(json, "campaign_seed");
+  if (seed == nullptr) {
     return fail(error, "manifest missing \"campaign_seed\"");
   }
   m.campaign_seed = seed->as_uint();
@@ -295,8 +306,8 @@ bool parse_manifest(const Json& json, Manifest* out, std::string* error) {
                : fail(error, "manifest missing \"axes\"");
   }
 
-  const Json* done = json.get("iterations_done");
-  if (done == nullptr || !done->is_integer()) {
+  const Json* done = get_uint(json, "iterations_done");
+  if (done == nullptr) {
     return fail(error, "manifest missing \"iterations_done\"");
   }
   m.iterations_done = done->as_uint();
@@ -308,14 +319,13 @@ bool parse_manifest(const Json& json, Manifest* out, std::string* error) {
   for (const Json& fj : failures->items()) {
     if (!fj.is_object()) return fail(error, "manifest failure not an object");
     ManifestFailure f;
-    const Json* iteration = fj.get("iteration");
+    const Json* iteration = get_uint(fj, "iteration");
     const Json* signature = fj.get("signature");
     const Json* hash = fj.get("hash");
     const Json* minimized_hash = fj.get("minimized_hash");
-    if (iteration == nullptr || !iteration->is_integer() ||
-        signature == nullptr || !signature->is_string() || hash == nullptr ||
-        !hash->is_string() || minimized_hash == nullptr ||
-        !minimized_hash->is_string()) {
+    if (iteration == nullptr || signature == nullptr ||
+        !signature->is_string() || hash == nullptr || !hash->is_string() ||
+        minimized_hash == nullptr || !minimized_hash->is_string()) {
       return fail(error, "malformed manifest failure record");
     }
     f.iteration = iteration->as_uint();
@@ -345,8 +355,59 @@ bool load_manifest(const std::string& path, Manifest* out,
 }
 
 bool save_manifest(const Manifest& manifest, const std::string& corpus_dir) {
-  return write_json_file(manifest.to_json(),
-                         corpus_dir + "/manifest.json");
+  // Temp + rename so a kill mid-write never leaves a torn manifest.json
+  // behind (readers see either the old or the new state, never a prefix).
+  const std::string path = corpus_dir + "/manifest.json";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << manifest.to_json().dump();
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+bool save_campaign_state(const Manifest& manifest,
+                         const std::string& corpus_dir, std::string* error) {
+  // Snapshot first, mirror second: a kill between the two leaves the
+  // mirror one batch behind the snapshot, and load_campaign_state prefers
+  // the snapshot.
+  ckpt::Store store({corpus_dir + "/ckpt"});
+  Json doc = Json::object();
+  doc.set("kind", "fuzz-campaign");
+  doc.set("version", std::uint64_t{1});
+  doc.set("manifest", manifest.to_json());
+  if (store.commit(doc, error) == 0) return false;
+  if (!save_manifest(manifest, corpus_dir)) {
+    return fail(error, "failed to write " + corpus_dir + "/manifest.json");
+  }
+  return true;
+}
+
+bool load_campaign_state(const std::string& corpus_dir, Manifest* out,
+                         std::string* error) {
+  ckpt::Store store({corpus_dir + "/ckpt"});
+  std::string store_error;
+  if (std::optional<ckpt::LoadedSnapshot> snap =
+          store.load_latest(&store_error)) {
+    const Json* kind = snap->doc.get("kind");
+    const Json* manifest = snap->doc.get("manifest");
+    std::string parse_error;
+    if (kind != nullptr && kind->type() == Json::Type::kString &&
+        kind->as_string() == "fuzz-campaign" && manifest != nullptr &&
+        parse_manifest(*manifest, out, &parse_error)) {
+      return true;
+    }
+    return fail(error, "campaign snapshot " + snap->path + " is not a "
+                "usable fuzz-campaign state" +
+                (parse_error.empty() ? "" : ": " + parse_error));
+  }
+  // Pre-snapshot corpora (or a wiped ckpt/ dir): plain manifest.json.
+  return load_manifest(corpus_dir + "/manifest.json", out, error);
 }
 
 CampaignOutcome CampaignRunner::run(Manifest manifest,
@@ -415,7 +476,7 @@ CampaignOutcome CampaignRunner::run(Manifest manifest,
     manifest.iterations_done += batch;
     out.cells_run += batch;
     remaining -= batch;
-    save_manifest(manifest, config_.corpus_dir);
+    save_campaign_state(manifest, config_.corpus_dir);
   }
   out.manifest = std::move(manifest);
   return out;

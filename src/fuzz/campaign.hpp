@@ -114,8 +114,26 @@ struct Manifest {
                                   std::string* error = nullptr);
 [[nodiscard]] bool load_manifest(const std::string& path, Manifest* out,
                                  std::string* error = nullptr);
-/// Writes manifest.json into `corpus_dir`; false on I/O failure.
+/// Writes manifest.json into `corpus_dir` atomically (temp + rename);
+/// false on I/O failure.
 bool save_manifest(const Manifest& manifest, const std::string& corpus_dir);
+
+/// Persists the campaign state crash-consistently: the manifest is first
+/// committed as a sealed, checksummed snapshot into <corpus_dir>/ckpt
+/// (the hcs::ckpt store -- torn writes are detected and older snapshots
+/// survive), then mirrored to plain manifest.json for external readers
+/// (scripts/fuzz_nightly.sh's python probe). False on I/O failure.
+bool save_campaign_state(const Manifest& manifest,
+                         const std::string& corpus_dir,
+                         std::string* error = nullptr);
+
+/// Loads the campaign state written by save_campaign_state: prefers the
+/// newest valid sealed snapshot (skipping torn ones), falls back to plain
+/// manifest.json for pre-snapshot corpora. False -- with a diagnostic --
+/// when neither source yields a parseable manifest.
+[[nodiscard]] bool load_campaign_state(const std::string& corpus_dir,
+                                       Manifest* out,
+                                       std::string* error = nullptr);
 
 struct CampaignConfig {
   /// Directory for manifest.json and art_*.json (created if absent).

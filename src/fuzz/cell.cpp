@@ -489,8 +489,11 @@ bool parse_cell_spec(const Json& json, CellSpec* out, std::string* error) {
   }
   spec.strategy = strategy->as_string();
 
+  // Corrupt-input safety: require kUint, not is_integer() -- the int64
+  // constructor normalizes non-negative values to kUint, so a kInt member
+  // is a negative number and as_uint() on it aborts instead of failing.
   const Json* dimension = json.get("dimension");
-  if (dimension == nullptr || !dimension->is_integer()) {
+  if (dimension == nullptr || dimension->type() != Json::Type::kUint) {
     return fail(error, "cell missing \"dimension\"");
   }
   spec.dimension = static_cast<unsigned>(dimension->as_uint());
@@ -499,7 +502,7 @@ bool parse_cell_spec(const Json& json, CellSpec* out, std::string* error) {
   }
 
   const Json* seed = json.get("seed");
-  if (seed == nullptr || !seed->is_integer()) {
+  if (seed == nullptr || seed->type() != Json::Type::kUint) {
     return fail(error, "cell missing \"seed\"");
   }
   spec.seed = seed->as_uint();
@@ -548,12 +551,12 @@ bool parse_cell_spec(const Json& json, CellSpec* out, std::string* error) {
   }
 
   const Json* max_steps = json.get("max_agent_steps");
-  if (max_steps == nullptr || !max_steps->is_integer()) {
+  if (max_steps == nullptr || max_steps->type() != Json::Type::kUint) {
     return fail(error, "cell missing \"max_agent_steps\"");
   }
   spec.max_agent_steps = max_steps->as_uint();
   const Json* livelock = json.get("livelock_window");
-  if (livelock == nullptr || !livelock->is_integer()) {
+  if (livelock == nullptr || livelock->type() != Json::Type::kUint) {
     return fail(error, "cell missing \"livelock_window\"");
   }
   spec.livelock_window = livelock->as_uint();

@@ -108,8 +108,10 @@ int cmd_run(const hcs::CliParser& cli) {
 int cmd_resume(const hcs::CliParser& cli) {
   Manifest manifest;
   std::string error;
-  if (!hcs::fuzz::load_manifest(cli.get("corpus") + "/manifest.json",
-                                &manifest, &error)) {
+  // Prefers the sealed snapshot store under <corpus>/ckpt (survives a
+  // kill mid-write of manifest.json), falling back to the plain manifest
+  // for pre-snapshot corpora.
+  if (!hcs::fuzz::load_campaign_state(cli.get("corpus"), &manifest, &error)) {
     std::fprintf(stderr, "hcs_fuzz resume: %s\n", error.c_str());
     return 1;
   }

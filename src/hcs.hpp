@@ -16,6 +16,8 @@
 //   hcs::core       -- the four paper strategies + baselines, the strategy
 //                      registry, closed-form cost formulas, Session
 //   hcs::run        -- parameter sweeps across a worker pool + CSV/JSON IO
+//   hcs::ckpt       -- crash-consistent checkpoint/restore (sealed blobs,
+//                      the snapshot store, outcome serialization)
 //   hcs::fault      -- fault injection specs and recovery policies
 //   hcs::intruder   -- adversarial intruder models for capture checks
 //   hcs::obs        -- counters/gauges/histograms/spans + trace exporters
@@ -28,6 +30,9 @@
 
 #pragma once
 
+#include "ckpt/blob.hpp"
+#include "ckpt/outcome_io.hpp"
+#include "ckpt/store.hpp"
 #include "core/audit.hpp"
 #include "core/audit_timeline.hpp"
 #include "core/baselines.hpp"
@@ -51,6 +56,7 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "run/sweep.hpp"
+#include "run/sweep_ckpt.hpp"
 #include "run/sweep_io.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"

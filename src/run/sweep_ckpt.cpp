@@ -1,0 +1,147 @@
+#include "run/sweep_ckpt.hpp"
+
+#include <utility>
+
+#include "ckpt/outcome_io.hpp"
+#include "core/strategy_registry.hpp"
+#include "fault/fault_io.hpp"
+
+namespace hcs::run {
+
+namespace {
+
+/// Json(int64) normalizes non-negative values to kUint, so kUint is the
+/// only type a well-formed count ever has; anything else (including a
+/// negative kInt) is a structural mismatch, and as_uint() on it would
+/// abort rather than fail.
+const Json* get_uint(const Json& json, const char* key) {
+  const Json* member = json.get(key);
+  if (member == nullptr || member->type() != Json::Type::kUint) return nullptr;
+  return member;
+}
+
+}  // namespace
+
+std::string sweep_spec_fingerprint(const SweepSpec& spec) {
+  Json id = Json::object();
+  Json strategies = Json::array();
+  for (const std::string& name : spec.strategies) {
+    // Canonical registry casing, so "clean" and "CLEAN" name the same grid.
+    strategies.push_back(core::StrategyRegistry::instance().get(name).name());
+  }
+  id.set("strategies", std::move(strategies));
+  Json dimensions = Json::array();
+  for (const unsigned d : spec.dimensions) {
+    dimensions.push_back(std::uint64_t{d});
+  }
+  id.set("dimensions", std::move(dimensions));
+  Json seeds = Json::array();
+  for (const std::uint64_t seed : spec.seeds) seeds.push_back(seed);
+  id.set("seeds", std::move(seeds));
+  Json delays = Json::array();
+  for (const DelaySpec& delay : spec.delays) delays.push_back(delay.label());
+  id.set("delays", std::move(delays));
+  Json policies = Json::array();
+  for (const auto policy : spec.policies) {
+    policies.push_back(to_string(policy));
+  }
+  id.set("policies", std::move(policies));
+  Json semantics = Json::array();
+  for (const auto sem : spec.semantics) semantics.push_back(to_string(sem));
+  id.set("semantics", std::move(semantics));
+  Json faults = Json::array();
+  for (const fault::FaultSpec& f : spec.faults) {
+    faults.push_back(fault::fault_spec_json(f));
+  }
+  id.set("faults", std::move(faults));
+  Json engines = Json::array();
+  for (const sim::EngineKind engine : spec.engines) {
+    engines.push_back(sim::to_string(engine));
+  }
+  id.set("engines", std::move(engines));
+  id.set("recovery", fault::recovery_config_json(spec.recovery));
+  id.set("max_agent_steps", spec.max_agent_steps);
+  return fnv1a64_hex(id.dump());
+}
+
+Json sweep_snapshot_json(const SweepSpec& spec, const std::string& fingerprint,
+                         const std::map<std::size_t, core::SimOutcome>& done) {
+  Json doc = Json::object();
+  doc.set("kind", "sweep");
+  doc.set("version", std::uint64_t{1});
+  doc.set("fingerprint", fingerprint);
+  doc.set("cells", static_cast<std::uint64_t>(spec.num_cells()));
+  Json cells = Json::array();
+  for (const auto& [index, outcome] : done) {
+    Json entry = Json::object();
+    entry.set("index", static_cast<std::uint64_t>(index));
+    entry.set("outcome", ckpt::outcome_json(outcome));
+    cells.push_back(std::move(entry));
+  }
+  doc.set("done", std::move(cells));
+  return doc;
+}
+
+bool parse_sweep_snapshot(const Json& doc, const std::string& fingerprint,
+                          std::size_t num_cells,
+                          std::map<std::size_t, core::SimOutcome>* out,
+                          std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  if (doc.type() != Json::Type::kObject) {
+    return fail("sweep snapshot: not an object");
+  }
+  const Json* kind = doc.get("kind");
+  if (kind == nullptr || kind->type() != Json::Type::kString ||
+      kind->as_string() != "sweep") {
+    return fail("sweep snapshot: kind != \"sweep\"");
+  }
+  const Json* fp = doc.get("fingerprint");
+  if (fp == nullptr || fp->type() != Json::Type::kString) {
+    return fail("sweep snapshot: missing fingerprint");
+  }
+  if (fp->as_string() != fingerprint) {
+    return fail("sweep snapshot: fingerprint mismatch (snapshot " +
+                fp->as_string() + ", spec " + fingerprint + ")");
+  }
+  const Json* cells = get_uint(doc, "cells");
+  if (cells == nullptr || cells->as_uint() != num_cells) {
+    return fail("sweep snapshot: cell count mismatch");
+  }
+  const Json* done = doc.get("done");
+  if (done == nullptr || done->type() != Json::Type::kArray) {
+    return fail("sweep snapshot: missing done array");
+  }
+  std::map<std::size_t, core::SimOutcome> parsed;
+  for (std::size_t i = 0; i < done->items().size(); ++i) {
+    const Json& entry = done->items()[i];
+    if (entry.type() != Json::Type::kObject) {
+      return fail("sweep snapshot: done[" + std::to_string(i) +
+                  "] is not an object");
+    }
+    const Json* index = get_uint(entry, "index");
+    if (index == nullptr || index->as_uint() >= num_cells) {
+      return fail("sweep snapshot: done[" + std::to_string(i) +
+                  "] has a bad index");
+    }
+    const Json* outcome = entry.get("outcome");
+    if (outcome == nullptr) {
+      return fail("sweep snapshot: done[" + std::to_string(i) +
+                  "] has no outcome");
+    }
+    core::SimOutcome parsed_outcome;
+    std::string outcome_error;
+    if (!ckpt::parse_outcome(*outcome, &parsed_outcome, &outcome_error)) {
+      return fail("sweep snapshot: done[" + std::to_string(i) +
+                  "]: " + outcome_error);
+    }
+    parsed[static_cast<std::size_t>(index->as_uint())] =
+        std::move(parsed_outcome);
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+}  // namespace hcs::run

@@ -1,0 +1,45 @@
+// Sweep-level checkpointing: the serialization glue between SweepRunner
+// and the hcs::ckpt snapshot store (docs/CHECKPOINT.md).
+//
+// A sweep snapshot persists the *completed cells* of a grid -- index plus
+// full SimOutcome -- keyed by a fingerprint of the spec. Resume recomputes
+// each cell's coordinates from the spec (the enumeration is a pure
+// function of it), fills in the stored outcomes, and re-runs only the
+// missing indices; because every cell is independently deterministic, the
+// resumed sweep's CSV/JSON output is byte-identical to an uninterrupted
+// run's. This is the durability layer that covers macro cells too: run-
+// level snapshots are event-engine only, but a sweep checkpoints whole
+// outcomes regardless of which executor produced them.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "run/sweep.hpp"
+#include "util/json.hpp"
+
+namespace hcs::run {
+
+/// Identity of a sweep: a hash over every axis and shared knob of the
+/// spec, in canonical JSON. Snapshots with a different fingerprint (or
+/// cell count) belong to a different grid and are ignored on resume.
+[[nodiscard]] std::string sweep_spec_fingerprint(const SweepSpec& spec);
+
+/// The snapshot document: {"kind":"sweep","version":1,"fingerprint":...,
+/// "cells":N,"done":[{"index":i,"outcome":{...}},...]} with `done` in
+/// ascending index order.
+[[nodiscard]] Json sweep_snapshot_json(
+    const SweepSpec& spec, const std::string& fingerprint,
+    const std::map<std::size_t, core::SimOutcome>& done);
+
+/// Validates `doc` against this spec (kind, fingerprint, cell count) and
+/// extracts the completed outcomes. Returns false with a diagnostic when
+/// the document is not a usable snapshot of this sweep; `out` is then
+/// left empty.
+[[nodiscard]] bool parse_sweep_snapshot(
+    const Json& doc, const std::string& fingerprint, std::size_t num_cells,
+    std::map<std::size_t, core::SimOutcome>* out, std::string* error);
+
+}  // namespace hcs::run

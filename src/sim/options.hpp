@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
@@ -74,6 +75,17 @@ struct RunOptions {
   /// runner); the event Engine itself ignores it. kEvent preserves the
   /// historical behaviour for every existing call site.
   EngineKind engine = EngineKind::kEvent;
+  /// Snapshot directory for crash-consistent checkpointing (src/ckpt,
+  /// docs/CHECKPOINT.md). Empty (the default) disables checkpointing
+  /// entirely; applied by the harness layers (Session / sweep runner), the
+  /// Engine itself only sees the hook they install.
+  std::string checkpoint_dir;
+  /// Agent steps between snapshot commits for run-level checkpointing
+  /// (event engine only; macro runs checkpoint at run boundaries).
+  std::uint64_t checkpoint_every_steps = 1'000'000;
+  /// Snapshots retained per store directory (minimum 2: one torn newest
+  /// file must always leave a good predecessor).
+  std::uint32_t checkpoint_keep = 3;
 };
 
 }  // namespace hcs::sim

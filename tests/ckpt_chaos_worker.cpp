@@ -1,0 +1,133 @@
+// ckpt_chaos_worker -- the kill-and-resume subject of the chaos suite
+// (tests/test_ckpt_chaos.cpp and the ckpt-chaos CI job).
+//
+// Runs a fixed multi-cell sweep (CLEAN x dims x seeds x {fault-free,
+// crashy} x {event, auto}) with sweep-level checkpointing into --dir, and
+// can SIGKILL itself inside the Nth snapshot commit hook -- a
+// deterministic, logical-counter-keyed crash point. Re-invoking the same
+// command line resumes from the snapshot store; once the grid completes,
+// the final CSV/JSON are written atomically and must be byte-identical to
+// an uninterrupted run's.
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "run/sweep.hpp"
+#include "run/sweep_io.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+std::vector<unsigned> parse_dims(const std::string& csv) {
+  std::vector<unsigned> dims;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) {
+      dims.push_back(
+          static_cast<unsigned>(std::stoul(csv.substr(begin, end - begin))));
+    }
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return dims;
+}
+
+bool write_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hcs::CliParser cli(
+      "Chaos-kill subject: runs a fixed multi-cell sweep with sweep-level "
+      "checkpointing, optionally SIGKILLing itself inside the Nth snapshot "
+      "commit. Re-run the same command line to resume.");
+  cli.add_flag("dir", "", "snapshot store directory (required)");
+  cli.add_flag("csv", "", "final sweep CSV path (required)");
+  cli.add_flag("json", "", "final sweep JSON path (required)");
+  cli.add_flag("status", "",
+               "optional status JSON path ({cells, resumed_cells})");
+  cli.add_flag("dims", "10,11,12", "comma-separated hypercube dimensions");
+  cli.add_flag("kill-after-commits", "0",
+               "SIGKILL self inside the Nth snapshot commit (0 = never)");
+  cli.add_flag("checkpoint-every", "4", "completed cells per snapshot commit");
+  cli.add_flag("threads", "2", "sweep worker threads");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
+
+  const std::string dir = cli.get("dir");
+  const std::string csv_path = cli.get("csv");
+  const std::string json_path = cli.get("json");
+  if (dir.empty() || csv_path.empty() || json_path.empty()) {
+    std::fprintf(stderr,
+                 "ckpt_chaos_worker: --dir, --csv and --json are required\n");
+    return 2;
+  }
+
+  hcs::run::SweepSpec spec;
+  spec.strategies = {"CLEAN"};
+  spec.dimensions = parse_dims(cli.get("dims"));
+  if (spec.dimensions.empty()) {
+    std::fprintf(stderr, "ckpt_chaos_worker: --dims parsed to nothing\n");
+    return 2;
+  }
+  spec.seeds = {1, 2};
+  hcs::fault::FaultSpec crashes;
+  crashes.crash_rate = 0.02;
+  crashes.seed = 7;
+  spec.faults = {hcs::fault::FaultSpec::none(), crashes};
+  spec.engines = {hcs::sim::EngineKind::kEvent, hcs::sim::EngineKind::kAuto};
+  spec.recovery.enabled = true;
+
+  hcs::run::SweepRunner::Config config;
+  config.threads = static_cast<unsigned>(cli.get_uint("threads"));
+  config.checkpoint_dir = dir;
+  config.checkpoint_every_cells =
+      static_cast<std::size_t>(cli.get_uint("checkpoint-every"));
+  const std::uint64_t kill_after = cli.get_uint("kill-after-commits");
+  std::uint64_t commits = 0;
+  config.on_checkpoint = [&](std::uint64_t, std::size_t) {
+    if (kill_after != 0 && ++commits >= kill_after) {
+      // SIGKILL, not exit(): nothing gets to flush, unwind, or tidy up --
+      // exactly the crash the snapshot store must absorb.
+      std::raise(SIGKILL);
+    }
+  };
+
+  const hcs::run::SweepResult result = hcs::run::SweepRunner(config).run(spec);
+
+  if (!write_atomic(csv_path, hcs::run::sweep_csv(result)) ||
+      !write_atomic(json_path, hcs::run::sweep_json(result))) {
+    std::fprintf(stderr, "ckpt_chaos_worker: cannot write final outputs\n");
+    return 1;
+  }
+  if (const std::string status_path = cli.get("status");
+      !status_path.empty()) {
+    hcs::Json status = hcs::Json::object();
+    status.set("cells", static_cast<std::uint64_t>(result.cells.size()));
+    status.set("resumed_cells", result.resumed_cells);
+    if (!write_atomic(status_path, status.dump())) {
+      std::fprintf(stderr, "ckpt_chaos_worker: cannot write %s\n",
+                   status_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

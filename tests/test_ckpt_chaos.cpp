@@ -1,0 +1,243 @@
+// The chaos-kill harness: SIGKILL the checkpointed sweep worker at
+// deterministic commit boundaries (and at randomized wall-clock points),
+// resume it, and require the final sweep CSV/JSON byte-identical to an
+// uninterrupted run's -- plus checksum detection of a deliberately
+// truncated snapshot, with recovery from the previous good one.
+//
+// The subject process is tests/ckpt_chaos_worker.cpp (path injected via
+// HCS_CKPT_CHAOS_WORKER); it self-SIGKILLs inside the Nth snapshot commit
+// hook, so deterministic kill points are keyed to logical progress, never
+// to wall clock. Dimensions default to {10,11,12} and can be trimmed for
+// slow (sanitizer) builds with HCS_CHAOS_DIMS.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string chaos_dims() {
+  const char* env = std::getenv("HCS_CHAOS_DIMS");
+  return env != nullptr && *env != '\0' ? env : "10,11,12";
+}
+
+struct WorkerExit {
+  bool signaled = false;
+  int signal = 0;
+  int exit_code = -1;
+};
+
+struct WorkerPaths {
+  std::string dir;     // snapshot store
+  std::string csv;
+  std::string json;
+  std::string status;
+};
+
+WorkerPaths paths_in(const std::string& root) {
+  return {root + "/snaps", root + "/sweep.csv", root + "/sweep.json",
+          root + "/status.json"};
+}
+
+/// Launches the worker; if kill_after_ms >= 0, SIGKILLs it from outside
+/// after that many milliseconds (the randomized-soak mode).
+WorkerExit run_worker(const WorkerPaths& paths, std::uint64_t kill_after_commits,
+                      int kill_after_ms = -1) {
+  const std::string worker = HCS_CKPT_CHAOS_WORKER;
+  std::vector<std::string> args = {
+      worker,
+      "--dir", paths.dir,
+      "--csv", paths.csv,
+      "--json", paths.json,
+      "--status", paths.status,
+      "--dims", chaos_dims(),
+      "--kill-after-commits", std::to_string(kill_after_commits),
+      "--checkpoint-every", "4",
+      "--threads", "2",
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execv(worker.c_str(), argv.data());
+    _exit(127);
+  }
+  EXPECT_GT(pid, 0);
+  if (kill_after_ms >= 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+    kill(pid, SIGKILL);
+  }
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  WorkerExit result;
+  if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::uint64_t status_field(const WorkerPaths& paths, const char* key) {
+  const std::optional<hcs::Json> doc = hcs::Json::parse(slurp(paths.status));
+  EXPECT_TRUE(doc.has_value());
+  const hcs::Json* field = doc->get(key);
+  EXPECT_NE(field, nullptr) << key;
+  return field->as_uint();
+}
+
+std::string fresh_root(const std::string& name) {
+  const std::string root = testing::TempDir() + "hcs_chaos_" + name;
+  fs::remove_all(root);
+  fs::create_directories(root);
+  return root;
+}
+
+/// The uninterrupted run every chaos scenario is compared against,
+/// computed once per suite.
+class CkptChaosTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const WorkerPaths ref = paths_in(fresh_root("reference"));
+    const WorkerExit result = run_worker(ref, /*kill_after_commits=*/0);
+    ASSERT_FALSE(result.signaled);
+    ASSERT_EQ(result.exit_code, 0);
+    reference_csv_ = new std::string(slurp(ref.csv));
+    reference_json_ = new std::string(slurp(ref.json));
+    ASSERT_FALSE(reference_csv_->empty());
+    ASSERT_FALSE(reference_json_->empty());
+  }
+
+  static const std::string& reference_csv() { return *reference_csv_; }
+  static const std::string& reference_json() { return *reference_json_; }
+
+ private:
+  static std::string* reference_csv_;
+  static std::string* reference_json_;
+};
+
+std::string* CkptChaosTest::reference_csv_ = nullptr;
+std::string* CkptChaosTest::reference_json_ = nullptr;
+
+/// Repeatedly runs the worker until it completes, expecting every run
+/// before the last to die by SIGKILL. Returns the number of attempts.
+int run_until_complete(const WorkerPaths& paths,
+                       std::uint64_t kill_after_commits, int max_attempts) {
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    const WorkerExit result = run_worker(paths, kill_after_commits);
+    if (!result.signaled) {
+      EXPECT_EQ(result.exit_code, 0);
+      return attempt;
+    }
+    EXPECT_EQ(result.signal, SIGKILL);
+  }
+  ADD_FAILURE() << "worker never completed in " << max_attempts
+                << " attempts";
+  return max_attempts;
+}
+
+TEST_F(CkptChaosTest, DeterministicKillsResumeByteIdentical) {
+  for (const std::uint64_t kill_after : {std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{4}}) {
+    SCOPED_TRACE("kill after " + std::to_string(kill_after) + " commits");
+    const WorkerPaths paths =
+        paths_in(fresh_root("kill" + std::to_string(kill_after)));
+
+    // The first run must actually die mid-sweep, not finish.
+    const WorkerExit first = run_worker(paths, kill_after);
+    ASSERT_TRUE(first.signaled);
+    ASSERT_EQ(first.signal, SIGKILL);
+    ASSERT_FALSE(fs::exists(paths.csv));
+
+    run_until_complete(paths, kill_after, /*max_attempts=*/32);
+    EXPECT_EQ(slurp(paths.csv), reference_csv());
+    EXPECT_EQ(slurp(paths.json), reference_json());
+    // The completing run restored every cell it did not execute itself.
+    EXPECT_GT(status_field(paths, "resumed_cells"), 0u);
+    EXPECT_LE(status_field(paths, "resumed_cells"),
+              status_field(paths, "cells"));
+  }
+}
+
+TEST_F(CkptChaosTest, TruncatedSnapshotFallsBackToPreviousGood) {
+  const WorkerPaths paths = paths_in(fresh_root("truncated"));
+  const WorkerExit first = run_worker(paths, /*kill_after_commits=*/3);
+  ASSERT_TRUE(first.signaled);
+
+  // Tear the newest snapshot: chop bytes off its tail, invalidating the
+  // length/checksum footer. The restorer must detect it and fall back to
+  // the previous snapshot (one 4-cell chunk earlier).
+  std::string newest;
+  for (const fs::directory_entry& entry : fs::directory_iterator(paths.dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > newest.size() ||
+        (name.size() == newest.size() && name > newest)) {
+      newest = name;
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  const fs::path newest_path = fs::path(paths.dir) / newest;
+  const auto size = fs::file_size(newest_path);
+  ASSERT_GT(size, 64u);
+  fs::resize_file(newest_path, size - 40);
+
+  const WorkerExit resumed = run_worker(paths, /*kill_after_commits=*/0);
+  ASSERT_FALSE(resumed.signaled);
+  ASSERT_EQ(resumed.exit_code, 0);
+  EXPECT_EQ(slurp(paths.csv), reference_csv());
+  EXPECT_EQ(slurp(paths.json), reference_json());
+  // 3 commits * 4 cells/commit = 12 done; losing the newest snapshot
+  // leaves the 8-cell predecessor as the resume point.
+  EXPECT_EQ(status_field(paths, "resumed_cells"), 8u);
+}
+
+TEST_F(CkptChaosTest, RandomizedKillSoakResumesByteIdentical) {
+  const WorkerPaths paths = paths_in(fresh_root("soak"));
+  std::mt19937 rng(20260807u);  // fixed seed: reproducible soak schedule
+  std::uniform_int_distribution<int> delay_ms(5, 400);
+  for (int round = 0; round < 6; ++round) {
+    const WorkerExit result = run_worker(paths, /*kill_after_commits=*/0,
+                                         delay_ms(rng));
+    if (!result.signaled) {
+      // Finished before the external kill landed -- outputs must already
+      // be correct, and later rounds just re-verify resume-on-complete.
+      EXPECT_EQ(result.exit_code, 0);
+    } else {
+      EXPECT_EQ(result.signal, SIGKILL);
+    }
+  }
+  const WorkerExit final_run = run_worker(paths, /*kill_after_commits=*/0);
+  ASSERT_FALSE(final_run.signaled);
+  ASSERT_EQ(final_run.exit_code, 0);
+  EXPECT_EQ(slurp(paths.csv), reference_csv());
+  EXPECT_EQ(slurp(paths.json), reference_json());
+}
+
+}  // namespace
