@@ -1,0 +1,319 @@
+// bench_serve -- hcsd under a zipf-skewed request mix (docs/SERVING.md).
+//
+// Drives a server with N client connections issuing `--requests` run
+// requests drawn zipf(--zipf-s) from a universe of `--universe` distinct
+// cells, then reports client-observed p50/p99 latency, cache hit rate,
+// coalesced count and whether every repeat of a cell replayed
+// byte-identical body bytes. By default the server is spawned in-process
+// on an ephemeral loopback port (still real TCP); --port connects to an
+// external hcsd instead.
+//
+//   bench_serve --requests 1000000 --connections 8 --out BENCH_serve.json
+//
+// --min-hit-rate makes the run a gate (exit 1 below the floor), which is
+// how the CI serve-smoke job uses it.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// zipf(s) over ranks 1..n via inverse CDF lookup (rank 1 most popular).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  std::size_t sample(std::uint64_t& state) const {
+    const double u = uniform01(state);
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// The request universe: small-dimension cells across the paper
+/// strategies, so cold misses are cheap enough to run a million-request
+/// mix while the key space still exercises the full CellKey schema.
+std::vector<std::string> build_universe(std::size_t n) {
+  static const char* kStrategies[] = {"CLEAN", "CLEAN-WITH-VISIBILITY",
+                                      "CLONING", "SYNCHRONOUS"};
+  static const unsigned kDims[] = {3, 4, 5};
+  std::vector<std::string> lines;
+  lines.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* strategy = kStrategies[i % 4];
+    const unsigned dim = kDims[(i / 4) % 3];
+    const std::uint64_t seed = 1 + i;
+    std::string line = "{\"id\":1,\"op\":\"run\",\"cell\":{\"strategy\":\"";
+    line += strategy;
+    line += "\",\"dimension\":" + std::to_string(dim);
+    line += ",\"seed\":" + std::to_string(seed) + "}}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+/// FNV-1a over the reply's body span (everything after "\"body\":" up to
+/// the outer closing brace), so per-cell replay identity is checked
+/// without a JSON parse per request.
+std::uint64_t body_hash(const std::string& reply) {
+  const std::size_t pos = reply.find("\"body\":");
+  if (pos == std::string::npos || reply.empty()) return 0;
+  const char* data = reply.data() + pos + 7;
+  const std::size_t len = reply.size() - (pos + 7) - 1;  // strip final '}'
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  std::uint64_t hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t failures = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hcs::CliParser cli(
+      "bench_serve: zipf-skewed load against hcsd; reports p50/p99 "
+      "latency, hit rate, coalescing and replay byte-identity");
+  cli.add_flag("host", "127.0.0.1", "server host (with --port)");
+  cli.add_flag("port", "0",
+               "connect to an external hcsd; 0 spawns an in-process "
+               "server on an ephemeral port");
+  cli.add_flag("requests", "1000000", "total run requests to issue");
+  cli.add_flag("connections", "8", "client connections (worker threads)");
+  cli.add_flag("zipf-s", "1.1", "zipf skew exponent");
+  cli.add_flag("universe", "512", "distinct cells in the request mix");
+  cli.add_flag("seed", "1", "request-mix RNG seed");
+  cli.add_flag("cache-mb", "64", "cache budget for the in-process server");
+  cli.add_flag("out", "", "write the report JSON here");
+  cli.add_flag("min-hit-rate", "0",
+               "exit 1 when the hit rate lands below this floor");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const std::uint64_t total_requests = cli.get_uint("requests");
+  const unsigned connections =
+      std::max<unsigned>(1, static_cast<unsigned>(cli.get_uint("connections")));
+  const std::size_t universe_size =
+      std::max<std::uint64_t>(1, cli.get_uint("universe"));
+  const double zipf_s = cli.get_double("zipf-s");
+  const std::uint64_t seed = cli.get_uint("seed");
+
+  std::string host = cli.get("host");
+  auto port = static_cast<std::uint16_t>(cli.get_uint("port"));
+  std::unique_ptr<hcs::serve::Server> local;
+  if (port == 0) {
+    hcs::serve::ServerConfig config;
+    config.service.cache_bytes =
+        static_cast<std::size_t>(cli.get_uint("cache-mb")) * 1024 * 1024;
+    local = std::make_unique<hcs::serve::Server>(config);
+    std::string error;
+    if (!local->start(&error)) {
+      std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+      return 1;
+    }
+    host = "127.0.0.1";
+    port = local->port();
+  }
+
+  const std::vector<std::string> universe = build_universe(universe_size);
+  const ZipfSampler zipf(universe_size, zipf_s);
+
+  // First hash seen per cell; later requests must match (0 = unseen).
+  std::vector<std::atomic<std::uint64_t>> cell_hash(universe_size);
+  for (auto& h : cell_hash) h.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> replay_mismatches{0};
+
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  const auto bench_start = std::chrono::steady_clock::now();
+  for (unsigned w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerResult& out = results[w];
+      hcs::serve::Client client;
+      std::string error;
+      if (!client.connect(host, port, &error)) {
+        std::fprintf(stderr, "bench_serve: worker %u: %s\n", w,
+                     error.c_str());
+        out.failures = 1;
+        return;
+      }
+      const std::uint64_t quota =
+          total_requests / connections +
+          (w < total_requests % connections ? 1 : 0);
+      out.latencies_us.reserve(quota);
+      std::uint64_t rng = seed * 0x2545f4914f6cdd1dULL + w + 1;
+      std::string reply;
+      for (std::uint64_t i = 0; i < quota; ++i) {
+        const std::size_t cell = zipf.sample(rng);
+        const auto start = std::chrono::steady_clock::now();
+        if (!client.request(universe[cell], &reply)) {
+          ++out.failures;
+          return;
+        }
+        out.latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        if (reply.find("\"ok\":true") == std::string::npos) {
+          ++out.failures;
+          continue;
+        }
+        if (reply.find("\"cached\":true") != std::string::npos) ++out.hits;
+        if (reply.find("\"coalesced\":true") != std::string::npos) {
+          ++out.coalesced;
+        }
+        const std::uint64_t h = body_hash(reply);
+        std::uint64_t expected = 0;
+        if (!cell_hash[cell].compare_exchange_strong(
+                expected, h, std::memory_order_relaxed) &&
+            expected != h) {
+          replay_mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - bench_start)
+                            .count();
+
+  // Server-side stats, then shut the in-process server down cleanly.
+  std::string stats_line;
+  {
+    hcs::serve::Client client;
+    std::string error;
+    if (client.connect(host, port, &error)) {
+      (void)client.request("{\"id\":1,\"op\":\"stats\"}", &stats_line);
+      if (local != nullptr) {
+        std::string ignored;
+        (void)client.request("{\"id\":2,\"op\":\"shutdown\"}", &ignored);
+      }
+    }
+  }
+  if (local != nullptr) local->wait();
+
+  std::vector<double> latencies;
+  std::uint64_t hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t failures = 0;
+  for (const WorkerResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+    hits += r.hits;
+    coalesced += r.coalesced;
+    failures += r.failures;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&latencies](double p) {
+    if (latencies.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1));
+    return latencies[idx];
+  };
+  double mean = 0.0;
+  for (const double v : latencies) mean += v;
+  if (!latencies.empty()) mean /= static_cast<double>(latencies.size());
+
+  const std::uint64_t completed = latencies.size();
+  const double hit_rate =
+      completed == 0 ? 0.0
+                     : static_cast<double>(hits) /
+                           static_cast<double>(completed);
+  const bool replay_ok = replay_mismatches.load() == 0 && failures == 0;
+
+  hcs::Json report = hcs::Json::object();
+  report.set("bench", "serve");
+  report.set("requests", total_requests);
+  report.set("completed", completed);
+  report.set("connections", connections);
+  report.set("universe", static_cast<std::uint64_t>(universe_size));
+  report.set("zipf_s", zipf_s);
+  report.set("seed", seed);
+  report.set("wall_s", wall_s);
+  report.set("throughput_rps",
+             wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0);
+  report.set("p50_us", percentile(0.50));
+  report.set("p99_us", percentile(0.99));
+  report.set("mean_us", mean);
+  report.set("hit_rate", hit_rate);
+  report.set("hits", hits);
+  report.set("coalesced", coalesced);
+  report.set("failures", failures);
+  report.set("replay_hash_matches", replay_ok);
+  std::string stats_error;
+  if (const std::optional<hcs::Json> stats_doc =
+          hcs::Json::parse(stats_line, &stats_error);
+      stats_doc.has_value() && stats_doc->is_object()) {
+    if (const hcs::Json* body = stats_doc->get("body"); body != nullptr) {
+      report.set("server", *body);
+    }
+  }
+
+  const std::string rendered = report.dump();
+  std::printf("%s\n", rendered.c_str());
+  const std::string out_path = cli.get("out");
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", rendered.c_str());
+    std::fclose(f);
+  }
+
+  const double min_hit_rate = cli.get_double("min-hit-rate");
+  if (failures != 0 || !replay_ok || hit_rate < min_hit_rate) {
+    std::fprintf(stderr,
+                 "bench_serve: FAILED (failures=%llu, replay_ok=%d, "
+                 "hit_rate=%.4f, floor=%.4f)\n",
+                 static_cast<unsigned long long>(failures),
+                 replay_ok ? 1 : 0, hit_rate, min_hit_rate);
+    return 1;
+  }
+  return 0;
+}

@@ -75,9 +75,23 @@ std::uint64_t Store::commit(const Json& doc, std::string* error) {
   const std::uint64_t seq = seqs.empty() ? 1 : seqs.back() + 1;
   if (!write_sealed_atomic(path_for(seq), doc.dump(), error)) return 0;
   seqs.push_back(seq);
-  while (seqs.size() > options_.keep) {
-    std::filesystem::remove(path_for(seqs.front()), ec);
-    seqs.erase(seqs.begin());
+  // Retention counts *good* snapshots only: a torn/corrupt file must not
+  // displace a restorable one (a run that tears N snapshots still keeps N
+  // good ones). Walk newest-to-oldest, keep the newest `keep` files that
+  // pass the seal check, and delete everything older than the last of
+  // those -- so corrupt files newer than the keep-th good snapshot age out
+  // naturally without costing retention.
+  std::uint32_t good = 0;
+  std::size_t cut = seqs.size();  // index of the keep-th-newest good file
+  for (std::size_t i = seqs.size(); i-- > 0 && good < options_.keep;) {
+    std::string payload;
+    if (read_sealed(path_for(seqs[i]), &payload, nullptr)) {
+      ++good;
+      cut = i;
+    }
+  }
+  for (std::size_t i = 0; i < cut; ++i) {
+    std::filesystem::remove(path_for(seqs[i]), ec);
   }
   if (hook_) hook_(seq);
   return seq;

@@ -1,0 +1,81 @@
+#include "core/cell_key.hpp"
+
+#include "fault/fault_io.hpp"
+
+namespace hcs {
+
+const char* wake_policy_name(sim::WakePolicy policy) {
+  return policy == sim::WakePolicy::kFifo ? "fifo" : "random";
+}
+
+const char* move_semantics_name(sim::MoveSemantics semantics) {
+  return semantics == sim::MoveSemantics::kAtomicArrival
+             ? "atomic-arrival"
+             : "vacate-on-departure";
+}
+
+bool wake_policy_from_name(std::string_view name, sim::WakePolicy* out) {
+  if (name == "fifo") {
+    *out = sim::WakePolicy::kFifo;
+    return true;
+  }
+  if (name == "random") {
+    *out = sim::WakePolicy::kRandom;
+    return true;
+  }
+  return false;
+}
+
+bool move_semantics_from_name(std::string_view name,
+                              sim::MoveSemantics* out) {
+  if (name == "atomic-arrival") {
+    *out = sim::MoveSemantics::kAtomicArrival;
+    return true;
+  }
+  if (name == "vacate-on-departure") {
+    *out = sim::MoveSemantics::kVacateOnDeparture;
+    return true;
+  }
+  return false;
+}
+
+CellKey CellKey::from_options(std::string_view strategy, unsigned dimension,
+                              const sim::RunOptions& options) {
+  CellKey key;
+  key.strategy = std::string(strategy);
+  key.dimension = dimension;
+  key.seed = options.seed;
+  key.delay = options.delay.is_unit() ? "unit" : "sampled";
+  key.policy = options.policy;
+  key.visibility = options.visibility;
+  key.semantics = options.semantics;
+  key.max_agent_steps = options.max_agent_steps;
+  key.livelock_window = options.livelock_window;
+  key.faults = options.faults;
+  key.recovery = options.recovery;
+  key.engine = options.engine;
+  return key;
+}
+
+Json CellKey::to_json() const {
+  Json id = Json::object();
+  id.set("strategy", strategy);
+  id.set("dimension", std::uint64_t{dimension});
+  id.set("seed", seed);
+  id.set("delay", delay);
+  id.set("policy", wake_policy_name(policy));
+  id.set("visibility", visibility);
+  id.set("semantics", move_semantics_name(semantics));
+  id.set("max_agent_steps", max_agent_steps);
+  id.set("livelock_window", livelock_window);
+  id.set("faults", fault::fault_spec_json(faults));
+  id.set("recovery", fault::recovery_config_json(recovery));
+  id.set("engine", sim::to_string(engine));
+  return id;
+}
+
+std::string CellKey::canonical() const { return to_json().dump(); }
+
+std::string CellKey::hash() const { return fnv1a64_hex(canonical()); }
+
+}  // namespace hcs

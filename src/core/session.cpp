@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ckpt/store.hpp"
+#include "core/cell_key.hpp"
 #include "core/strategy_registry.hpp"
 #include "fault/fault_io.hpp"
 #include "obs/obs.hpp"
@@ -77,13 +78,26 @@ void derive_level_spans(const sim::Trace& trace, unsigned d,
 }
 
 /// Identity of a checkpointed run: everything that determines the step
-/// sequence. A snapshot whose fingerprint differs was taken by a
+/// sequence, as a CellKey over the *resolved* configuration (visibility
+/// after the strategy's needs_visibility override, engine after macro
+/// eligibility). A snapshot whose fingerprint differs was taken by a
 /// different run and must be ignored, never replayed into. The delay
 /// model's sampler is opaque, so only its unit/non-unit shape is hashed;
 /// docs/CHECKPOINT.md calls out that callers swapping custom samplers
 /// between save and restore are on their own.
 std::string run_fingerprint(std::string_view strategy, unsigned d,
                             const sim::RunOptions& opts, bool macro) {
+  CellKey key = CellKey::from_options(strategy, d, opts);
+  key.engine = macro ? sim::EngineKind::kMacro : sim::EngineKind::kEvent;
+  return key.hash();
+}
+
+/// The pre-CellKey fingerprint encoding (engine field only ever "macro" /
+/// "event", same axis names otherwise but an ad-hoc document). Kept one
+/// release so snapshots written before the CellKey migration still
+/// restore; DESIGN.md's deprecation policy tracks the removal.
+std::string legacy_run_fingerprint(std::string_view strategy, unsigned d,
+                                   const sim::RunOptions& opts, bool macro) {
   Json id = Json::object();
   id.set("strategy", std::string(strategy));
   id.set("dimension", std::uint64_t{d});
@@ -204,16 +218,23 @@ core::SimOutcome Session::run_impl(std::string_view strategy_name,
                                   program.has_value());
     if (ckpt->loaded.has_value()) {
       // Accept the loaded snapshot only when it describes *this* run:
-      // right kind, matching fingerprint, well-formed frontier.
+      // right kind, matching fingerprint (current CellKey encoding, or
+      // the pre-CellKey legacy one for old snapshots), well-formed
+      // frontier.
       const Json* kind = ckpt->loaded->get("kind");
       const Json* fp = ckpt->loaded->get("fingerprint");
       const Json* step = ckpt->loaded->get("step");
       const Json* every = ckpt->loaded->get("every");
       const Json* state = ckpt->loaded->get("state");
+      const bool fp_matches =
+          fp != nullptr && fp->type() == Json::Type::kString &&
+          (fp->as_string() == fingerprint ||
+           fp->as_string() == legacy_run_fingerprint(strategy.name(), d,
+                                                     engine_config,
+                                                     program.has_value()));
       const bool usable =
           kind != nullptr && kind->type() == Json::Type::kString &&
-          kind->as_string() == "run" && fp != nullptr &&
-          fp->type() == Json::Type::kString && fp->as_string() == fingerprint &&
+          kind->as_string() == "run" && fp_matches &&
           step != nullptr && step->type() == Json::Type::kUint &&
           every != nullptr && every->type() == Json::Type::kUint &&
           every->as_uint() >= 1 && state != nullptr &&

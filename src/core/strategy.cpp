@@ -39,10 +39,4 @@ SimOutcome run_strategy_sim(std::string_view name, unsigned d,
   return outcome;
 }
 
-SimOutcome run_strategy_sim(StrategyKind kind, unsigned d,
-                            const SimRunConfig& config,
-                            sim::Trace* trace_out) {
-  return run_strategy_sim(strategy_name(kind), d, config, trace_out);
-}
-
 }  // namespace hcs::core

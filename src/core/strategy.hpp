@@ -92,12 +92,8 @@ using SimRunConfig = sim::RunOptions;
                                           const SimRunConfig& config = {},
                                           sim::Trace* trace_out = nullptr);
 
-/// Enum convenience overload for the paper's four strategies.
-[[deprecated(
-    "use hcs::Session (src/hcs.hpp) or the string overload with "
-    "strategy_name(kind)")]] [[nodiscard]] SimOutcome
-run_strategy_sim(StrategyKind kind, unsigned d,
-                 const SimRunConfig& config = {},
-                 sim::Trace* trace_out = nullptr);
+// The deprecated StrategyKind enum overload of run_strategy_sim was
+// removed after one release (DESIGN.md, "Deprecation policy"); call the
+// string overload with strategy_name(kind), or hcs::Session.
 
 }  // namespace hcs::core

@@ -445,7 +445,12 @@ CampaignOutcome CampaignRunner::run(Manifest manifest,
       record.iteration = base + i;
       record.signature = original.signature;
       record.hash = specs[i].content_hash();
-      if (!manifest.has_corpus_hash(record.hash)) {
+      if (manifest.has_corpus_hash(specs[i].legacy_content_hash())) {
+        // A pre-CellKey corpus indexes this cell under its legacy hash;
+        // keep referencing the existing artifact instead of duplicating
+        // it under the new name.
+        record.hash = specs[i].legacy_content_hash();
+      } else if (!manifest.has_corpus_hash(record.hash)) {
         write_json_file(original.to_json(),
                         config_.corpus_dir + "/" + original.file_name());
         manifest.corpus.push_back(record.hash);
@@ -462,7 +467,9 @@ CampaignOutcome CampaignRunner::run(Manifest manifest,
           minimal.failures = min.failures;
           minimal.minimized = true;
           record.minimized_hash = min.minimized.content_hash();
-          if (!manifest.has_corpus_hash(record.minimized_hash)) {
+          if (manifest.has_corpus_hash(min.minimized.legacy_content_hash())) {
+            record.minimized_hash = min.minimized.legacy_content_hash();
+          } else if (!manifest.has_corpus_hash(record.minimized_hash)) {
             write_json_file(minimal.to_json(),
                             config_.corpus_dir + "/" + minimal.file_name());
             manifest.corpus.push_back(record.minimized_hash);

@@ -477,7 +477,33 @@ Json CellSpec::to_json() const {
   return j;
 }
 
-std::string CellSpec::content_hash() const { return fnv1a64_hex(canonical()); }
+CellKey CellSpec::key() const {
+  CellKey key;
+  key.strategy = strategy;
+  key.dimension = dimension;
+  key.seed = seed;
+  key.delay = delay.label();
+  key.policy = policy;
+  key.semantics = semantics;
+  key.max_agent_steps = max_agent_steps;
+  key.livelock_window = livelock_window;
+  key.faults = faults;
+  key.recovery = recovery;
+  key.engine = engine;
+  return key;
+}
+
+std::string CellSpec::content_hash() const {
+  Json id = Json::object();
+  id.set("cell", key().to_json());
+  id.set("expect", to_string(expect));
+  id.set("differential", differential);
+  return fnv1a64_hex(id.dump());
+}
+
+std::string CellSpec::legacy_content_hash() const {
+  return fnv1a64_hex(canonical());
+}
 
 bool parse_cell_spec(const Json& json, CellSpec* out, std::string* error) {
   if (!json.is_object()) return fail(error, "cell spec is not an object");

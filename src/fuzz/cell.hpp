@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cell_key.hpp"
 #include "core/strategy.hpp"
 #include "fault/fault.hpp"
 #include "run/sweep.hpp"
@@ -99,12 +100,24 @@ struct CellSpec {
   /// The contract kAuto resolves to for this workload.
   [[nodiscard]] Expect resolved_expect() const;
 
+  /// The run identity of this cell as an hcs::CellKey -- the same type
+  /// ckpt fingerprints, sweep cells and the hcsd cache key use. The
+  /// oracle axes (expect, differential) are judgement configuration, not
+  /// run identity, so they live beside the key in content_hash(), not in
+  /// it.
+  [[nodiscard]] CellKey key() const;
+
   [[nodiscard]] Json to_json() const;
   /// Canonical serialized form; equal specs render byte-equal.
   [[nodiscard]] std::string canonical() const { return to_json().dump(); }
-  /// FNV-1a 64 of canonical(), as 16 hex digits: the cell's identity in
-  /// manifests and artifact file names.
+  /// The cell's identity in manifests and artifact file names: FNV-1a 64
+  /// (16 hex digits) over {cell: key(), expect, differential} in canonical
+  /// JSON.
   [[nodiscard]] std::string content_hash() const;
+  /// The pre-CellKey hash (FNV-1a 64 of canonical()). Kept one release so
+  /// existing corpora dedup correctly against legacy-named artifacts; see
+  /// DESIGN.md's deprecation policy.
+  [[nodiscard]] std::string legacy_content_hash() const;
 };
 
 [[nodiscard]] bool parse_cell_spec(const Json& json, CellSpec* out,

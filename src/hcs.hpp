@@ -21,12 +21,14 @@
 //   hcs::fault      -- fault injection specs and recovery policies
 //   hcs::intruder   -- adversarial intruder models for capture checks
 //   hcs::obs        -- counters/gauges/histograms/spans + trace exporters
+//   hcs::serve      -- the hcsd daemon surface: CellKey-addressed result
+//                      cache, request coalescing, line-JSON TCP protocol
 //
 // Entry points, preferred first:
 //   hcs::Session               one configured run, any registered strategy
 //   hcs::run::SweepRunner      a grid of runs across worker threads
 //   hcs::core::run_strategy_sim  historical one-call harness (forwards to
-//                                Session; the enum overload is deprecated)
+//                                Session; string-keyed only)
 
 #pragma once
 
@@ -36,6 +38,7 @@
 #include "core/audit.hpp"
 #include "core/audit_timeline.hpp"
 #include "core/baselines.hpp"
+#include "core/cell_key.hpp"
 #include "core/formulas.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/optimal.hpp"
@@ -58,6 +61,10 @@
 #include "run/sweep.hpp"
 #include "run/sweep_ckpt.hpp"
 #include "run/sweep_io.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
 #include "sim/options.hpp"

@@ -22,7 +22,37 @@ const Json* get_uint(const Json& json, const char* key) {
 
 }  // namespace
 
+CellKey sweep_cell_key(const SweepSpec& spec, std::size_t index) {
+  const SweepCell cell = sweep_cell_at(spec, index);
+  CellKey key;
+  // Canonical registry casing, so "clean" and "CLEAN" name the same cell.
+  key.strategy = core::StrategyRegistry::instance().get(cell.strategy).name();
+  key.dimension = cell.dimension;
+  key.seed = cell.seed;
+  key.delay = cell.delay.label();
+  key.policy = cell.policy;
+  key.semantics = cell.semantics;
+  key.max_agent_steps = spec.max_agent_steps;
+  key.faults = cell.faults;
+  key.recovery = spec.recovery;
+  key.engine = cell.engine;
+  return key;
+}
+
 std::string sweep_spec_fingerprint(const SweepSpec& spec) {
+  Json id = Json::object();
+  id.set("kind", "sweep-cells");
+  id.set("version", std::uint64_t{2});
+  Json cells = Json::array();
+  const std::size_t num_cells = spec.num_cells();
+  for (std::size_t i = 0; i < num_cells; ++i) {
+    cells.push_back(sweep_cell_key(spec, i).hash());
+  }
+  id.set("cells", std::move(cells));
+  return fnv1a64_hex(id.dump());
+}
+
+std::string legacy_sweep_spec_fingerprint(const SweepSpec& spec) {
   Json id = Json::object();
   Json strategies = Json::array();
   for (const std::string& name : spec.strategies) {

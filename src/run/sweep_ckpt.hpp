@@ -17,15 +17,31 @@
 #include <map>
 #include <string>
 
+#include "core/cell_key.hpp"
 #include "run/sweep.hpp"
 #include "util/json.hpp"
 
 namespace hcs::run {
 
-/// Identity of a sweep: a hash over every axis and shared knob of the
-/// spec, in canonical JSON. Snapshots with a different fingerprint (or
-/// cell count) belong to a different grid and are ignored on resume.
+/// The CellKey of the grid point a spec enumerates at `index`: exactly the
+/// identity of the run run_sweep_cell would execute there (requested
+/// engine, spec-level recovery/max_agent_steps, canonical strategy
+/// casing). This is the same key hcsd's cache and the fuzz corpus use, so
+/// a sweep cell, a served request and a fuzz cell with equal coordinates
+/// hash equal.
+[[nodiscard]] CellKey sweep_cell_key(const SweepSpec& spec,
+                                     std::size_t index);
+
+/// Identity of a sweep: a hash over the CellKey hash of every grid point
+/// (in enumeration order). Two specs fingerprint equal iff they enumerate
+/// the same runs in the same order. Snapshots with a different fingerprint
+/// (or cell count) belong to a different grid and are ignored on resume.
 [[nodiscard]] std::string sweep_spec_fingerprint(const SweepSpec& spec);
+
+/// The pre-CellKey spec fingerprint (per-axis arrays instead of per-cell
+/// keys). Kept one release so sweep snapshots written before the CellKey
+/// migration still resume; see DESIGN.md's deprecation policy.
+[[nodiscard]] std::string legacy_sweep_spec_fingerprint(const SweepSpec& spec);
 
 /// The snapshot document: {"kind":"sweep","version":1,"fingerprint":...,
 /// "cells":N,"done":[{"index":i,"outcome":{...}},...]} with `done` in

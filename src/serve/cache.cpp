@@ -1,0 +1,37 @@
+#include "serve/cache.hpp"
+
+namespace hcs::serve {
+
+bool ResultCache::get(const std::string& key, std::string* out) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->second;
+  return true;
+}
+
+void ResultCache::put(const std::string& key, std::string bytes) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->first.size() + it->second->second.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = std::move(bytes);
+  } else {
+    lru_.emplace_front(key, std::move(bytes));
+    index_.emplace(key, lru_.begin());
+  }
+  bytes_ += lru_.front().first.size() + lru_.front().second.size();
+  evict_to_budget();
+}
+
+void ResultCache::evict_to_budget() {
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    const auto& victim = lru_.back();
+    bytes_ -= victim.first.size() + victim.second.size();
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace hcs::serve

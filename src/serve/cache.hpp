@@ -1,0 +1,57 @@
+// hcs::serve -- the content-addressed result cache behind hcsd.
+//
+// Runs are deterministic, so a result is a pure function of its CellKey:
+// the cache maps `CellKey::hash()` (plus a "+trace" variant suffix when
+// the trace blob was requested) to the serialized result body bytes, and a
+// hit replays those bytes verbatim -- byte-identical to the cold run that
+// produced them, which tests/test_serve.cpp pins.
+//
+// Eviction is LRU under a byte budget (keys + bodies both counted). The
+// cache is not internally synchronized: serve::Service owns the one mutex
+// that guards cache, in-flight table and counters together.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace hcs::serve {
+
+class ResultCache {
+ public:
+  /// `max_bytes` caps the summed key+body sizes. A single entry larger
+  /// than the whole budget is still admitted (and evicts everything
+  /// else): refusing it would make the largest cells permanently
+  /// uncacheable, the opposite of what a byte budget is for.
+  explicit ResultCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Copies the entry's bytes into `*out` and promotes it to
+  /// most-recently-used; false when absent.
+  bool get(const std::string& key, std::string* out);
+
+  /// Inserts (or refreshes) an entry, then evicts least-recently-used
+  /// entries until the budget holds again.
+  void put(const std::string& key, std::string bytes);
+
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t entries() const { return lru_.size(); }
+  [[nodiscard]] std::size_t max_bytes() const { return max_bytes_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  void evict_to_budget();
+
+  /// Front = most recently used.
+  std::list<std::pair<std::string, std::string>> lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, std::string>>::iterator>
+      index_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hcs::serve

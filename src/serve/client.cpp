@@ -1,0 +1,95 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hcs::serve {
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& host, std::uint16_t port,
+                     std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid host address \"" + host + "\"";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = "connect: " + std::string(strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::request(std::string_view line, std::string* reply) {
+  if (fd_ < 0) return false;
+
+  std::string out(line);
+  if (out.empty() || out.back() != '\n') out.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *reply = buffer_.substr(0, nl);
+      if (!reply->empty() && reply->back() == '\r') reply->pop_back();
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      close();
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace hcs::serve

@@ -1,0 +1,46 @@
+// serve::Client -- a minimal blocking hcsd client.
+//
+// One TCP connection, one outstanding request at a time: request() sends
+// a line and blocks for the matching reply line. This is all the
+// protocol's in-order-per-connection contract needs, and it is the client
+// bench_serve drives (with N connections for N-way concurrency).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hcs::serve {
+
+class Client {
+ public:
+  Client() = default;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  ~Client();
+
+  /// Connects to host:port. False (with a diagnostic in `*error`) when
+  /// the connection can't be established.
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port,
+                             std::string* error);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends `line` (a '\n' is appended when missing) and blocks for one
+  /// reply line, returned without its terminator. False on any transport
+  /// failure (the connection is closed then).
+  [[nodiscard]] bool request(std::string_view line, std::string* reply);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last reply line
+};
+
+}  // namespace hcs::serve

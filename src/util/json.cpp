@@ -456,6 +456,43 @@ std::string Json::dump() const {
   return out;
 }
 
+void Json::dump_compact_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kUint: out += std::to_string(uint_); break;
+    case Type::kDouble: out += render_double(double_); break;
+    case Type::kString: escape_to(string_, out); break;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        array_[i].dump_compact_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        escape_to(object_[i].first, out);
+        out += ':';
+        object_[i].second.dump_compact_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump_compact() const {
+  std::string out;
+  dump_compact_to(out);
+  return out;
+}
+
 std::optional<Json> Json::parse(std::string_view text, std::string* error) {
   if (error != nullptr) error->clear();
   return Parser(text, error).run();

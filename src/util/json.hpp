@@ -104,6 +104,11 @@ class Json {
   /// trailing newline at top level. Byte-stable (see header comment).
   [[nodiscard]] std::string dump() const;
 
+  /// Single-line rendering with no whitespace and no trailing newline, for
+  /// line-delimited protocols (hcsd). Same escaping and number formats as
+  /// dump(), so it is equally byte-stable; parse(dump_compact(v)) == v.
+  [[nodiscard]] std::string dump_compact() const;
+
   /// Strict parse of one document (trailing garbage is an error). On
   /// failure returns nullopt and, when `error` is non-null, a one-line
   /// message with the byte offset.
@@ -112,6 +117,7 @@ class Json {
 
  private:
   void dump_to(std::string& out, int depth) const;
+  void dump_compact_to(std::string& out) const;
 
   Type type_ = Type::kNull;
   bool bool_ = false;

@@ -4,6 +4,7 @@
 // snapshot). The cross-process kill-and-resume scenarios live in
 // test_ckpt_chaos.cpp; this file proves the layers underneath in-process.
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -123,6 +124,40 @@ TEST(CkptStore, TornNewestFallsBackToPreviousGood) {
   EXPECT_EQ(loaded->seq, 2u);
   EXPECT_EQ(loaded->doc.at("i").as_uint(), 2u);
   EXPECT_EQ(loaded->corrupt_skipped, 1u);
+}
+
+TEST(CkptStore, RetentionCountsOnlyGoodSnapshots) {
+  const std::string dir = fresh_dir("retention");
+  hcs::ckpt::Store store({dir, /*keep=*/3});
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    Json doc = Json::object();
+    doc.set("i", i);
+    ASSERT_EQ(store.commit(doc), i);
+  }
+  ASSERT_EQ(store.list(), (std::vector<std::uint64_t>{3, 4, 5}));
+
+  // Tear the two newest snapshots. The next commit's retention pass must
+  // count good snapshots, not files: under the old count-files rule seq 3
+  // -- the only good predecessor -- would be pruned here, leaving the
+  // store one torn write away from losing everything.
+  for (const std::uint64_t seq : {std::uint64_t{4}, std::uint64_t{5}}) {
+    const std::string path = store.path_for(seq);
+    fs::resize_file(path, fs::file_size(path) - 10);
+  }
+  Json doc = Json::object();
+  doc.set("i", std::uint64_t{6});
+  ASSERT_EQ(store.commit(doc), 6u);
+  const std::vector<std::uint64_t> kept = store.list();
+  EXPECT_NE(std::count(kept.begin(), kept.end(), 3u), 0) << "seq 3 pruned";
+
+  // With 6 torn as well, loading falls back across the corrupt run to 3.
+  const std::string newest = store.path_for(6);
+  fs::resize_file(newest, fs::file_size(newest) - 10);
+  const std::optional<hcs::ckpt::LoadedSnapshot> loaded = store.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->seq, 3u);
+  EXPECT_EQ(loaded->doc.at("i").as_uint(), 3u);
+  EXPECT_EQ(loaded->corrupt_skipped, 3u);
 }
 
 TEST(CkptStore, CommitHookFiresWithSequence) {
@@ -572,6 +607,59 @@ TEST(CkptFuzz, MissingEverythingIsADiagnosticNotAnAbort) {
   EXPECT_FALSE(hcs::fuzz::load_campaign_state(fresh_dir("fuzz_none"), &loaded,
                                               &error));
   EXPECT_FALSE(error.empty());
+}
+
+// --- committed pre-migration (legacy) artifacts ----------------------
+//
+// Run identity moved from per-subsystem ad-hoc fingerprints to
+// hcs::CellKey (core/cell_key.hpp); the readers accept the pre-migration
+// spellings for one release (DESIGN.md, "Deprecation policy"). These
+// fixtures were generated by the pre-CellKey tree and are committed under
+// tests/data/legacy -- regenerating them with today's code would defeat
+// the point of the test.
+
+std::string legacy_copy(const char* which, const std::string& name) {
+  const std::string dir = fresh_dir(name);
+  fs::copy(std::string(HCS_LEGACY_DATA_DIR) + "/" + which, dir,
+           fs::copy_options::recursive);
+  return dir;
+}
+
+TEST(CkptLegacy, PreCellKeyRunSnapshotStillRestores) {
+  const std::string dir = legacy_copy("run", "legacy_run");
+  hcs::SessionConfig config;
+  config.dimension = 6;
+  config.options.checkpoint_dir = dir;
+  hcs::Session session(config);
+  hcs::Session::RestoreReport report;
+  const hcs::core::SimOutcome restored = session.restore("CLEAN", &report);
+  EXPECT_TRUE(report.had_snapshot);
+  EXPECT_FALSE(report.fingerprint_mismatch);
+  EXPECT_TRUE(report.verified);
+  EXPECT_GT(report.from_step, 0u);
+
+  hcs::SessionConfig plain_config;
+  plain_config.dimension = 6;
+  const hcs::core::SimOutcome plain =
+      hcs::Session(plain_config).run("CLEAN");
+  EXPECT_EQ(hcs::ckpt::outcome_json(restored).dump(),
+            hcs::ckpt::outcome_json(plain).dump());
+}
+
+TEST(CkptLegacy, PreCellKeySweepSnapshotStillResumes) {
+  const std::string dir = legacy_copy("sweep", "legacy_sweep");
+  hcs::run::SweepSpec spec;
+  spec.strategies = {"CLEAN", "CLONING"};
+  spec.dimensions = {3, 4};
+  spec.seeds = {1, 2};
+
+  hcs::run::SweepRunner::Config config;
+  config.checkpoint_dir = dir;
+  const hcs::run::SweepResult resumed =
+      hcs::run::SweepRunner(config).run(spec);
+  EXPECT_EQ(resumed.resumed_cells, 3u);  // generator committed cells 0,2,5
+  EXPECT_EQ(hcs::run::sweep_json(resumed),
+            hcs::run::sweep_json(hcs::run::SweepRunner().run(spec)));
 }
 
 }  // namespace

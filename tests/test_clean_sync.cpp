@@ -103,7 +103,7 @@ TEST_P(CleanSyncDistributed, MatchesPlannerCountsAndStaysMonotone) {
   config.seed = c.seed;
 
   const SimOutcome out =
-      run_strategy_sim(StrategyKind::kCleanSync, c.d, config);
+      run_strategy_sim(strategy_name(StrategyKind::kCleanSync), c.d, config);
   EXPECT_TRUE(out.correct()) << "d=" << c.d;
   EXPECT_EQ(out.team_size, clean_team_size(c.d));
   EXPECT_EQ(out.agent_moves, clean_agent_moves(c.d));
@@ -143,7 +143,7 @@ TEST(CleanSyncDistributedTime, Theorem4IdealTimeTracksSyncMoves) {
   // synchronizer's move count (the escorted walk is the critical path; the
   // only extra time is waiting for dispatched extras).
   for (unsigned d = 2; d <= 8; ++d) {
-    const SimOutcome out = run_strategy_sim(StrategyKind::kCleanSync, d);
+    const SimOutcome out = run_strategy_sim(strategy_name(StrategyKind::kCleanSync), d);
     CleanSyncStats stats;
     (void)plan_clean_sync(d, &stats);
     EXPECT_GE(out.makespan, static_cast<double>(stats.sync_moves_total));
@@ -163,7 +163,7 @@ TEST(CleanSyncDistributed, VacateOnDepartureOpensTheEscortWindow) {
   bool any_violation = false;
   for (unsigned d = 2; d <= 6; ++d) {
     const SimOutcome out =
-        run_strategy_sim(StrategyKind::kCleanSync, d, config);
+        run_strategy_sim(strategy_name(StrategyKind::kCleanSync), d, config);
     any_violation = any_violation || out.recontaminations > 0;
   }
   EXPECT_TRUE(any_violation);

@@ -76,7 +76,7 @@ INSTANTIATE_TEST_SUITE_P(Dimensions, VisibilityPlanSweep,
 
 TEST(VisibilityDistributed, UnitDelaysAchieveLogNTime) {
   for (unsigned d = 1; d <= 9; ++d) {
-    const SimOutcome out = run_strategy_sim(StrategyKind::kVisibility, d);
+    const SimOutcome out = run_strategy_sim(strategy_name(StrategyKind::kVisibility), d);
     EXPECT_TRUE(out.correct()) << "d=" << d;
     EXPECT_EQ(out.team_size, visibility_team_size(d));
     EXPECT_EQ(out.total_moves, visibility_moves(d));
@@ -96,7 +96,7 @@ TEST(VisibilityDistributed, AsynchronousSchedulesStaySafe) {
     config.seed = seed;
     const unsigned d = 3 + static_cast<unsigned>(seed % 4);
     const SimOutcome out =
-        run_strategy_sim(StrategyKind::kVisibility, d, config);
+        run_strategy_sim(strategy_name(StrategyKind::kVisibility), d, config);
     EXPECT_TRUE(out.correct()) << "seed=" << seed << " d=" << d;
     EXPECT_EQ(out.total_moves, visibility_moves(d));
     EXPECT_EQ(out.team_size, visibility_team_size(d));
@@ -104,7 +104,7 @@ TEST(VisibilityDistributed, AsynchronousSchedulesStaySafe) {
 }
 
 TEST(VisibilityDistributed, WhiteboardStaysLogarithmic) {
-  const SimOutcome out = run_strategy_sim(StrategyKind::kVisibility, 8);
+  const SimOutcome out = run_strategy_sim(strategy_name(StrategyKind::kVisibility), 8);
   // Two registers ("released", "claimed") of 64 bits each.
   EXPECT_LE(out.peak_whiteboard_bits, 2u * 64u);
 }
@@ -120,7 +120,7 @@ TEST(VisibilityAblation, VacateOnDepartureBreaksMonotonicity) {
   bool any_violation = false;
   for (unsigned d = 2; d <= 5; ++d) {
     const SimOutcome out =
-        run_strategy_sim(StrategyKind::kVisibility, d, config);
+        run_strategy_sim(strategy_name(StrategyKind::kVisibility), d, config);
     any_violation = any_violation || out.recontaminations > 0;
   }
   EXPECT_TRUE(any_violation);

@@ -45,7 +45,7 @@ TEST(FaultSoak, EngineCapturesUnderRandomCrashSchedules) {
           core::StrategyKind::kCloning, core::StrategyKind::kSynchronous}) {
       core::SimRunConfig config;
       config.faults = fault::FaultSpec::crashes(0.05, seed);
-      const core::SimOutcome out = core::run_strategy_sim(kind, 6, config);
+      const core::SimOutcome out = core::run_strategy_sim(core::strategy_name(kind), 6, config);
       EXPECT_TRUE(out.captured())
           << out.strategy << " failed under fault seed " << seed
           << " (verdict " << out.verdict() << ")";
@@ -71,7 +71,7 @@ TEST(FaultSoak, EngineSurvivesMixedFaultWorkloads) {
     core::SimRunConfig config;
     config.faults = spec;
     const core::SimOutcome out =
-        core::run_strategy_sim(core::StrategyKind::kVisibility, 6, config);
+        core::run_strategy_sim(core::strategy_name(core::StrategyKind::kVisibility), 6, config);
     // Mixed workloads may or may not be recoverable; the invariants are:
     // the run ends (no hang), the verdict is principled (never a bare
     // abort), and a clean network is only ever claimed honestly.

@@ -80,10 +80,10 @@ TEST(FaultFree, EmptySpecLeavesEveryStrategyByteIdentical) {
   for (const auto kind :
        {core::StrategyKind::kCleanSync, core::StrategyKind::kVisibility,
         core::StrategyKind::kCloning, core::StrategyKind::kSynchronous}) {
-    const core::SimOutcome plain = core::run_strategy_sim(kind, 4);
+    const core::SimOutcome plain = core::run_strategy_sim(core::strategy_name(kind), 4);
     core::SimRunConfig config;
     config.faults = fault::FaultSpec::none();
-    const core::SimOutcome with_none = core::run_strategy_sim(kind, 4, config);
+    const core::SimOutcome with_none = core::run_strategy_sim(core::strategy_name(kind), 4, config);
     EXPECT_EQ(plain.total_moves, with_none.total_moves) << plain.strategy;
     EXPECT_EQ(plain.team_size, with_none.team_size);
     EXPECT_EQ(plain.makespan, with_none.makespan);
@@ -94,7 +94,7 @@ TEST(FaultFree, EmptySpecLeavesEveryStrategyByteIdentical) {
     EXPECT_TRUE(with_none.correct());
   }
   // And the known exact costs still hold (the seed repo's tier-1 bar).
-  EXPECT_EQ(core::run_strategy_sim(core::StrategyKind::kVisibility, 4)
+  EXPECT_EQ(core::run_strategy_sim(core::strategy_name(core::StrategyKind::kVisibility), 4)
                 .total_moves,
             core::visibility_moves(4));
 }
@@ -103,9 +103,9 @@ TEST(FaultRun, SameSeedReplaysBitIdentically) {
   core::SimRunConfig config;
   config.faults = fault::FaultSpec::crashes(0.05, 11);
   const core::SimOutcome a =
-      core::run_strategy_sim(core::StrategyKind::kVisibility, 5, config);
+      core::run_strategy_sim(core::strategy_name(core::StrategyKind::kVisibility), 5, config);
   const core::SimOutcome b =
-      core::run_strategy_sim(core::StrategyKind::kVisibility, 5, config);
+      core::run_strategy_sim(core::strategy_name(core::StrategyKind::kVisibility), 5, config);
   EXPECT_EQ(a.total_moves, b.total_moves);
   EXPECT_EQ(a.makespan, b.makespan);
   EXPECT_EQ(a.degradation.crashes, b.degradation.crashes);
@@ -122,7 +122,7 @@ TEST(FaultRun, AllPaperStrategiesStillCaptureAtFivePercentCrashes) {
     for (unsigned d : {4u, 6u, 8u}) {
       core::SimRunConfig config;
       config.faults = fault::FaultSpec::crashes(0.05, 3);
-      const core::SimOutcome out = core::run_strategy_sim(kind, d, config);
+      const core::SimOutcome out = core::run_strategy_sim(core::strategy_name(kind), d, config);
       EXPECT_TRUE(out.captured())
           << out.strategy << " d=" << d << " verdict=" << out.verdict();
       EXPECT_FALSE(out.aborted()) << out.strategy << " d=" << d;
@@ -226,7 +226,7 @@ TEST(FaultRun, HopelessWorkloadIsDeclaredUnrecoverable) {
   config.faults = fault::FaultSpec::crashes(1.0);
   config.recovery.max_rounds = 3;
   const core::SimOutcome out =
-      core::run_strategy_sim(core::StrategyKind::kVisibility, 3, config);
+      core::run_strategy_sim(core::strategy_name(core::StrategyKind::kVisibility), 3, config);
   EXPECT_EQ(out.abort_reason, sim::AbortReason::kFaultUnrecoverable);
   EXPECT_FALSE(out.captured());
   EXPECT_FALSE(out.correct());
@@ -238,7 +238,7 @@ TEST(FaultRun, StepCapAndFaultAbortsAreDistinguished) {
   core::SimRunConfig config;
   config.max_agent_steps = 10;
   const core::SimOutcome capped =
-      core::run_strategy_sim(core::StrategyKind::kCleanSync, 4, config);
+      core::run_strategy_sim(core::strategy_name(core::StrategyKind::kCleanSync), 4, config);
   EXPECT_EQ(capped.abort_reason, sim::AbortReason::kStepCap);
   EXPECT_EQ(capped.verdict(), "failed(step-cap)");
   EXPECT_STREQ(sim::to_string(sim::AbortReason::kNone), "none");

@@ -47,7 +47,7 @@ TEST_P(StrategySafetySweep, MonotoneContiguousComplete) {
                                      : sim::Engine::WakePolicy::kRandom;
   config.seed = c.seed;
 
-  const SimOutcome out = run_strategy_sim(c.kind, c.d, config);
+  const SimOutcome out = run_strategy_sim(strategy_name(c.kind), c.d, config);
   EXPECT_TRUE(out.all_clean);
   EXPECT_EQ(out.recontaminations, 0u);
   EXPECT_TRUE(out.all_agents_terminated);
@@ -110,14 +110,14 @@ TEST_P(PlanCrossCheck, PlannerAndSimulatorAgreeOnAllCosts) {
   const unsigned d = GetParam();
   CleanSyncStats clean_stats;
   (void)plan_clean_sync(d, &clean_stats);
-  const SimOutcome clean_sim = run_strategy_sim(StrategyKind::kCleanSync, d);
+  const SimOutcome clean_sim = run_strategy_sim(strategy_name(StrategyKind::kCleanSync), d);
   EXPECT_EQ(clean_sim.team_size, clean_stats.team_size);
   EXPECT_EQ(clean_sim.agent_moves, clean_stats.agent_moves);
   EXPECT_EQ(clean_sim.synchronizer_moves, clean_stats.sync_moves_total);
 
   VisibilityStats vis_stats;
   (void)plan_clean_visibility(d, &vis_stats);
-  const SimOutcome vis_sim = run_strategy_sim(StrategyKind::kVisibility, d);
+  const SimOutcome vis_sim = run_strategy_sim(strategy_name(StrategyKind::kVisibility), d);
   EXPECT_EQ(vis_sim.team_size, vis_stats.team_size);
   EXPECT_EQ(vis_sim.total_moves, vis_stats.moves);
   EXPECT_EQ(static_cast<std::uint64_t>(vis_sim.makespan), vis_stats.rounds);

@@ -38,7 +38,7 @@ TEST(Smoke, AllStrategiesCleanH4OnSimulator) {
   for (const auto kind :
        {core::StrategyKind::kCleanSync, core::StrategyKind::kVisibility,
         core::StrategyKind::kCloning, core::StrategyKind::kSynchronous}) {
-    const core::SimOutcome out = core::run_strategy_sim(kind, 4);
+    const core::SimOutcome out = core::run_strategy_sim(core::strategy_name(kind), 4);
     EXPECT_TRUE(out.correct()) << out.strategy
                                << ": recontaminations=" << out.recontaminations
                                << " all_clean=" << out.all_clean

@@ -6,6 +6,7 @@
 
 #include <set>
 
+#include "core/session.hpp"
 #include "hypercube/hypercube.hpp"
 
 namespace hcs::core {
@@ -22,7 +23,7 @@ TEST(Strategy, NamesAndVisibilityRequirements) {
 }
 
 TEST(Strategy, OutcomeFieldsAreCoherent) {
-  const SimOutcome out = run_strategy_sim(StrategyKind::kCleanSync, 5);
+  const SimOutcome out = run_strategy_sim(strategy_name(StrategyKind::kCleanSync), 5);
   EXPECT_EQ(out.dimension, 5u);
   EXPECT_EQ(out.strategy, "CLEAN");
   EXPECT_EQ(out.total_moves, out.agent_moves + out.synchronizer_moves);
@@ -37,7 +38,7 @@ TEST(Strategy, TraceCapturesCleaningOrder) {
   SimRunConfig config;
   config.trace = true;
   const SimOutcome out =
-      run_strategy_sim(StrategyKind::kVisibility, 4, config, &trace);
+      run_strategy_sim(strategy_name(StrategyKind::kVisibility), 4, config, &trace);
   EXPECT_TRUE(out.correct());
   EXPECT_GT(trace.size(), 0u);
 
@@ -65,7 +66,7 @@ TEST(Strategy, TraceRenderIsNonEmptyAndMentionsCapture) {
   sim::Trace trace;
   SimRunConfig config;
   config.trace = true;
-  (void)run_strategy_sim(StrategyKind::kVisibility, 3, config, &trace);
+  (void)run_strategy_sim(strategy_name(StrategyKind::kVisibility), 3, config, &trace);
   const std::string text = trace.render();
   EXPECT_NE(text.find("move-start"), std::string::npos);
   EXPECT_NE(text.find("status"), std::string::npos);
@@ -77,18 +78,20 @@ TEST(Strategy, SeedsDoNotChangeDeterministicCosts) {
     SimRunConfig config;
     config.seed = seed;
     const SimOutcome out =
-        run_strategy_sim(StrategyKind::kCleanSync, 4, config);
+        run_strategy_sim(strategy_name(StrategyKind::kCleanSync), 4, config);
     EXPECT_EQ(out.total_moves,
-              run_strategy_sim(StrategyKind::kCleanSync, 4).total_moves);
+              run_strategy_sim(strategy_name(StrategyKind::kCleanSync), 4).total_moves);
   }
 }
 
-TEST(Strategy, ByNameMatchesEnumOverload) {
-  // The enum overload is a thin forward onto the registry lookup, so the
-  // two spellings run the same simulation.
+TEST(Strategy, ByNameMatchesSessionEnumSpelling) {
+  // Session's enum convenience forwards onto the same registry lookup the
+  // string overload uses, so the two spellings run the same simulation.
+  // (The run_strategy_sim enum overload itself was removed; see DESIGN.md
+  // "Deprecation policy".)
   for (const auto kind : {StrategyKind::kCleanSync, StrategyKind::kVisibility,
                           StrategyKind::kCloning, StrategyKind::kSynchronous}) {
-    const SimOutcome by_enum = run_strategy_sim(kind, 4);
+    const SimOutcome by_enum = Session({.dimension = 4}).run(kind);
     const SimOutcome by_name = run_strategy_sim(strategy_name(kind), 4);
     EXPECT_EQ(by_enum.strategy, by_name.strategy);
     EXPECT_EQ(by_enum.team_size, by_name.team_size);
@@ -104,7 +107,7 @@ TEST(Strategy, ByNameMatchesEnumOverload) {
 TEST(Strategy, LivelockGuardSurfacesInOutcome) {
   SimRunConfig config;
   config.max_agent_steps = 10;  // far below what CLEAN needs on H_4
-  const SimOutcome out = run_strategy_sim(StrategyKind::kCleanSync, 4, config);
+  const SimOutcome out = run_strategy_sim(strategy_name(StrategyKind::kCleanSync), 4, config);
   EXPECT_TRUE(out.aborted());
   EXPECT_EQ(out.abort_reason, sim::AbortReason::kStepCap);
   EXPECT_FALSE(out.all_agents_terminated);

@@ -61,7 +61,7 @@ TEST(Stress, RandomScheduleBatteryKeepsTheoremCounts) {
                                    : sim::DelayModel::heavy_tailed();
     config.policy = sim::Engine::WakePolicy::kRandom;
     config.seed = rng.next();
-    const SimOutcome out = run_strategy_sim(kind, d, config);
+    const SimOutcome out = run_strategy_sim(strategy_name(kind), d, config);
     ASSERT_TRUE(out.correct())
         << "round=" << round << " " << out.strategy << " d=" << d;
     switch (kind) {

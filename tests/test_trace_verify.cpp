@@ -47,7 +47,7 @@ TEST(TraceVerify, VisibilityRunsVerifyAsPlans) {
     SimRunConfig config;
     config.trace = true;
     const SimOutcome out =
-        run_strategy_sim(StrategyKind::kVisibility, d, config, &trace);
+        run_strategy_sim(strategy_name(StrategyKind::kVisibility), d, config, &trace);
     ASSERT_TRUE(out.correct());
 
     std::vector<std::string> roles(out.team_size, "agent");
@@ -68,7 +68,7 @@ TEST(TraceVerify, CleanSyncRunsVerifyAsPlans) {
     SimRunConfig config;
     config.trace = true;
     const SimOutcome out =
-        run_strategy_sim(StrategyKind::kCleanSync, d, config, &trace);
+        run_strategy_sim(strategy_name(StrategyKind::kCleanSync), d, config, &trace);
     ASSERT_TRUE(out.correct());
 
     // Agent 0..team-2 are workers, the synchronizer spawns last.
@@ -93,7 +93,7 @@ TEST(TraceVerify, SynchronousRunsVerifyAsPlans) {
     SimRunConfig config;
     config.trace = true;
     const SimOutcome out =
-        run_strategy_sim(StrategyKind::kSynchronous, d, config, &trace);
+        run_strategy_sim(strategy_name(StrategyKind::kSynchronous), d, config, &trace);
     ASSERT_TRUE(out.correct());
     std::vector<std::string> roles(out.team_size, "agent");
     const SearchPlan plan = plan_from_trace(

@@ -14,7 +14,7 @@ class CloningSweep : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(CloningSweep, MatchesSection5Costs) {
   const unsigned d = GetParam();
-  const SimOutcome out = run_strategy_sim(StrategyKind::kCloning, d);
+  const SimOutcome out = run_strategy_sim(strategy_name(StrategyKind::kCloning), d);
   EXPECT_TRUE(out.correct());
   // "the second strategy still requires n/2 agents and O(log n) steps, but
   // the number of moves performed by the agents is reduced to n-1."
@@ -37,7 +37,7 @@ TEST(Cloning, AsynchronousSchedulesStaySafe) {
     config.policy = sim::Engine::WakePolicy::kRandom;
     config.seed = seed;
     const unsigned d = 3 + static_cast<unsigned>(seed % 3);
-    const SimOutcome out = run_strategy_sim(StrategyKind::kCloning, d, config);
+    const SimOutcome out = run_strategy_sim(strategy_name(StrategyKind::kCloning), d, config);
     EXPECT_TRUE(out.correct()) << "seed=" << seed;
     EXPECT_EQ(out.total_moves, cloning_moves(d));
     EXPECT_EQ(out.team_size, cloning_agents(d));
@@ -54,7 +54,7 @@ class SynchronousSweep : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(SynchronousSweep, MatchesVisibilityCostsWithoutVisibility) {
   const unsigned d = GetParam();
-  const SimOutcome out = run_strategy_sim(StrategyKind::kSynchronous, d);
+  const SimOutcome out = run_strategy_sim(strategy_name(StrategyKind::kSynchronous), d);
   EXPECT_TRUE(out.correct());
   EXPECT_EQ(out.team_size, visibility_team_size(d));
   EXPECT_EQ(out.total_moves, visibility_moves(d));
@@ -80,7 +80,7 @@ TEST(Synchronous, RequiresSynchrony) {
     config.delay = sim::DelayModel::uniform(1.5, 6.0);  // slower than 1
     config.seed = seed;
     const SimOutcome out =
-        run_strategy_sim(StrategyKind::kSynchronous, 4, config);
+        run_strategy_sim(strategy_name(StrategyKind::kSynchronous), 4, config);
     any_violation = any_violation || out.recontaminations > 0 ||
                     !out.all_agents_terminated;
   }
