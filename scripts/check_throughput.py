@@ -10,10 +10,15 @@ strategy label, so the gate covers both executors: the event engine rows
 
 Usage:
     check_throughput.py REFERENCE CURRENT [--tolerance 0.10] [--dims 10,16]
+        [--require clean_sync_macro,clean_sync_macro_s2]
 
 Only pairs present in both files are compared, so the CI perf-smoke job can
 re-measure one dimension per engine (event H_10 + macro H_16) against the
-full committed sweep. Pure stdlib; exit code 1 on regression.
+full committed sweep. --require names strategy labels that MUST contribute
+at least one compared (strategy, dim) pair: a sweep that silently dropped
+its sharded rows then fails with a clear message naming the missing side,
+instead of passing on the rows that remain. Pure stdlib; exit code 1 on
+regression.
 """
 
 import argparse
@@ -45,6 +50,12 @@ def main():
         default="",
         help="comma-separated dims to compare (default: all shared)",
     )
+    ap.add_argument(
+        "--require",
+        default="",
+        help="comma-separated strategy labels that must be present in both "
+        "files (at every gated dim when --dims is set)",
+    )
     args = ap.parse_args()
 
     reference = load(args.reference)
@@ -58,6 +69,26 @@ def main():
     )
     if not shared:
         print("check_throughput: no overlapping (strategy, dim) pairs")
+        return 1
+
+    missing = []
+    for strategy in [s for s in args.require.split(",") if s]:
+        if any(s == strategy for s, _ in shared):
+            continue
+        if not any(s == strategy for s, _ in reference):
+            missing.append(f"{strategy}: no rows in the reference file")
+        elif not any(s == strategy for s, _ in current):
+            missing.append(f"{strategy}: no rows in the current measurement")
+        else:
+            missing.append(f"{strategy}: no rows at the gated dim(s)")
+    if missing:
+        for m in missing:
+            print(f"check_throughput: required strategy missing: {m}")
+        print(
+            "check_throughput: a required strategy was not compared -- the "
+            "sweep likely dropped its rows (check the HCS_THROUGHPUT_* knobs "
+            "and the reference's dimension range)"
+        )
         return 1
 
     regressions = []

@@ -13,6 +13,7 @@
 #include "fault/fault_io.hpp"
 #include "obs/obs.hpp"
 #include "sim/macro_engine.hpp"
+#include "sim/shard.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 
@@ -254,7 +255,11 @@ core::SimOutcome Session::run_impl(std::string_view strategy_name,
   bool net_all_clean = false;
   bool net_region_connected = false;
   if (program.has_value()) {
-    sim::MacroEngine engine(net, engine_config);
+    // The sharded wrapper resolves options.shards against the topology;
+    // shards == 1 (the default) delegates every call to the serial
+    // MacroEngine, and any value yields byte-identical results (the
+    // shard differential suite pins this).
+    sim::ShardedMacroEngine engine(net, engine_config);
     run = engine.run(*program);
     metrics = engine.metrics();
     net_all_clean = engine.all_clean();

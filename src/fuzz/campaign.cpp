@@ -48,6 +48,7 @@ Json CampaignAxes::to_json() const {
   j.set("max_dimension", static_cast<std::uint64_t>(max_dimension));
   j.set("differential", differential);
   j.set("engine_oracle", engine_oracle);
+  j.set("shard_oracle", shard_oracle);
   j.set("expect", to_string(expect));
   return j;
 }
@@ -89,6 +90,19 @@ bool parse_campaign_axes(const Json& json, CampaignAxes* out,
       return fail(error, "axes \"engine_oracle\" is not a bool");
     }
     axes.engine_oracle = engine_oracle->as_bool();
+  }
+  // Optional, and -- unlike engine_oracle -- absent means *off*: a
+  // manifest written before the shard axis existed never drew it, and
+  // resuming or replaying that campaign must regenerate bit-identical
+  // cells (the legacy-corpus dedup depends on it). Fresh manifests carry
+  // the field explicitly, so only pre-shard-axis corpora take this path.
+  axes.shard_oracle = false;
+  if (const Json* shard_oracle = json.get("shard_oracle");
+      shard_oracle != nullptr) {
+    if (shard_oracle->type() != Json::Type::kBool) {
+      return fail(error, "axes \"shard_oracle\" is not a bool");
+    }
+    axes.shard_oracle = shard_oracle->as_bool();
   }
   const Json* expect = json.get("expect");
   if (expect == nullptr || !expect->is_string() ||
@@ -170,6 +184,14 @@ CellSpec campaign_cell(const CampaignAxes& axes, std::uint64_t campaign_seed,
   if (axes.engine_oracle) {
     if (engine_draw == 0) spec.engine = sim::EngineKind::kMacro;
     if (engine_draw == 1) spec.engine = sim::EngineKind::kAuto;
+  }
+
+  // Shard axis: every macro cell also draws a subcube shard count, arming
+  // the sharded replay leg of the engine oracle. Drawn unconditionally --
+  // same stream-alignment rule as the engine draw above.
+  const std::uint64_t shard_draw = sm.next() % 4;
+  if (axes.shard_oracle && spec.engine != sim::EngineKind::kEvent) {
+    spec.shards = std::uint32_t{1} << shard_draw;
   }
 
   // Fuzz cells are many and small; tighter guards than the sweep defaults

@@ -14,6 +14,7 @@
 #include "sim/invariants.hpp"
 #include "sim/macro_engine.hpp"
 #include "sim/network.hpp"
+#include "sim/shard.hpp"
 #include "util/assert.hpp"
 
 namespace hcs::fuzz {
@@ -242,8 +243,11 @@ void check_contract(const CellSpec& spec, const core::SimOutcome& o,
 }
 
 /// First divergence between the implicit-topology run and the generic
-/// oracle run, or empty when byte-identical.
-std::string compare_runs(const Executed& a, const Executed& b) {
+/// oracle run, or empty when byte-identical. `with_trace` covers the
+/// sharded macro leg, which runs untraced (tracing would force the exact
+/// serial path): metrics and run result still compare, the trace does not.
+std::string compare_runs(const Executed& a, const Executed& b,
+                         bool with_trace = true) {
   const auto num = [](const char* name, std::uint64_t x, std::uint64_t y) {
     return std::string(name) + " " + std::to_string(x) + " vs " +
            std::to_string(y);
@@ -283,6 +287,7 @@ std::string compare_runs(const Executed& a, const Executed& b) {
   }
   if (a.run.abort_reason != b.run.abort_reason) return "abort_reason differs";
   if (a.run.capture_time != b.run.capture_time) return "capture_time differs";
+  if (!with_trace) return {};
 
   const auto& ea = a.trace.events();
   const auto& eb = b.trace.events();
@@ -355,6 +360,37 @@ std::string macro_engine_divergence(const CellSpec& spec,
   if (event.all_clean != macro.all_clean) return "all_clean differs";
   if (event.clean_region_connected != macro.clean_region_connected) {
     return "clean_region_connected differs";
+  }
+
+  // The sharded leg: replay the same program on the subcube-partitioned
+  // executor. Untraced -- tracing forces the exact serial path, which would
+  // make this leg a no-op -- so the comparison covers metrics, run result
+  // and the safety verdicts, which the engine contract pins to be identical
+  // between the exact and fast modes.
+  if (spec.shards != 1) {
+    sim::RunOptions scfg = cfg;
+    scfg.shards = spec.shards;
+    Executed sharded;
+    {
+      sim::Network net(g, /*homebase=*/0);
+      net.set_move_semantics(spec.semantics);
+      sim::ShardedMacroEngine engine(net, scfg);
+      sharded.run = engine.run(*program);
+      sharded.metrics = engine.metrics();
+      sharded.all_clean = engine.all_clean();
+      sharded.clean_region_connected = engine.clean_region_connected();
+    }
+    const std::string prefix =
+        "sharded(" + std::to_string(spec.shards) + "): ";
+    const std::string sharded_divergence =
+        compare_runs(macro, sharded, /*with_trace=*/false);
+    if (!sharded_divergence.empty()) return prefix + sharded_divergence;
+    if (macro.all_clean != sharded.all_clean) {
+      return prefix + "all_clean differs";
+    }
+    if (macro.clean_region_connected != sharded.clean_region_connected) {
+      return prefix + "clean_region_connected differs";
+    }
   }
   return {};
 }
@@ -474,6 +510,8 @@ Json CellSpec::to_json() const {
   if (engine != sim::EngineKind::kEvent) {
     j.set("engine", sim::to_string(engine));
   }
+  // Same append-only rule for the shard axis.
+  if (shards != 1) j.set("shards", std::uint64_t{shards});
   return j;
 }
 
@@ -498,6 +536,10 @@ std::string CellSpec::content_hash() const {
   id.set("cell", key().to_json());
   id.set("expect", to_string(expect));
   id.set("differential", differential);
+  // Shard count is oracle configuration, not run identity (it never enters
+  // key()), but distinct shard draws are distinct corpus entries; omitted
+  // at the default so pre-shard-axis hashes are unchanged.
+  if (shards != 1) id.set("shards", std::uint64_t{shards});
   return fnv1a64_hex(id.dump());
 }
 
@@ -604,6 +646,15 @@ bool parse_cell_spec(const Json& json, CellSpec* out, std::string* error) {
         !engine_parse(engine->as_string(), &spec.engine)) {
       return fail(error, "unknown engine kind");
     }
+  }
+
+  // Optional: absent in pre-shard-axis artifacts, which ran serial only.
+  if (const Json* shards = json.get("shards"); shards != nullptr) {
+    if (shards->type() != Json::Type::kUint) {
+      return fail(error, "cell \"shards\" is not an unsigned integer");
+    }
+    spec.shards = static_cast<std::uint32_t>(shards->as_uint());
+    if (spec.shards == 0) return fail(error, "cell \"shards\" must be >= 1");
   }
 
   *out = std::move(spec);

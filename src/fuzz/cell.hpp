@@ -96,6 +96,14 @@ struct CellSpec {
   /// is omitted from the canonical JSON form at its kEvent default, so
   /// pre-engine-axis corpus hashes are unchanged.
   sim::EngineKind engine = sim::EngineKind::kEvent;
+  /// Subcube shard count for the sharded macro executor (sim/shard.hpp).
+  /// At its default 1 the sharded leg is skipped; otherwise the engine
+  /// oracle additionally replays the compiled program on
+  /// sim::ShardedMacroEngine (untraced -- tracing forces exact mode) and
+  /// compares metrics, run result and safety verdicts against the serial
+  /// executors. Omitted from the canonical JSON at the default, like
+  /// `engine`, so pre-shard-axis corpus hashes are unchanged.
+  std::uint32_t shards = 1;
 
   /// The contract kAuto resolves to for this workload.
   [[nodiscard]] Expect resolved_expect() const;

@@ -90,6 +90,7 @@ int cmd_run(const hcs::CliParser& cli) {
       static_cast<unsigned>(cli.get_uint("max-dim"));
   manifest.axes.differential = !cli.get_bool("no-differential");
   manifest.axes.engine_oracle = !cli.get_bool("no-engine-oracle");
+  manifest.axes.shard_oracle = !cli.get_bool("no-shard-oracle");
   if (!hcs::fuzz::expect_from_string(cli.get("expect"),
                                      &manifest.axes.expect)) {
     std::fprintf(stderr,
@@ -213,6 +214,8 @@ int main(int argc, char** argv) {
                     "skip the generic-topology differential oracle");
   cli.add_bool_flag("no-engine-oracle",
                     "never draw the macro-vs-event engine axis");
+  cli.add_bool_flag("no-shard-oracle",
+                    "never draw the sharded-macro replay axis");
   cli.add_bool_flag("no-minimize", "keep failures un-minimized (run/resume)");
   cli.add_flag("artifact", "", "artifact file (minimize/replay)");
   cli.add_flag("out", "", "output path for the minimized artifact");

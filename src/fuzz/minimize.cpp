@@ -51,6 +51,16 @@ void shrink_engine(CellSpec& current, Prober& prober) {
   if (current.engine == sim::EngineKind::kEvent) return;
   CellSpec candidate = current;
   candidate.engine = sim::EngineKind::kEvent;
+  candidate.shards = 1;
+  if (prober.reproduces(candidate)) current = std::move(candidate);
+}
+
+/// Drops the shard axis when the failure does not need the sharded replay
+/// leg; a genuine sharded-vs-serial divergence keeps it.
+void shrink_shards(CellSpec& current, Prober& prober) {
+  if (current.shards == 1) return;
+  CellSpec candidate = current;
+  candidate.shards = 1;
   if (prober.reproduces(candidate)) current = std::move(candidate);
 }
 
@@ -157,6 +167,7 @@ MinimizeResult minimize_cell(const CellSpec& spec,
   Prober prober(out.signature, options);
   shrink_dimension(current, prober, options);
   shrink_engine(current, prober);
+  shrink_shards(current, prober);
   concretize(current, prober);
   ddmin_events(current, prober);
   shrink_dimension(current, prober, options);

@@ -68,5 +68,6 @@
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
 #include "sim/options.hpp"
+#include "sim/shard.hpp"
 #include "sim/threaded_runtime.hpp"
 #include "sim/trace.hpp"

@@ -101,6 +101,7 @@ SweepCell run_sweep_cell(const SweepSpec& spec, std::size_t index,
   config.faults = cell.faults;
   config.recovery = spec.recovery;
   config.engine = cell.engine;
+  config.shards = spec.shards;
 
   obs::ScopedSink sink(obs);
   obs::Span cell_span(obs, "sweep.cell");

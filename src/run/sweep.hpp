@@ -77,6 +77,11 @@ struct SweepSpec {
   /// Livelock guard applied to every cell (SimOutcome::abort_reason on
   /// excess).
   std::uint64_t max_agent_steps = 200'000'000;
+  /// Subcube shards for every macro-executor cell (sim/shard.hpp): 1 =
+  /// serial, 0 = auto, N = rounded down to a power of two. An execution
+  /// detail, not a grid axis -- outcomes are byte-identical at any value,
+  /// so it never changes cell enumeration or identity.
+  std::uint32_t shards = 1;
 
   [[nodiscard]] std::size_t num_cells() const;
 };

@@ -32,11 +32,13 @@ const std::vector<std::string>& cell_fields() {
       "peak_wb_bits",
       "faults_injected", "faults_detected", "faults_recovered",
       "recovery_rounds", "repair_agents",   "recovery_moves",
-      "recovery_time",   "recont_attributed"};
+      "recovery_time",   "recont_attributed",
+      "shards"};
   return fields;
 }
 
-std::vector<std::string> cell_values(const SweepCell& cell) {
+std::vector<std::string> cell_values(const SweepCell& cell,
+                                     std::uint32_t shards) {
   const core::SimOutcome& o = cell.outcome;
   const fault::DegradationReport& deg = o.degradation;
   return {cell.strategy,
@@ -69,7 +71,8 @@ std::vector<std::string> cell_values(const SweepCell& cell) {
           std::to_string(deg.repair_agents),
           std::to_string(deg.recovery_moves),
           exact(deg.recovery_time),
-          std::to_string(deg.recontaminations_attributed)};
+          std::to_string(deg.recontaminations_attributed),
+          std::to_string(shards)};
 }
 
 std::string json_escape(const std::string& s) {
@@ -98,7 +101,7 @@ bool write_string(const std::string& content, const std::string& path) {
 std::string sweep_csv(const SweepResult& result) {
   CsvWriter writer(cell_fields());
   for (const SweepCell& cell : result.cells) {
-    writer.add_row(cell_values(cell));
+    writer.add_row(cell_values(cell, result.spec.shards));
   }
   return writer.render();
 }
@@ -115,12 +118,14 @@ std::string sweep_json(const SweepResult& result) {
     if (i > 0) out += ", ";
     out += std::to_string(result.spec.dimensions[i]);
   }
-  out += "], \"cells\": " + std::to_string(result.cells.size());
+  out += "], \"shards\": " + std::to_string(result.spec.shards);
+  out += ", \"cells\": " + std::to_string(result.cells.size());
   out += "},\n  \"cells\": [\n";
 
   const auto& fields = cell_fields();
   for (std::size_t c = 0; c < result.cells.size(); ++c) {
-    const std::vector<std::string> values = cell_values(result.cells[c]);
+    const std::vector<std::string> values =
+        cell_values(result.cells[c], result.spec.shards);
     out += "    {";
     for (std::size_t f = 0; f < fields.size(); ++f) {
       if (f > 0) out += ", ";

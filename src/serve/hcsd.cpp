@@ -30,6 +30,9 @@ int main(int argc, char** argv) {
   cli.add_flag("max-pending", "256",
                "distinct in-flight cells before rejecting with overloaded");
   cli.add_flag("max-dim", "14", "largest hypercube dimension served");
+  cli.add_flag("shards", "0",
+               "default macro-executor subcube shards (0 = auto, 1 = "
+               "serial); per-request \"shards\" overrides");
   cli.add_flag("obs-json", "",
                "write an observability snapshot JSON here on exit");
   cli.add_flag("obs-trace", "",
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_uint("max-pending"));
   config.service.max_dimension =
       static_cast<unsigned>(cli.get_uint("max-dim"));
+  config.service.shards = static_cast<std::uint32_t>(cli.get_uint("shards"));
   if (!obs_json.empty() || !obs_trace.empty()) {
     config.service.obs = &registry;
   }

@@ -192,6 +192,11 @@ bool parse_request(std::string_view line, Request* out, std::string* error) {
         return fail(error, "\"trace\" must be a bool");
       }
       req.trace = value.as_bool();
+    } else if (name == "shards") {
+      if (value.type() != Json::Type::kUint) {
+        return fail(error, "\"shards\" must be an unsigned integer");
+      }
+      req.shards = static_cast<std::uint32_t>(value.as_uint());
     } else {
       return fail(error, "unknown request field \"" + name + "\"");
     }

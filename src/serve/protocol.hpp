@@ -12,6 +12,9 @@
 // dimension is optional and defaults to the CellKey defaults. "delay"
 // accepts the string shorthands "unit" / "heavy-tailed" or a
 // {"kind":...,"lo":...,"hi":...} object (run::DelaySpec's JSON form).
+// "shards" (top-level, like "trace") picks the macro executor's subcube
+// shard count for this execution; unlike "trace" it never splits the
+// cache, because results are shard-invariant.
 //
 // Replies are one compact JSON line:
 //
@@ -51,6 +54,12 @@ struct Request {
   /// Include the full event trace in the result body (cached separately:
   /// the same cell with and without trace are distinct cache entries).
   bool trace = false;
+  /// Subcube shards for the macro executor (sim/shard.hpp); 0 defers to
+  /// the server's configured default. Like the knob everywhere else this
+  /// is an execution detail, not identity: results are byte-identical at
+  /// any value, so it never enters the cache key -- a cell computed under
+  /// one shard count serves requests made under another.
+  std::uint32_t shards = 0;
 };
 
 /// Parses one request line. False -- with a one-line diagnostic in

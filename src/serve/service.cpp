@@ -176,6 +176,7 @@ void Service::execute(const Request& req, const std::string& cache_key,
   options.faults = req.key.faults;
   options.recovery = req.key.recovery;
   options.engine = req.key.engine;
+  options.shards = req.shards != 0 ? req.shards : config_.shards;
 
   SessionConfig session_config;
   session_config.dimension = req.key.dimension;

@@ -53,6 +53,10 @@ struct ServiceConfig {
   std::size_t max_pending = 256;
   /// Largest hypercube dimension the server will run.
   unsigned max_dimension = 14;
+  /// Default subcube shard count for macro executions (sim/shard.hpp);
+  /// 0 = auto. A request's own "shards" field overrides it. Never part of
+  /// the cache key: shard count does not change results.
+  std::uint32_t shards = 0;
   /// Optional metrics sink (serve.* counters and latency histograms);
   /// the service's own atomic counters stay authoritative either way.
   obs::Registry* obs = nullptr;

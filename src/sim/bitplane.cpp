@@ -61,6 +61,24 @@ void neighbor_union(const Bitplane& src, unsigned d, Bitplane* out) {
   }
 }
 
+void neighbor_union_range(const Bitplane& src, unsigned d, Bitplane* out,
+                          std::size_t word_begin, std::size_t word_end) {
+  HCS_EXPECTS(out != nullptr && out != &src);
+  HCS_EXPECTS(src.size() == (std::size_t{1} << d));
+  HCS_EXPECTS(out->size() == src.size());
+  HCS_EXPECTS(word_begin <= word_end && word_end <= src.num_words());
+  const auto in = src.words();
+  const auto ow = out->words();
+  const unsigned local = std::min(d, 6u);
+  for (std::size_t k = word_begin; k < word_end; ++k) {
+    const std::uint64_t w = in[k];
+    std::uint64_t acc = 0;
+    for (unsigned j = 0; j < local; ++j) acc |= butterfly(w, j);
+    for (unsigned j = 6; j < d; ++j) acc |= in[k ^ (std::size_t{1} << (j - 6))];
+    ow[k] = acc;
+  }
+}
+
 Bitplane level_mask(unsigned d, unsigned level) {
   HCS_EXPECTS(level <= d);
   Bitplane mask(std::size_t{1} << d);

@@ -129,6 +129,16 @@ void neighbor_plane(const Bitplane& src, unsigned j, Bitplane* out);
 /// of neighbor_plane(src, j) over j < d. O(d) word passes.
 void neighbor_union(const Bitplane& src, unsigned d, Bitplane* out);
 
+/// The word range [word_begin, word_end) of neighbor_union(src, d),
+/// written into the same range of *out (which must already have src's
+/// size). Each output word depends on one word per dimension: the word
+/// itself through the six butterfly masks for j < 6, and the word at
+/// fixed offset 2^(j-6) for j >= 6 -- so a subcube shard that owns a
+/// contiguous word range can evaluate its slice of the union with only
+/// read-sharing across shard boundaries. Writes stay inside the range.
+void neighbor_union_range(const Bitplane& src, unsigned d, Bitplane* out,
+                          std::size_t word_begin, std::size_t word_end);
+
 /// The Hamming-level mask of H_d: bit v set iff popcount(v) == level.
 [[nodiscard]] Bitplane level_mask(unsigned d, unsigned level);
 

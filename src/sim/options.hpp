@@ -86,6 +86,13 @@ struct RunOptions {
   /// Snapshots retained per store directory (minimum 2: one torn newest
   /// file must always leave a good predecessor).
   std::uint32_t checkpoint_keep = 3;
+  /// Subcube shards for the macro executor's parallel fast path
+  /// (sim/shard.hpp): 1 = the serial macro engine (the historical
+  /// behaviour), 0 = auto (min(hardware threads, 2^(d-10))), N = round
+  /// down to a power of two. Purely an execution detail -- results are
+  /// byte-identical at any value and it never enters hcs::CellKey, ckpt
+  /// fingerprints or the hcsd cache key. The event engine ignores it.
+  std::uint32_t shards = 1;
 };
 
 }  // namespace hcs::sim

@@ -1,0 +1,192 @@
+// sim::ShardedMacroEngine -- subcube-sharded macro-step execution.
+//
+// Splits the macro engine's packed node state (the guarded / contaminated
+// / visited bitplanes plus the per-node guard counter) into 2^k contiguous
+// word ranges owned by subcube shards keyed on the top k address bits:
+// node v belongs to shard v >> (d - k), so a shard's nodes are exactly a
+// (d - k)-subcube occupying a contiguous run of plane words. Under the
+// hypercube's XOR adjacency every intra-word dimension (j < 6) and every
+// word-local dimension (6 <= j < d - k) stays inside one shard; only the
+// top k dimensions cross shard boundaries, and on the packed layout those
+// are fixed-offset word reads (bitplane neighbor_union_range) -- never
+// writes -- so shards synchronize with plain per-tick barriers.
+//
+// Execution replays the same tick buckets as MacroEngine's fast mode but
+// splits each large tick into three barrier-separated phases:
+//
+//   P0  agent phase: bucket entries are chunked; each chunk advances its
+//       agents' program cursors (an agent appears at most once per tick,
+//       so chunks touch disjoint records) and emits an arrival record per
+//       entry. Calendar pushes are merged in chunk order after the
+//       barrier, reproducing the serial push order exactly.
+//   P1  node phase: every shard scans the tick's arrival records in
+//       order and applies the guard-count / plane updates for the nodes
+//       it owns. Per node, the update sequence is identical to the
+//       serial engine's (each node has one owner), so counts, planes and
+//       guard-zero transitions are bit-identical at any shard count.
+//   P2  exposure phase: each guard release recorded in P1 carries its
+//       in-tick sequence number; a release at position K was exposed iff
+//       some neighbour is still contaminated at end of tick or was
+//       cleaned later in the tick (clean stamps carry (tick, position)).
+//       That certificate is exactly the serial engine's transient check,
+//       evaluated after the fact; any exposure bails to exact mode, as
+//       the serial fast path does.
+//
+// Small ticks (the CLEAN protocol's token passing averages ~1 event per
+// tick) skip the phase machinery and run the fused serial loop over the
+// same state -- byte-identical by construction, since per-node update
+// order is what defines the result. The calendar is a ring of reusable
+// near-future buckets plus a stable far-future heap, replacing the
+// horizon-sized bucket array (3.7M vectors for CLEAN at d = 18) with a
+// cache-resident window.
+//
+// shards = 1 (or any ineligible run) delegates wholly to the wrapped
+// serial MacroEngine, so the single-shard engine remains the byte-level
+// reference; shard count is an execution detail and never enters
+// hcs::CellKey (run identity), checkpoint fingerprints or cache keys.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/bitplane.hpp"
+#include "sim/macro_engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/options.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcs::sim {
+
+/// The resolved subcube partition for one run.
+struct ShardPlan {
+  unsigned shards = 1;       ///< 2^shard_bits contiguous word ranges
+  unsigned shard_bits = 0;   ///< top address bits keying shard ownership
+  unsigned node_shift = 0;   ///< owner(v) = v >> node_shift
+  std::size_t words_per_shard = 0;
+
+  /// Resolves a RunOptions::shards request against a hypercube dimension:
+  /// 0 = auto = min(hw_threads, 2^(d-10)); any request is rounded down to
+  /// a power of two and clamped so every shard owns at least one plane
+  /// word (shards <= 2^(d-6)). Non-hypercube or sub-word planes resolve
+  /// to 1. hw_threads = 0 reads std::thread::hardware_concurrency().
+  [[nodiscard]] static ShardPlan resolve(std::uint32_t requested,
+                                         unsigned hc_dim,
+                                         unsigned hw_threads = 0);
+};
+
+/// Drop-in MacroEngine wrapper adding the sharded fast path. Mirrors the
+/// MacroEngine surface (Session reads one shape regardless of executor);
+/// every run that the sharded path does not cover -- shards resolved to 1,
+/// tracing, faults, non-atomic hand-over, generic topology, or a bail --
+/// is delegated to the wrapped serial engine unchanged.
+class ShardedMacroEngine {
+ public:
+  using RunResult = Engine::RunResult;
+
+  ShardedMacroEngine(Network& net, RunOptions cfg);
+
+  ShardedMacroEngine(const ShardedMacroEngine&) = delete;
+  ShardedMacroEngine& operator=(const ShardedMacroEngine&) = delete;
+
+  [[nodiscard]] static bool eligible(const RunOptions& cfg) {
+    return MacroEngine::eligible(cfg);
+  }
+
+  /// Executes the program to completion. Call once per engine.
+  RunResult run(const MacroProgram& program);
+
+  [[nodiscard]] const Metrics& metrics() const;
+  [[nodiscard]] bool all_clean() const;
+  [[nodiscard]] bool clean_region_connected() const;
+  [[nodiscard]] bool used_fast_path() const;
+  /// Whether the last run completed on the sharded replay end-to-end.
+  [[nodiscard]] bool used_sharded_path() const { return sharded_completed_; }
+  /// The resolved partition (shards == 1 means full delegation).
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+
+ private:
+  enum class FState : std::uint8_t { kRunnable, kInTransit, kSleeping, kDone };
+
+  struct FRec {
+    std::uint32_t cur = 0;
+    std::uint32_t end = 0;
+    graph::Vertex at = 0;
+    graph::Vertex moving_to = 0;
+    FState state = FState::kRunnable;
+  };
+
+  /// One arrival record: the inter-phase hand-off from P0 to P1/P2.
+  /// Sleep wake-ups occupy a bucket position but carry no node update;
+  /// they are recorded as {kNoArrival, ...} so positions keep the serial
+  /// in-tick ordering.
+  struct Arrival {
+    graph::Vertex from;
+    graph::Vertex to;
+  };
+  static constexpr graph::Vertex kNoArrival = ~graph::Vertex{0};
+
+  /// A guard count that hit zero in P1: the node and the in-tick arrival
+  /// position of the release, for the P2 exposure certificate.
+  struct Release {
+    graph::Vertex node;
+    std::uint32_t pos;
+  };
+
+  struct ShardScratch {
+    std::vector<std::pair<std::uint32_t, AgentId>> pushes;  // P0 chunk
+    std::vector<Release> releases;                          // P1
+    std::uint64_t cleans = 0;
+    bool exposed = false;
+  };
+
+  /// Near-future ring + stable far-future heap over tick buckets.
+  class Calendar {
+   public:
+    explicit Calendar(std::size_t ring_ticks);
+    void push(std::uint32_t time, AgentId agent);
+    /// Advances past cur to the next nonempty tick; fills *bucket in the
+    /// serial engine's bucket order. Returns false when drained.
+    bool next(std::uint32_t* time, std::vector<AgentId>* bucket);
+
+   private:
+    struct Far {
+      std::uint32_t time;
+      std::uint64_t seq;
+      AgentId agent;
+    };
+    std::vector<std::vector<AgentId>> ring_;
+    std::vector<Far> heap_;
+    std::size_t ring_pending_ = 0;
+    std::uint64_t push_seq_ = 0;
+    std::uint32_t cur_ = 0;
+  };
+
+  bool run_fast_sharded(const MacroProgram& prog, RunResult* result);
+  [[nodiscard]] bool fast_region_connected() const;
+  void parallel_shards(const std::function<void(std::size_t)>& body);
+
+  Network* net_;
+  RunOptions cfg_;
+  MacroEngine inner_;
+  ShardPlan plan_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Sharded fast-path state (valid when sharded_completed_).
+  bool sharded_completed_ = false;
+  Bitplane guarded_;
+  Bitplane contaminated_;
+  Bitplane visited_;
+  Bitplane cleaned_tick_;
+  Bitplane contam_start_;
+  Bitplane frontier_;
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint64_t> clean_stamp_;
+  std::vector<Arrival> arrivals_;
+  std::vector<ShardScratch> scratch_;
+  Metrics fast_metrics_;
+};
+
+}  // namespace hcs::sim

@@ -163,8 +163,63 @@ TEST(FuzzCampaign, GeneratorDrawsTheEngineAxis) {
     CellSpec on = campaign_cell(manifest.axes, manifest.campaign_seed, i);
     manifest.axes.engine_oracle = false;
     on.engine = sim::EngineKind::kEvent;
+    on.shards = 1;  // the shard axis piggybacks on a macro engine draw
     EXPECT_EQ(on.canonical(), off.canonical());
   }
+}
+
+TEST(FuzzCampaign, GeneratorDrawsTheShardAxis) {
+  Manifest manifest = known_bad_manifest(7);
+  bool saw_serial = false;
+  bool saw_sharded = false;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const CellSpec spec =
+        campaign_cell(manifest.axes, manifest.campaign_seed, i);
+    // Sharding is downstream of the engine axis: only macro cells arm the
+    // sharded replay leg.
+    if (spec.shards != 1) {
+      EXPECT_NE(spec.engine, sim::EngineKind::kEvent);
+      EXPECT_TRUE(spec.shards == 2 || spec.shards == 4 || spec.shards == 8);
+      saw_sharded = true;
+    } else {
+      saw_serial = true;
+    }
+  }
+  EXPECT_TRUE(saw_serial);
+  EXPECT_TRUE(saw_sharded);
+
+  // Toggling the axis off pins every cell to the serial count without
+  // disturbing the other draws.
+  manifest.axes.shard_oracle = false;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const CellSpec off =
+        campaign_cell(manifest.axes, manifest.campaign_seed, i);
+    EXPECT_EQ(off.shards, 1u);
+    manifest.axes.shard_oracle = true;
+    CellSpec on = campaign_cell(manifest.axes, manifest.campaign_seed, i);
+    manifest.axes.shard_oracle = false;
+    on.shards = 1;
+    EXPECT_EQ(on.canonical(), off.canonical());
+  }
+
+  // An axes round-trip preserves the explicit field, while a manifest
+  // written before the axis existed (no "shard_oracle" member) parses as
+  // *off* -- resuming a legacy campaign must regenerate bit-identical
+  // cells.
+  manifest.axes.shard_oracle = true;
+  CampaignAxes back;
+  std::string error;
+  ASSERT_TRUE(parse_campaign_axes(manifest.axes.to_json(), &back, &error))
+      << error;
+  EXPECT_TRUE(back.shard_oracle);
+  const Json full = manifest.axes.to_json();
+  Json legacy = Json::object();
+  for (const char* key : {"strategies", "min_dimension", "max_dimension",
+                          "differential", "engine_oracle", "expect"}) {
+    legacy.set(key, Json(*full.get(key)));
+  }
+  ASSERT_TRUE(parse_campaign_axes(legacy, &back, &error)) << error;
+  EXPECT_FALSE(back.shard_oracle);
 }
 
 TEST(FuzzManifest, RoundTripsByteIdentically) {

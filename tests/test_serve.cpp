@@ -142,7 +142,7 @@ TEST(ResultCache, OversizedEntryIsStillAdmitted) {
 // --- protocol parser ---------------------------------------------------
 
 TEST(Protocol, ParsesFullCell) {
-  const std::string line = R"({"id":9,"op":"run","trace":true,"cell":{
+  const std::string line = R"({"id":9,"op":"run","trace":true,"shards":4,"cell":{
       "strategy":"CLONING","dimension":5,"seed":7,
       "delay":{"kind":"uniform","lo":0.5,"hi":2.0},
       "policy":"random","visibility":true,
@@ -154,6 +154,7 @@ TEST(Protocol, ParsesFullCell) {
   EXPECT_EQ(req.id, 9u);
   EXPECT_EQ(req.op, Op::kRun);
   EXPECT_TRUE(req.trace);
+  EXPECT_EQ(req.shards, 4u);
   EXPECT_EQ(req.key.strategy, "CLONING");
   EXPECT_EQ(req.key.dimension, 5u);
   EXPECT_EQ(req.key.seed, 7u);
@@ -187,6 +188,8 @@ TEST(Protocol, RejectsMalformedInputWithDiagnostics) {
       R"({"id":1,"op":"run","cell":{"strategy":"CLEAN","dimension":4,"delay":{"kind":"uniform","lo":0.0,"hi":1.0}}})",
       R"({"id":1,"op":"run","cell":{"strategy":"CLEAN","dimension":4,"delay":{"kind":"uniform","lo":2.0,"hi":1.0}}})",
       R"({"id":1,"op":"run","cell":{"strategy":"CLEAN","dimension":4,"delay":{"kind":"uniform","lo":1.0}}})",
+      R"({"id":1,"op":"run","shards":-2,"cell":{"strategy":"CLEAN","dimension":4}})",
+      R"({"id":1,"op":"run","shards":"many","cell":{"strategy":"CLEAN","dimension":4}})",
   };
   for (const char* line : bad) {
     Request req;
@@ -237,6 +240,23 @@ TEST(Service, TraceVariantIsADistinctCacheEntry) {
   EXPECT_NE(traced.line.find("\"trace\":["), std::string::npos);
   EXPECT_EQ(plain.line.find("\"trace\":["), std::string::npos);
   EXPECT_EQ(service.stats().cache_entries, 2u);
+}
+
+TEST(Service, ShardCountNeverSplitsTheCache) {
+  // Shard count is an execution detail (sim/shard.hpp): a cell computed
+  // under one count must serve requests made under any other, with
+  // byte-identical body bytes and a single cache entry.
+  Service service(ServiceConfig{.threads = 1});
+  const Service::Reply serial = service.handle(
+      R"({"id":1,"op":"run","shards":1,"cell":{"strategy":"CLEAN","dimension":8,"engine":"macro"}})");
+  ASSERT_NE(serial.line.find("\"ok\":true"), std::string::npos) << serial.line;
+  const Service::Reply sharded = service.handle(
+      R"({"id":2,"op":"run","shards":8,"cell":{"strategy":"CLEAN","dimension":8,"engine":"macro"}})");
+  EXPECT_NE(sharded.line.find("\"cached\":true"), std::string::npos)
+      << sharded.line;
+  EXPECT_EQ(body_of(serial.line), body_of(sharded.line));
+  EXPECT_EQ(service.stats().cache_entries, 1u);
+  EXPECT_EQ(service.stats().executions, 1u);
 }
 
 TEST(Service, CoalescesConcurrentIdenticalRequestsIntoOneExecution) {
